@@ -1,0 +1,143 @@
+// Ablation benchmarks for the design choices behind the paper's results:
+// scan loop order, DHE width k, ORAM bucket size Z, stash capacity, and
+// the position-map recursion cutoff. All wall-clock on the host — these
+// explore *implementation* trade-offs, so the asymptotic shapes are what
+// matters and they are hardware-independent.
+package secemb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/dhe"
+	"secemb/internal/oram"
+)
+
+// BenchmarkAblationScanOrder compares the paper's per-query table scan
+// against this repository's batch-amortized variant (one table pass per
+// batch): identical masked work and security, different locality. On
+// hosts where the table overflows cache, the batched order wins at larger
+// batch sizes.
+func BenchmarkAblationScanOrder(b *testing.B) {
+	const rows, dim = 1 << 15, 64
+	tbl := benchTable(rows, dim)
+	for _, batch := range []int{1, 8, 32} {
+		ids := make([]uint64, batch)
+		for i := range ids {
+			ids[i] = uint64(i * 101 % rows)
+		}
+		perQuery := core.NewLinearScan(tbl, core.Options{})
+		batched := core.NewLinearScanBatched(tbl, core.Options{})
+		b.Run(fmt.Sprintf("perQuery/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				perQuery.Generate(ids)
+			}
+		})
+		b.Run(fmt.Sprintf("batched/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batched.Generate(ids)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDHEK sweeps the hash count k (with proportional FC
+// widths, as the paper assumes in Table I): latency should grow ~k².
+func BenchmarkAblationDHEK(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		cfg := dhe.Config{K: k, Hidden: []int{k / 2, k / 4}, Dim: 64, Seed: 1}
+		d := dhe.New(cfg, rand.New(rand.NewSource(1)))
+		ids := make([]uint64, 32)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Generate(ids)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationORAMZ sweeps the bucket size: larger Z means fewer
+// levels but more slots per path. The paper fixes Z=4 after ZeroTrace.
+func BenchmarkAblationORAMZ(b *testing.B) {
+	for _, z := range []int{2, 4, 8} {
+		o := oram.NewCircuit(oram.Config{NumBlocks: 1 << 14, BlockWords: 64, Z: z, Seed: 2})
+		b.Run(fmt.Sprintf("Z=%d", z), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.Read(uint64(i) % (1 << 14))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPathStash sweeps the Path ORAM stash capacity: the
+// oblivious full-stash scans make every access linear in the capacity,
+// which is why Circuit ORAM's 15× smaller stash matters (§IV-A2).
+func BenchmarkAblationPathStash(b *testing.B) {
+	for _, s := range []int{50, 150, 300} {
+		o := oram.NewPath(oram.Config{NumBlocks: 1 << 12, BlockWords: 64, StashSize: s, Seed: 3})
+		b.Run(fmt.Sprintf("stash=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.Read(uint64(i) % (1 << 12))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRecursionCutoff compares a flat scanned position map
+// against recursive posmap ORAMs at a size above the paper's Circuit
+// cutoff — the Fig. 10 "enabling recursion" optimization in isolation.
+func BenchmarkAblationRecursionCutoff(b *testing.B) {
+	const n = 1 << 16
+	flat := oram.NewCircuit(oram.Config{NumBlocks: n, BlockWords: 16, RecursionCutoff: -1, Seed: 4})
+	rec := oram.NewCircuit(oram.Config{NumBlocks: n, BlockWords: 16, Seed: 4})
+	b.Run("flatPosmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flat.Read(uint64(i % n))
+		}
+	})
+	b.Run("recursivePosmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec.Read(uint64(i % n))
+		}
+	})
+}
+
+// BenchmarkAblationDualThreshold exercises the LLM dual scheme (§IV-D):
+// the same generator serving a decode-sized batch from its ORAM side and
+// a prefill-sized batch from its DHE side.
+func BenchmarkAblationDualThreshold(b *testing.B) {
+	d := dhe.New(dhe.Config{K: 128, Hidden: []int{64}, Dim: 64, Seed: 5}, rand.New(rand.NewSource(5)))
+	g := core.NewDual(core.NewDHE(d, 1<<13, core.Options{}), 1, core.Options{Seed: 6})
+	decode := []uint64{42}
+	prefill := make([]uint64, 64)
+	b.Run("decodeBatch1_oram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Generate(decode)
+		}
+	})
+	b.Run("prefillBatch64_dhe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Generate(prefill)
+		}
+	})
+}
+
+// BenchmarkAblationEvictionRate sweeps Circuit ORAM's evictions-per-access
+// over the *stable* rates: more evictions cost bandwidth per access but
+// keep the stash minimal. Rate 1 is excluded — it is fundamentally
+// unstable (each access adds one block but a single eviction cannot drain
+// one on average, so the stash grows without bound; see
+// TestEvictionRateStashPressure for the bounded demonstration).
+func BenchmarkAblationEvictionRate(b *testing.B) {
+	for _, rate := range []int{2, 3, 4} {
+		o := oram.NewCircuit(oram.Config{NumBlocks: 1 << 14, BlockWords: 64,
+			EvictionsPerAccess: rate, StashSize: 200, Seed: 7})
+		b.Run(fmt.Sprintf("evictions=%d", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.Read(uint64(i) % (1 << 14))
+			}
+		})
+	}
+}

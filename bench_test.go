@@ -1,0 +1,198 @@
+// Package secemb's root benchmark harness: one benchmark per table and
+// figure of the paper (regenerating the experiment and reporting its key
+// metric), plus wall-clock micro-benchmarks of the real implementations
+// whose asymptotic shapes underpin the figures.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkFig4 -v   (prints the table)
+package secemb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/dhe"
+	"secemb/internal/experiments"
+	"secemb/internal/llm"
+	"secemb/internal/oram"
+	"secemb/internal/tensor"
+)
+
+// benchReport runs one experiment per iteration and logs its rendering
+// under -v, so `go test -bench Fig4 -v` reproduces the figure's rows.
+func benchReport(b *testing.B, run func(quick bool) experiments.Report) {
+	b.Helper()
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = run(true)
+	}
+	b.ReportMetric(float64(len(r.Rows)), "rows")
+	b.Log("\n" + r.Render())
+}
+
+func BenchmarkFig2_MethodComparison(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.Fig2() })
+}
+
+func BenchmarkFig3_CacheAttack(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.Fig3() })
+}
+
+func BenchmarkFig4_LatencyVsTableSize(b *testing.B) {
+	benchReport(b, experiments.Fig4)
+}
+
+func BenchmarkFig5_LLMEmbedding(b *testing.B) {
+	benchReport(b, experiments.Fig5)
+}
+
+func BenchmarkFig6_Thresholds(b *testing.B) {
+	benchReport(b, experiments.Fig6)
+}
+
+func BenchmarkFig7_CriteoHybridRange(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.Fig7() })
+}
+
+func BenchmarkFig8_Colocation(b *testing.B) {
+	benchReport(b, experiments.Fig8)
+}
+
+func BenchmarkFig9_AllocationSplit(b *testing.B) {
+	benchReport(b, experiments.Fig9)
+}
+
+func BenchmarkFig10_ZeroTraceVariants(b *testing.B) {
+	benchReport(b, experiments.Fig10)
+}
+
+func BenchmarkFig11_ThresholdSweep(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.Fig11() })
+}
+
+func BenchmarkFig12_BatchScaling(b *testing.B) {
+	benchReport(b, experiments.Fig12)
+}
+
+func BenchmarkFig13_LatencyThroughput(b *testing.B) {
+	benchReport(b, experiments.Fig13)
+}
+
+func BenchmarkFig14_FinetunePerplexity(b *testing.B) {
+	benchReport(b, experiments.Fig14)
+}
+
+func BenchmarkFig15_LLMLatency(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.Fig15() })
+}
+
+func BenchmarkTableV_AccuracyParity(b *testing.B) {
+	benchReport(b, experiments.TableV)
+}
+
+func BenchmarkTableVI_MemoryFootprint(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.TableVI() })
+}
+
+func BenchmarkTableVII_EndToEnd(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.TableVII() })
+}
+
+func BenchmarkTableVIII_Meta(b *testing.B) {
+	benchReport(b, experiments.TableVIII)
+}
+
+func BenchmarkLLMMemoryFootprint(b *testing.B) {
+	benchReport(b, func(bool) experiments.Report { return experiments.LLMMemory() })
+}
+
+// --- wall-clock micro-benchmarks of the real implementations ---
+// These measure this repository's code on the host. The asymptotic shapes
+// (scan linear, ORAM poly-log, DHE flat in table size) are hardware-
+// independent and visible directly in these numbers.
+
+func benchTable(rows, dim int) *tensor.Matrix {
+	return tensor.NewGaussian(rows, dim, 0.1, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	const dim, batch = 64, 32
+	for _, rows := range []int{1 << 10, 1 << 14, 1 << 17} {
+		tbl := benchTable(rows, dim)
+		gens := map[string]core.Generator{
+			"Lookup":      core.NewLookup(tbl, core.Options{}),
+			"LinearScan":  core.NewLinearScan(tbl, core.Options{}),
+			"CircuitORAM": core.NewCircuitORAM(tbl, core.Options{Seed: 2}),
+			"DHEVaried":   core.NewDHEVaried(rows, dim, core.Options{Seed: 3}),
+		}
+		ids := make([]uint64, batch)
+		for i := range ids {
+			ids[i] = uint64(i*37) % uint64(rows)
+		}
+		for name, g := range gens {
+			b.Run(fmt.Sprintf("%s/n=%d", name, rows), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g.Generate(ids)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPathORAMAccess(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		o := oram.NewPath(oram.Config{NumBlocks: n, BlockWords: 64, Seed: 4})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.Read(uint64(i % n))
+			}
+		})
+	}
+}
+
+func BenchmarkCircuitORAMAccess(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		o := oram.NewCircuit(oram.Config{NumBlocks: n, BlockWords: 64, Seed: 5})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.Read(uint64(i % n))
+			}
+		})
+	}
+}
+
+func BenchmarkDHEGenerate(b *testing.B) {
+	for _, batch := range []int{1, 32, 256} {
+		d := dhe.New(dhe.VariedConfig(64, 1_000_000, 6), rand.New(rand.NewSource(6)))
+		g := core.NewDHE(d, 1_000_000, core.Options{})
+		ids := make([]uint64, batch)
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Generate(ids)
+			}
+		})
+	}
+}
+
+func BenchmarkLLMPipeline(b *testing.B) {
+	cfg := llm.Config{Vocab: 8192, Dim: 64, Heads: 4, Layers: 2, MaxSeq: 64, Seed: 7}
+	tbl := benchTable(cfg.Vocab, cfg.Dim)
+	for _, tc := range []struct {
+		name string
+		gen  core.Generator
+	}{
+		{"Lookup", core.NewLookup(tbl, core.Options{})},
+		{"CircuitORAM", core.NewCircuitORAM(tbl, core.Options{Seed: 8})},
+		{"DHE", core.NewDHE(dhe.New(dhe.LLMConfig(cfg.Dim, 9), rand.New(rand.NewSource(9))), cfg.Vocab, core.Options{})},
+	} {
+		p := llm.NewRandomPipeline(cfg, tc.gen)
+		prompt := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}}
+		b.Run("prefill8+decode4/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Generate(prompt, 4)
+			}
+		})
+	}
+}

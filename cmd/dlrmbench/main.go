@@ -1,0 +1,132 @@
+// Command dlrmbench measures *real wall-clock* DLRM inference with this
+// repository's secure embedding generators, on a miniature of the Criteo
+// layouts sized by -scale (the full tables would take tens of GB). The
+// model-based paper-machine numbers live in cmd/experiments; this tool
+// shows the same orderings emerging from executed code on the host.
+//
+// Usage:
+//
+//	dlrmbench [-dataset kaggle|terabyte] [-scale 1e-4] [-batch 32]
+//	          [-reps 5] [-techniques lookup,scan,circuit,dhe,hybrid]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/data"
+	"secemb/internal/dlrm"
+	"secemb/internal/profile"
+	"secemb/internal/tensor"
+)
+
+func main() {
+	dataset := flag.String("dataset", "kaggle", "kaggle or terabyte")
+	scale := flag.Float64("scale", 1e-4, "cardinality scale factor")
+	batch := flag.Int("batch", 32, "inference batch size")
+	reps := flag.Int("reps", 5, "timing repetitions")
+	techniques := flag.String("techniques", "lookup,scan,circuit,dhe,hybrid", "comma list")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	criteo := flag.String("criteo", "", "optional path to a Criteo-format TSV; its first -batch rows drive the timing instead of synthetic traffic")
+	flag.Parse()
+
+	var cfg dlrm.Config
+	switch *dataset {
+	case "kaggle":
+		cfg = dlrm.KaggleConfig(data.ScaleCardinalities(data.KaggleCardinalities, *scale), *seed)
+	case "terabyte":
+		cfg = dlrm.TerabyteConfig(data.ScaleCardinalities(data.TerabyteCardinalities, *scale), *seed)
+	default:
+		panic("dataset must be kaggle or terabyte")
+	}
+	fmt.Printf("%s miniature (scale %g): %d sparse features, dim %d, max table %d rows\n\n",
+		*dataset, *scale, len(cfg.Cardinalities), cfg.EmbDim, maxInt(cfg.Cardinalities))
+
+	// An all-DHE-Varied trained model can materialize every representation.
+	model := dlrm.New(cfg, dlrm.DHEVariedEmb)
+	rng := rand.New(rand.NewSource(*seed + 7))
+	var dense *tensor.Matrix
+	var sparse [][]uint64
+	if *criteo != "" {
+		f, err := os.Open(*criteo)
+		if err != nil {
+			panic(err)
+		}
+		b, err := data.LoadCriteo(f, cfg.Cardinalities, *batch)
+		f.Close()
+		if err != nil {
+			panic(err)
+		}
+		dense, sparse = b.Dense, b.Sparse
+		fmt.Printf("driving with %d Criteo records from %s\n", dense.Rows, *criteo)
+	} else {
+		dense = tensor.NewUniform(*batch, cfg.DenseDim, 1, rng)
+		sparse = make([][]uint64, len(cfg.Cardinalities))
+		for f, n := range cfg.Cardinalities {
+			sparse[f] = make([]uint64, *batch)
+			for r := range sparse[f] {
+				sparse[f][r] = data.ZipfValue(rng, n)
+			}
+		}
+	}
+
+	// Host-profiled threshold for the hybrid allocation (Algorithm 2).
+	db := profile.BuildDB(cfg.EmbDim, profile.Varied, []int{*batch}, []int{1},
+		[]int{64, 512, 4096, 32768}, 3, *seed)
+	thr := db.Threshold(profile.ExecConfig{Batch: *batch, Threads: 1})
+	fmt.Printf("host-profiled scan/DHE threshold at batch %d: %d rows\n\n", *batch, thr)
+
+	fmt.Println("technique        latency/batch     model memory (MB)")
+	for _, name := range strings.Split(*techniques, ",") {
+		p := buildPipeline(model, strings.TrimSpace(name), thr, *seed)
+		p.Predict(dense, sparse) // warm-up
+		start := time.Now()
+		for i := 0; i < *reps; i++ {
+			p.Predict(dense, sparse)
+		}
+		lat := time.Since(start) / time.Duration(*reps)
+		fmt.Printf("%-15s  %14v  %14.2f\n", name, lat, float64(p.NumBytes())/1e6)
+	}
+}
+
+func buildPipeline(m *dlrm.Model, name string, threshold int, seed int64) *dlrm.Pipeline {
+	opts := core.Options{Seed: seed}
+	switch name {
+	case "lookup":
+		return dlrm.Build(m, core.Lookup, opts)
+	case "scan":
+		return dlrm.Build(m, core.LinearScan, opts)
+	case "path":
+		return dlrm.Build(m, core.PathORAM, opts)
+	case "circuit":
+		return dlrm.Build(m, core.CircuitORAM, opts)
+	case "dhe":
+		return dlrm.Build(m, core.DHE, opts)
+	case "hybrid":
+		techs := make([]core.Technique, len(m.Cfg.Cardinalities))
+		for i, n := range m.Cfg.Cardinalities {
+			if n <= threshold {
+				techs[i] = core.LinearScan
+			} else {
+				techs[i] = core.DHE
+			}
+		}
+		return dlrm.BuildHybrid(m, techs, opts)
+	}
+	panic("unknown technique " + name)
+}
+
+func maxInt(xs []int) int {
+	best := xs[0]
+	for _, v := range xs {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

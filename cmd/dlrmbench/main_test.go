@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/dlrm"
+)
+
+func testModel(t *testing.T) *dlrm.Model {
+	t.Helper()
+	cfg := dlrm.Config{
+		DenseDim: 3, EmbDim: 4,
+		BottomHidden: []int{4}, TopHidden: []int{4},
+		Cardinalities: []int{20, 50}, Seed: 1,
+	}
+	return dlrm.New(cfg, dlrm.DHEVariedEmb)
+}
+
+func TestBuildPipelineAllTechniques(t *testing.T) {
+	m := testModel(t)
+	want := map[string]core.Technique{
+		"lookup": core.Lookup, "scan": core.LinearScan,
+		"path": core.PathORAM, "circuit": core.CircuitORAM, "dhe": core.DHE,
+	}
+	for name, tech := range want {
+		p := buildPipeline(m, name, 30, 2)
+		for _, g := range p.Gens {
+			if g.Technique() != tech {
+				t.Fatalf("%s built %v", name, g.Technique())
+			}
+		}
+	}
+}
+
+func TestBuildPipelineHybridSplitsByThreshold(t *testing.T) {
+	m := testModel(t)
+	p := buildPipeline(m, "hybrid", 30, 2)
+	if p.Gens[0].Technique() != core.LinearScan { // 20 ≤ 30
+		t.Fatal("small table should scan")
+	}
+	if p.Gens[1].Technique() != core.DHE { // 50 > 30
+		t.Fatal("large table should use DHE")
+	}
+}
+
+func TestBuildPipelineUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	buildPipeline(testModel(t), "nope", 1, 1)
+}
+
+func TestMaxInt(t *testing.T) {
+	if maxInt([]int{3, 9, 1}) != 9 {
+		t.Fatal("maxInt wrong")
+	}
+}

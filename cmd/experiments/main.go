@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments              # run everything in quick mode
+//	experiments -full        # full grids and training lengths
+//	experiments -only fig4   # one experiment (see -list)
+//	experiments -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"secemb/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run full grids and training lengths")
+	only := flag.String("only", "", "run a single experiment by id")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	out := flag.String("out", "", "also write the rendered reports to this file")
+	flag.Parse()
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	quick := !*full
+	if *only != "" {
+		run := experiments.ByID(*only)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *only)
+			os.Exit(2)
+		}
+		fmt.Fprintln(sink, run(quick).Render())
+		return
+	}
+	for _, r := range experiments.All(quick) {
+		fmt.Fprintln(sink, r.Render())
+	}
+}

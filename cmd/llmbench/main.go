@@ -1,0 +1,82 @@
+// Command llmbench measures *real wall-clock* LLM generation with this
+// repository's transformer and secure token-embedding generators, at a
+// host-feasible shape (GPT-2's vocabulary with a reduced trunk by
+// default; -layers 24 -dim 1024 runs the full GPT-2-medium shape).
+// The paper-machine projections for GPT-2 medium live in
+// `cmd/experiments -only fig15`.
+//
+// Usage:
+//
+//	llmbench [-vocab 50257] [-dim 128] [-layers 2] [-heads 4]
+//	         [-prompt 64] [-gen 16] [-batch 1] [-techniques lookup,scan,circuit,dhe]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"secemb/internal/core"
+	"secemb/internal/dhe"
+	"secemb/internal/llm"
+	"secemb/internal/tensor"
+)
+
+func main() {
+	vocab := flag.Int("vocab", 50257, "vocabulary size")
+	dim := flag.Int("dim", 128, "embedding dimension")
+	layers := flag.Int("layers", 2, "transformer layers")
+	heads := flag.Int("heads", 4, "attention heads")
+	prompt := flag.Int("prompt", 64, "prompt length (tokens)")
+	gen := flag.Int("gen", 16, "tokens to generate")
+	batch := flag.Int("batch", 1, "request batch size")
+	techniques := flag.String("techniques", "lookup,scan,circuit,dhe", "comma list")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	cfg := llm.Config{
+		Vocab: *vocab, Dim: *dim, Heads: *heads, Layers: *layers,
+		MaxSeq: *prompt + *gen + 1, Seed: *seed,
+	}
+	fmt.Printf("transformer: vocab %d, dim %d, %d layers; prompt %d, generate %d, batch %d\n\n",
+		cfg.Vocab, cfg.Dim, cfg.Layers, *prompt, *gen, *batch)
+
+	rng := rand.New(rand.NewSource(*seed + 3))
+	table := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rng)
+	prompts := make([][]int, *batch)
+	for b := range prompts {
+		prompts[b] = make([]int, *prompt)
+		for i := range prompts[b] {
+			prompts[b][i] = rng.Intn(cfg.Vocab)
+		}
+	}
+
+	fmt.Println("technique   TTFT (prefill)   TBT (decode)   emb memory (MB)")
+	for _, name := range strings.Split(*techniques, ",") {
+		g := buildGenerator(strings.TrimSpace(name), table, cfg, *seed)
+		p := llm.NewRandomPipeline(cfg, g)
+		s, _ := p.Generate(prompts, *gen)
+		fmt.Printf("%-10s  %14v  %13v  %14.2f\n",
+			name, s.PrefillTime, s.MeanDecodeTime(), float64(g.NumBytes())/1e6)
+	}
+	fmt.Println("\npaper Fig. 15 shape: DHE leads prefill; Circuit ORAM is competitive only at decode batch 1")
+}
+
+func buildGenerator(name string, table *tensor.Matrix, cfg llm.Config, seed int64) core.Generator {
+	opts := core.Options{Seed: seed}
+	switch name {
+	case "lookup":
+		return core.NewLookup(table, opts)
+	case "scan":
+		return core.NewLinearScan(table, opts)
+	case "path":
+		return core.NewPathORAM(table, opts)
+	case "circuit":
+		return core.NewCircuitORAM(table, opts)
+	case "dhe":
+		d := dhe.New(dhe.LLMConfig(cfg.Dim, seed), rand.New(rand.NewSource(seed)))
+		return core.NewDHE(d, cfg.Vocab, opts)
+	}
+	panic("unknown technique " + name)
+}

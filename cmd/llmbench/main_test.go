@@ -1,0 +1,39 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/llm"
+	"secemb/internal/tensor"
+)
+
+func TestBuildGeneratorAllTechniques(t *testing.T) {
+	cfg := llm.Config{Vocab: 64, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 8, Seed: 1}
+	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(1)))
+	want := map[string]core.Technique{
+		"lookup": core.Lookup, "scan": core.LinearScan,
+		"path": core.PathORAM, "circuit": core.CircuitORAM, "dhe": core.DHE,
+	}
+	for name, tech := range want {
+		g := buildGenerator(name, tbl, cfg, 2)
+		if g.Technique() != tech {
+			t.Fatalf("%s built %v", name, g.Technique())
+		}
+		if g.Dim() != cfg.Dim {
+			t.Fatalf("%s dim %d", name, g.Dim())
+		}
+	}
+}
+
+func TestBuildGeneratorUnknownPanics(t *testing.T) {
+	cfg := llm.Config{Vocab: 8, Dim: 4, Heads: 1, Layers: 1, MaxSeq: 4, Seed: 1}
+	tbl := tensor.New(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	buildGenerator("nope", tbl, cfg, 1)
+}

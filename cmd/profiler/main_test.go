@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got := parseInts("1, 8,32")
+	want := []int{1, 8, 32}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts[%d]=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseIntsPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	parseInts("1,x")
+}

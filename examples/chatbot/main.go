@@ -1,0 +1,96 @@
+// Chatbot: secure text generation. Finetunes a miniature GPT-style model
+// with a DHE token embedding on a structured synthetic corpus, then
+// generates greedily — token embeddings computed by DHE (no index-leaking
+// table lookup) and sampling by the oblivious argmax.
+//
+//	go run ./examples/chatbot
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/data"
+	"secemb/internal/llm"
+	"secemb/internal/nn"
+	"secemb/internal/token"
+)
+
+func main() {
+	cfg := llm.Config{Vocab: 101, Dim: 24, Heads: 2, Layers: 2, MaxSeq: 24, Seed: 31}
+	fmt.Printf("mini-LLM: vocab %d, dim %d, %d layers — token embedding: DHE\n", cfg.Vocab, cfg.Dim, cfg.Layers)
+
+	corpus := data.NewCorpus(cfg.Vocab, 32)
+	rng := rand.New(rand.NewSource(33))
+	train := corpus.Generate(8000, rng)
+	test := corpus.Generate(600, rng)
+	ins, tgts := data.Batches(train, 12)
+	tins, ttgts := data.Batches(test, 12)
+
+	model := llm.New(cfg, llm.DHETok)
+	fmt.Printf("perplexity before finetuning: %.1f\n", model.Perplexity(tins, ttgts))
+
+	fmt.Print("finetuning... ")
+	start := time.Now()
+	opt := nn.NewAdam(3e-3)
+	idx := 0
+	for step := 0; step < 120; step++ {
+		model.ZeroGrads()
+		for b := 0; b < 4; b++ {
+			model.TrainSeq(ins[idx%len(ins)], tgts[idx%len(ins)])
+			idx++
+		}
+		opt.Step(model.Params())
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("perplexity after finetuning:  %.1f\n\n", model.Perplexity(tins, ttgts))
+
+	// Deploy: the trained DHE serves token embeddings in the pipeline.
+	d, _ := core.RepDHE(model.Tok)
+	pipeline := llm.FromModel(model, core.NewDHE(d, cfg.Vocab, core.Options{}))
+
+	prompt := corpus.Generate(8, rand.New(rand.NewSource(34)))
+	session, outs := pipeline.Generate([][]int{prompt}, 10)
+	fmt.Printf("prompt tokens:    %v\n", prompt)
+	fmt.Printf("generated tokens: %v\n", outs[0])
+	fmt.Printf("TTFT %v, mean TBT %v\n", session.PrefillTime, session.MeanDecodeTime())
+
+	// How well did it learn the corpus's hidden successor function?
+	hits := 0
+	full := append(append([]int{}, prompt...), outs[0]...)
+	for i := len(prompt) - 1; i+1 < len(full); i++ {
+		if full[i+1] == corpus.Successor(full[i]) {
+			hits++
+		}
+	}
+	fmt.Printf("generated continuations following the corpus's hidden dynamics: %d/%d\n\n", hits, len(outs[0]))
+
+	// Client-side tokenization (the paper's threat model, §III): the
+	// tokenizer runs on the trusted device; only token IDs — the secrets
+	// DHE protects — are sent to the model.
+	tk := token.Build(lexicon, cfg.Vocab)
+	userText := "the quick brown fox jumps over the lazy dog"
+	ids := tk.Encode(userText)
+	fmt.Printf("user text:        %q\n", userText)
+	fmt.Printf("token ids sent:   %v (tokenized client-side)\n", ids)
+	session2, reply := pipeline.Generate([][]int{clamp(ids, cfg.Vocab)}, 6)
+	fmt.Printf("model reply ids:  %v\n", reply[0])
+	fmt.Printf("decoded locally:  %q (TTFT %v)\n", tk.Decode(reply[0]), session2.PrefillTime)
+}
+
+// lexicon seeds the demo vocabulary; in the paper's setting the tokenizer
+// (e.g. GPT-2's BPE) is public.
+const lexicon = `the quick brown fox jumps over the lazy dog a cat sat on
+a mat and the dog ran after the fox while the cat watched the quick brown
+birds fly over the lazy river near the old mill town`
+
+// clamp maps ids into the model's vocabulary range.
+func clamp(ids []int, vocab int) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = id % vocab
+	}
+	return out
+}

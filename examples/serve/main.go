@@ -1,0 +1,83 @@
+// Serve: production-shaped deployment. Builds N replicas of a
+// hybrid-protected DLRM, serves a concurrent request stream through the
+// replica pool, and reports latency percentiles against an SLA — the
+// deployment shape of the paper's co-location study (§IV-C2, Fig. 13).
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/data"
+	"secemb/internal/dhe"
+	"secemb/internal/dlrm"
+	"secemb/internal/serving"
+	"secemb/internal/tensor"
+)
+
+func main() {
+	const replicas, requests, batch = 3, 60, 8
+	cards := data.ScaleCardinalities(data.KaggleCardinalities, 2e-5)
+	cfg := dlrm.Config{
+		DenseDim: 13, EmbDim: 16,
+		BottomHidden: []int{32}, TopHidden: []int{32},
+		Cardinalities: cards, Seed: 21,
+	}
+	reps := make([]core.TrainableRep, len(cards))
+	rng := rand.New(rand.NewSource(22))
+	for i, n := range cards {
+		reps[i] = core.NewDHERep(dhe.New(dhe.Config{K: 48, Hidden: []int{24}, Dim: 16, Seed: int64(i)}, rng), n)
+	}
+	model := dlrm.NewWithReps(cfg, reps)
+
+	// Hybrid allocation: small features scan, large ones DHE.
+	techs := make([]core.Technique, len(cards))
+	for i, n := range cards {
+		if n <= 64 {
+			techs[i] = core.LinearScan
+		} else {
+			techs[i] = core.DHE
+		}
+	}
+	pipes := make([]*dlrm.Pipeline, replicas)
+	for i := range pipes {
+		pipes[i] = dlrm.BuildHybrid(model, techs, core.Options{Seed: int64(30 + i)})
+	}
+	pool := serving.NewPool(pipes, 2*replicas)
+	defer pool.Close()
+	fmt.Printf("serving mini-Kaggle DLRM: %d replicas, hybrid protection, %.2f MB/replica\n\n",
+		replicas, float64(pipes[0].NumBytes())/1e6)
+
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			dense := tensor.NewUniform(batch, cfg.DenseDim, 1, r)
+			sparse := make([][]uint64, len(cards))
+			for f, n := range cards {
+				sparse[f] = make([]uint64, batch)
+				for j := range sparse[f] {
+					sparse[f][j] = data.ZipfValue(r, n)
+				}
+			}
+			if resp := pool.Predict(context.Background(), dense, sparse); resp.Err != nil {
+				fmt.Println("request failed:", resp.Err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+
+	s := pool.Stats()
+	const sla = 20 * time.Millisecond
+	fmt.Printf("served %d requests at %.0f req/s\n", s.Served, s.Throughput)
+	fmt.Printf("latency p50 %v, p95 %v, max %v\n", s.P50, s.P95, s.Max)
+	fmt.Printf("meets %v SLA: %v\n", sla, s.MeetsSLA(sla))
+}

@@ -1,0 +1,3 @@
+module secemb
+
+go 1.22

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Victim models the enclave's embedding layer from the attacker's
+// perspective: a table of NumRows rows, each spanning LinesPerRow cache
+// lines, resident at Base. A lookup of row r touches lines
+// [Base + r·LinesPerRow, Base + (r+1)·LinesPerRow).
+//
+// This mirrors the paper's demo table: 256 entries × dim 64 float32
+// = 256 B/row = 4 lines/row.
+type Victim struct {
+	Base        Line
+	NumRows     int
+	LinesPerRow int
+	Cache       *Cache
+}
+
+// Lookup performs the (non-secure) direct table lookup of row idx,
+// touching its cache lines.
+func (v *Victim) Lookup(idx int) {
+	if idx < 0 || idx >= v.NumRows {
+		panic(fmt.Sprintf("cache: victim lookup %d out of %d", idx, v.NumRows))
+	}
+	start := v.Base + Line(idx*v.LinesPerRow)
+	for i := 0; i < v.LinesPerRow; i++ {
+		v.Cache.Access(start + Line(i))
+	}
+}
+
+// LinearScan performs the protected lookup: every row of the table is
+// touched in order regardless of the secret index, so the cache state the
+// attacker can probe is index-independent.
+func (v *Victim) LinearScan(idx int) {
+	_ = idx // the secret no longer influences the access pattern
+	for r := 0; r < v.NumRows; r++ {
+		start := v.Base + Line(r*v.LinesPerRow)
+		for i := 0; i < v.LinesPerRow; i++ {
+			v.Cache.Access(start + Line(i))
+		}
+	}
+}
+
+// Attacker mounts the PRIME+SCOPE-style eviction-set attack of §III-A2.
+// Phase (i) builds one eviction set per monitored table row (the paper
+// accelerates this with physical addresses; the simulator can address sets
+// directly, which models the same capability). Phase (ii) primes the sets,
+// lets the victim run, and probes: the set whose probe latency rises is
+// the one the victim displaced — revealing the row index.
+type Attacker struct {
+	cache  *Cache
+	victim *Victim
+
+	// evictionSets[r] holds Ways attacker-owned lines that map to the
+	// same cache set as the first line of victim row r.
+	evictionSets [][]Line
+	monitored    int
+}
+
+// NewAttacker prepares eviction sets for the first `monitor` rows of the
+// victim's table (the paper primes 25 sets "to demonstrate feasibility").
+func NewAttacker(v *Victim, monitor int) *Attacker {
+	if monitor > v.NumRows {
+		monitor = v.NumRows
+	}
+	cfg := v.Cache.Config()
+	a := &Attacker{cache: v.Cache, victim: v, monitored: monitor}
+	// Attacker lines live far above the victim table.
+	attackerBase := v.Base + Line(v.NumRows*v.LinesPerRow+cfg.Sets)
+	a.evictionSets = make([][]Line, monitor)
+	for r := 0; r < monitor; r++ {
+		target := v.Cache.SetIndex(v.Base + Line(r*v.LinesPerRow))
+		set := make([]Line, 0, cfg.Ways)
+		// Walk attacker address space collecting lines that land in the
+		// target set.
+		for addr := attackerBase; len(set) < cfg.Ways; addr++ {
+			if v.Cache.SetIndex(addr) == target {
+				set = append(set, addr)
+			}
+		}
+		a.evictionSets[r] = set
+		attackerBase += Line(cfg.Sets * cfg.Ways) // disjoint per row
+	}
+	return a
+}
+
+// prime fills the cache set monitored for row r with attacker lines.
+func (a *Attacker) prime(r int) {
+	for _, l := range a.evictionSets[r] {
+		a.cache.Access(l)
+	}
+}
+
+// probe measures the total latency of re-touching the eviction set for
+// row r; a victim access to that set evicted an attacker line, turning one
+// probe access into a miss.
+func (a *Attacker) probe(r int) int {
+	total := 0
+	for _, l := range a.evictionSets[r] {
+		total += a.cache.Access(l)
+	}
+	return total
+}
+
+// Measurement is the per-eviction-set averaged probe latency of one attack.
+type Measurement struct {
+	Latency []float64 // indexed by monitored row
+}
+
+// Guess returns the row index with the highest probe latency.
+func (m Measurement) Guess() int {
+	best := 0
+	for i, v := range m.Latency {
+		if v > m.Latency[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Run performs `trials` prime→victim→probe rounds against victimIdx using
+// the provided victim access function (Victim.Lookup for the unprotected
+// baseline, Victim.LinearScan for the protected one) and returns the
+// per-set average probe latency — Figure 3's y-axis. noise injects that
+// many random extraneous cache accesses per round to emulate system
+// activity; rng may be nil when noise is zero.
+func (a *Attacker) Run(victimIdx, trials, noise int, access func(int), rng *rand.Rand) Measurement {
+	sums := make([]float64, a.monitored)
+	for t := 0; t < trials; t++ {
+		for r := 0; r < a.monitored; r++ {
+			a.prime(r)
+		}
+		if noise > 0 {
+			cfg := a.cache.Config()
+			noiseBase := Line(1 << 40)
+			for i := 0; i < noise; i++ {
+				a.cache.Access(noiseBase + Line(rng.Intn(cfg.Sets*cfg.Ways*4)))
+			}
+		}
+		access(victimIdx)
+		for r := 0; r < a.monitored; r++ {
+			sums[r] += float64(a.probe(r))
+		}
+	}
+	for r := range sums {
+		sums[r] /= float64(trials)
+	}
+	return Measurement{Latency: sums}
+}

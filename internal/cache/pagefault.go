@@ -1,0 +1,99 @@
+package cache
+
+// This file models the second leak channel of §III-A2: the page-fault
+// controlled channel ("the OS can reset the present bits of embedding
+// table memory so that every table lookup triggers a page fault. Then,
+// the OS can observe the page-level access patterns") — and the paper's
+// observation that channels *combine*: "page fault or DRAM row buffer can
+// leak coarse-grained address, and cache side-channel can leak the
+// indices within page or DRAM row granularity", scaling index recovery to
+// arbitrarily large tables.
+
+// PageBytes is the x86 page size.
+const PageBytes = 4096
+
+// LineBytes is the cache-line size assumed by the line-granularity model.
+const LineBytes = 64
+
+// PageObserver is a malicious OS watching page faults on the victim's
+// table memory: it learns which pages are touched, in order.
+type PageObserver struct {
+	pages []int64
+}
+
+// Fault records an access to the page containing byte offset `off` of the
+// observed region.
+func (o *PageObserver) Fault(off int64) {
+	o.pages = append(o.pages, off/PageBytes)
+}
+
+// Pages returns the observed page sequence.
+func (o *PageObserver) Pages() []int64 { return o.pages }
+
+// Reset clears the observation.
+func (o *PageObserver) Reset() { o.pages = o.pages[:0] }
+
+// LookupWithFaults is the victim's direct lookup as seen through the
+// controlled channel: every page of the accessed row faults.
+func (v *Victim) LookupWithFaults(idx int, o *PageObserver) {
+	rowBytes := int64(v.LinesPerRow * LineBytes)
+	start := rowBytes * int64(idx)
+	for off := start; off < start+rowBytes; off += PageBytes {
+		o.Fault(off)
+	}
+	if (start+rowBytes-1)/PageBytes != start/PageBytes && rowBytes%PageBytes != 0 {
+		// Row straddles a page boundary: the tail page faults too.
+		o.Fault(start + rowBytes - 1)
+	}
+	v.Lookup(idx) // the cache-visible part proceeds as usual
+}
+
+// RowsPerPage returns how many table rows share one page — the resolution
+// limit of the page channel alone.
+func (v *Victim) RowsPerPage() int {
+	rows := PageBytes / (v.LinesPerRow * LineBytes)
+	if rows < 1 {
+		return 1
+	}
+	return rows
+}
+
+// CombinedAttack recovers the exact row index of a victim lookup in a
+// table too large to monitor line-by-line: the page channel narrows the
+// index to RowsPerPage candidates, then a cache attack over eviction sets
+// for just those candidates pinpoints it (§III-A2's channel combination).
+type CombinedAttack struct {
+	victim   *Victim
+	observer *PageObserver
+}
+
+// NewCombinedAttack prepares the combined attacker.
+func NewCombinedAttack(v *Victim) *CombinedAttack {
+	return &CombinedAttack{victim: v, observer: &PageObserver{}}
+}
+
+// Recover runs one observed victim lookup of secretIdx and returns the
+// attacker's guess.
+func (a *CombinedAttack) Recover(secretIdx, trials int) int {
+	// Phase 1: the page channel yields the page → candidate rows.
+	a.observer.Reset()
+	a.victim.LookupWithFaults(secretIdx, a.observer)
+	page := a.observer.Pages()[0]
+	rowsPerPage := a.victim.RowsPerPage()
+	firstRow := int(page) * rowsPerPage
+
+	// Phase 2: a focused cache attack distinguishes the rows within the
+	// page. Build a sub-victim view whose row 0 is the page's first row,
+	// sharing the same cache.
+	sub := &Victim{
+		Base:        a.victim.Base + Line(firstRow*a.victim.LinesPerRow),
+		NumRows:     rowsPerPage,
+		LinesPerRow: a.victim.LinesPerRow,
+		Cache:       a.victim.Cache,
+	}
+	attacker := NewAttacker(sub, rowsPerPage)
+	m := attacker.Run(secretIdx-firstRow, trials, 0, func(rel int) {
+		a.victim.Lookup(firstRow + rel) // the victim re-queries; OS replays
+	}, nil)
+	return firstRow + m.Guess()
+}

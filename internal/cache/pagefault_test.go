@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+func TestPageObserverCoarseLeak(t *testing.T) {
+	// 256-byte rows → 16 rows/page: the page channel alone localizes the
+	// index to a 16-row window.
+	v := &Victim{Base: 0, NumRows: 1024, LinesPerRow: 4, Cache: New(DefaultConfig())}
+	o := &PageObserver{}
+	v.LookupWithFaults(100, o)
+	pages := o.Pages()
+	if len(pages) == 0 {
+		t.Fatal("no faults observed")
+	}
+	wantPage := int64(100*4*LineBytes) / PageBytes
+	if pages[0] != wantPage {
+		t.Fatalf("observed page %d, want %d", pages[0], wantPage)
+	}
+	if v.RowsPerPage() != 16 {
+		t.Fatalf("RowsPerPage=%d, want 16", v.RowsPerPage())
+	}
+}
+
+func TestPageObserverReset(t *testing.T) {
+	o := &PageObserver{}
+	o.Fault(0)
+	o.Reset()
+	if len(o.Pages()) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestRowsPerPageFloor(t *testing.T) {
+	// Rows bigger than a page still resolve to at least 1 row/page.
+	v := &Victim{Base: 0, NumRows: 8, LinesPerRow: 128, Cache: New(DefaultConfig())}
+	if v.RowsPerPage() != 1 {
+		t.Fatalf("RowsPerPage=%d, want 1", v.RowsPerPage())
+	}
+}
+
+// TestCombinedAttackScalesToLargeTables: the §III-A2 combination — page
+// channel for the coarse index, cache channel within the page — recovers
+// exact indices from a table far larger than the attacker could monitor
+// with eviction sets alone.
+func TestCombinedAttackScalesToLargeTables(t *testing.T) {
+	v := &Victim{Base: 0, NumRows: 4096, LinesPerRow: 4, Cache: New(DefaultConfig())}
+	a := NewCombinedAttack(v)
+	for _, secret := range []int{0, 100, 1033, 4095} {
+		if got := a.Recover(secret, 10); got != secret {
+			t.Fatalf("combined attack recovered %d, want %d", got, secret)
+		}
+	}
+}
+
+func TestCombinedAttackAcrossPages(t *testing.T) {
+	// Two secrets in different pages must be distinguished by phase 1
+	// alone (different fault pages).
+	v := &Victim{Base: 0, NumRows: 256, LinesPerRow: 4, Cache: New(DefaultConfig())}
+	o := &PageObserver{}
+	v.LookupWithFaults(3, o)
+	p1 := o.Pages()[0]
+	o.Reset()
+	v.LookupWithFaults(200, o)
+	p2 := o.Pages()[0]
+	if p1 == p2 {
+		t.Fatal("distant rows must fault different pages")
+	}
+}

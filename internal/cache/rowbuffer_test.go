@@ -1,0 +1,65 @@
+package cache
+
+import "testing"
+
+func TestDRAMHitAndConflict(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	if lat := d.Access(0); lat != d.cfg.ConflictCyc {
+		t.Fatalf("cold access latency %d, want conflict", lat)
+	}
+	if lat := d.Access(64); lat != d.cfg.HitCycles {
+		t.Fatalf("same-row access latency %d, want hit", lat)
+	}
+	// A different row in the same bank conflicts and replaces.
+	sameBank := int64(d.cfg.RowBytes) * int64(d.cfg.Banks)
+	if lat := d.Access(sameBank); lat != d.cfg.ConflictCyc {
+		t.Fatalf("row conflict latency %d", lat)
+	}
+	if lat := d.Access(0); lat != d.cfg.ConflictCyc {
+		t.Fatal("closed row must conflict again")
+	}
+}
+
+func TestDRAMBankInterleave(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	// Adjacent DRAM rows land in different banks: opening one must not
+	// close the other.
+	d.Access(0)
+	d.Access(int64(d.cfg.RowBytes)) // next row → next bank
+	if lat := d.Access(0); lat != d.cfg.HitCycles {
+		t.Fatal("cross-bank access must not evict")
+	}
+	b0, _ := d.bankRow(0)
+	b1, _ := d.bankRow(int64(d.cfg.RowBytes))
+	if b0 == b1 {
+		t.Fatal("adjacent rows should interleave banks")
+	}
+}
+
+func TestRowBufferAttackCoarseRecovery(t *testing.T) {
+	// 256-byte table rows, 8 KB DRAM rows → 32 table rows per DRAM row.
+	v := &Victim{Base: 0, NumRows: 2048, LinesPerRow: 4, Cache: New(DefaultConfig())}
+	a := NewRowBufferAttack(v, NewDRAM(DefaultDRAMConfig()))
+	if a.RowsPerDRAMRow() != 32 {
+		t.Fatalf("RowsPerDRAMRow=%d, want 32", a.RowsPerDRAMRow())
+	}
+	for _, secret := range []int{0, 31, 32, 777, 2047} {
+		lo, hi := a.Recover(secret)
+		if secret < lo || secret >= hi {
+			t.Fatalf("secret %d outside recovered window [%d,%d)", secret, lo, hi)
+		}
+		if hi-lo > a.RowsPerDRAMRow() {
+			t.Fatalf("window [%d,%d) wider than the channel resolution", lo, hi)
+		}
+	}
+}
+
+func TestRowBufferWindowDistinguishesDistantSecrets(t *testing.T) {
+	v := &Victim{Base: 0, NumRows: 2048, LinesPerRow: 4, Cache: New(DefaultConfig())}
+	a := NewRowBufferAttack(v, NewDRAM(DefaultDRAMConfig()))
+	lo1, _ := a.Recover(10)
+	lo2, _ := a.Recover(1500)
+	if lo1 == lo2 {
+		t.Fatal("distant secrets must land in different windows")
+	}
+}

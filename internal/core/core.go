@@ -1,0 +1,115 @@
+// Package core is the library's public surface for secure embedding
+// generation — the paper's central contribution. It provides one Generator
+// interface with five implementations spanning Figure 2's taxonomy and
+// §IV-A's protection techniques:
+//
+//   - Lookup: the non-secure storage baseline (direct table indexing).
+//     Its access pattern leaks the index (§III); it exists as the
+//     performance baseline and the attack target.
+//   - LinearScan: storage + oblivious full-table scan per query (§IV-A1).
+//   - PathORAM / CircuitORAM: storage + tree-ORAM protection (§IV-A2).
+//   - DHE: compute-based generation with input-independent access
+//     patterns (§IV-A3).
+//
+// Every generator can carry a memtrace.Tracer; the test suite uses it to
+// verify the security matrix of Table II: deterministic traces for
+// LinearScan/DHE, randomized-but-independent traces for the ORAMs, and a
+// leaky trace for Lookup.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"secemb/internal/memtrace"
+	"secemb/internal/tensor"
+)
+
+// Technique identifies an embedding generation method.
+type Technique int
+
+const (
+	// Lookup is the non-secure direct table lookup.
+	Lookup Technique = iota
+	// LinearScan obliviously scans the whole table per query.
+	LinearScan
+	// PathORAM protects the table with Path ORAM.
+	PathORAM
+	// CircuitORAM protects the table with Circuit ORAM.
+	CircuitORAM
+	// DHE computes embeddings with Deep Hash Embedding.
+	DHE
+)
+
+// String names the technique as in the paper's tables.
+func (t Technique) String() string {
+	switch t {
+	case Lookup:
+		return "Index Lookup (non-secure)"
+	case LinearScan:
+		return "Linear Scan"
+	case PathORAM:
+		return "Path ORAM"
+	case CircuitORAM:
+		return "Circuit ORAM"
+	case DHE:
+		return "DHE"
+	}
+	return "unknown"
+}
+
+// Secure reports whether the technique hides the query index (Table II).
+func (t Technique) Secure() bool { return t != Lookup }
+
+// Generator produces embeddings for batches of categorical feature values.
+//
+// Generate returns a len(ids)×Dim() matrix whose r-th row is the embedding
+// of ids[r]. Implementations must keep their memory access pattern
+// independent of the id values (except Lookup, by design).
+type Generator interface {
+	Generate(ids []uint64) *tensor.Matrix
+	// Rows is the table cardinality (for DHE: the virtual table size).
+	Rows() int
+	// Dim is the embedding dimension.
+	Dim() int
+	// Technique identifies the protection method.
+	Technique() Technique
+	// NumBytes is the resident memory footprint of the representation.
+	NumBytes() int64
+	// SetThreads sets the worker count used for batch generation
+	// (0 = all CPUs). The profiling sweeps vary this.
+	SetThreads(n int)
+}
+
+// Options configures generator construction.
+type Options struct {
+	Threads int
+	Seed    int64
+	Tracer  *memtrace.Tracer
+	Region  string // trace region prefix; "" → technique-specific default
+}
+
+func (o Options) region(def string) string {
+	if o.Region != "" {
+		return o.Region
+	}
+	return def
+}
+
+func checkIDs(ids []uint64, rows int) {
+	for _, id := range ids {
+		if id >= uint64(rows) {
+			panic(fmt.Sprintf("core: id %d out of table size %d", id, rows))
+		}
+	}
+}
+
+// FootprintRatio is a convenience for the memory tables: representation
+// bytes relative to the raw table (rows×dim×4).
+func FootprintRatio(g Generator) float64 {
+	raw := float64(g.Rows()) * float64(g.Dim()) * 4
+	if raw == 0 {
+		return math.NaN()
+	}
+	return float64(g.NumBytes()) / raw
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"secemb/internal/dhe"
+	"secemb/internal/tensor"
+)
+
+func testTable(rows, dim int, seed int64) *tensor.Matrix {
+	return tensor.NewGaussian(rows, dim, 0.5, rand.New(rand.NewSource(seed)))
+}
+
+// storageMakers builds every generator that *stores* the given table.
+var storageMakers = []struct {
+	name string
+	mk   func(tbl *tensor.Matrix, opts Options) Generator
+}{
+	{"Lookup", NewLookup},
+	{"LinearScan", NewLinearScan},
+	{"PathORAM", NewPathORAM},
+	{"CircuitORAM", NewCircuitORAM},
+}
+
+func TestStorageGeneratorsAgree(t *testing.T) {
+	tbl := testTable(200, 8, 1)
+	ref := NewLookup(tbl, Options{})
+	ids := []uint64{0, 7, 199, 7, 42}
+	want := ref.Generate(ids)
+	for _, m := range storageMakers[1:] {
+		g := m.mk(tbl, Options{Seed: 2})
+		got := g.Generate(ids)
+		if !tensor.AllClose(got, want, 0) {
+			t.Fatalf("%s output differs from direct lookup", m.name)
+		}
+	}
+}
+
+func TestGeneratorMetadata(t *testing.T) {
+	tbl := testTable(64, 4, 3)
+	techs := []Technique{Lookup, LinearScan, PathORAM, CircuitORAM}
+	for i, m := range storageMakers {
+		g := m.mk(tbl, Options{})
+		if g.Rows() != 64 || g.Dim() != 4 {
+			t.Fatalf("%s metadata wrong: rows=%d dim=%d", m.name, g.Rows(), g.Dim())
+		}
+		if g.Technique() != techs[i] {
+			t.Fatalf("%s Technique()=%v", m.name, g.Technique())
+		}
+		if g.NumBytes() <= 0 {
+			t.Fatalf("%s NumBytes=%d", m.name, g.NumBytes())
+		}
+	}
+}
+
+func TestTechniqueStringsAndSecurity(t *testing.T) {
+	if Lookup.Secure() {
+		t.Fatal("Lookup must not be secure")
+	}
+	for _, tech := range []Technique{LinearScan, PathORAM, CircuitORAM, DHE} {
+		if !tech.Secure() {
+			t.Fatalf("%v must be secure", tech)
+		}
+		if tech.String() == "unknown" {
+			t.Fatalf("missing name for %d", tech)
+		}
+	}
+	if Technique(99).String() != "unknown" {
+		t.Fatal("unknown technique must say so")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tbl := testTable(10, 2, 4)
+	for _, m := range storageMakers {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", m.name)
+				}
+			}()
+			m.mk(tbl, Options{}).Generate([]uint64{10})
+		}()
+	}
+}
+
+func TestDHEGeneratorBasics(t *testing.T) {
+	g := NewDHEVaried(1000, 8, Options{Seed: 5})
+	out := g.Generate([]uint64{1, 2, 1})
+	if out.Rows != 3 || out.Cols != 8 {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	if g.Technique() != DHE || g.Rows() != 1000 || g.Dim() != 8 {
+		t.Fatal("DHE metadata wrong")
+	}
+	if !tensor.AllClose(tensor.SliceRows(out, 0, 1), tensor.SliceRows(out, 2, 3), 0) {
+		t.Fatal("same id must embed identically")
+	}
+	if _, ok := Underlying(g); !ok {
+		t.Fatal("Underlying must expose the DHE")
+	}
+	if _, ok := Underlying(NewLookup(testTable(4, 2, 1), Options{})); ok {
+		t.Fatal("Underlying must reject non-DHE generators")
+	}
+}
+
+func TestDHEToTableRoundTrip(t *testing.T) {
+	// The hybrid pipeline materializes a trained DHE into a table served
+	// by linear scan; both representations must agree exactly (§IV-C1).
+	rng := rand.New(rand.NewSource(6))
+	d := dhe.New(dhe.Config{K: 32, Hidden: []int{16}, Dim: 4, Seed: 6}, rng)
+	const rows = 50
+	gDHE := NewDHE(d, rows, Options{})
+	gScan := NewLinearScan(d.ToTable(rows), Options{})
+	ids := []uint64{0, 13, 49}
+	if !tensor.AllClose(gDHE.Generate(ids), gScan.Generate(ids), 0) {
+		t.Fatal("DHE and its materialized table disagree")
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	// Table VI's qualitative ordering at a representative size:
+	// ORAM > table = scan ≫ DHE.
+	tbl := testTable(1<<13, 16, 7)
+	look := NewLookup(tbl, Options{})
+	oramGen := NewCircuitORAM(tbl, Options{})
+	dheGen := NewDHEVaried(1<<13, 16, Options{})
+	if oramGen.NumBytes() <= look.NumBytes() {
+		t.Fatal("ORAM must cost more memory than the raw table")
+	}
+	if dheGen.NumBytes() >= look.NumBytes() {
+		t.Fatalf("DHE (%d B) must undercut the table (%d B) at this size",
+			dheGen.NumBytes(), look.NumBytes())
+	}
+	if r := FootprintRatio(oramGen); r < 1.5 {
+		t.Fatalf("ORAM footprint ratio %.2f too low", r)
+	}
+}
+
+func TestORAMStatsExposed(t *testing.T) {
+	tbl := testTable(128, 4, 8)
+	g := NewPathORAM(tbl, Options{})
+	s, ok := ORAMStats(g)
+	if !ok || s == nil {
+		t.Fatal("ORAMStats must work for ORAM generators")
+	}
+	g.Generate([]uint64{1, 2})
+	if s.Accesses < 2 {
+		t.Fatalf("stats not advancing: %+v", s)
+	}
+	if _, ok := ORAMStats(NewLookup(tbl, Options{})); ok {
+		t.Fatal("ORAMStats must reject non-ORAM generators")
+	}
+}
+
+func TestThreadsSettable(t *testing.T) {
+	tbl := testTable(64, 4, 9)
+	ids := []uint64{5, 6, 7, 8}
+	for _, m := range storageMakers {
+		g := m.mk(tbl, Options{Threads: 1})
+		a := g.Generate(ids)
+		g.SetThreads(4)
+		b := g.Generate(ids)
+		if !tensor.AllClose(a, b, 0) {
+			t.Fatalf("%s: thread count changed results", m.name)
+		}
+	}
+}
+
+func TestFootprintRatioNaNOnEmpty(t *testing.T) {
+	g := NewDHEVaried(1000, 8, Options{})
+	if FootprintRatio(g) <= 0 {
+		t.Fatal("ratio must be positive for real generators")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+
+	"secemb/internal/dhe"
+	"secemb/internal/memtrace"
+	"secemb/internal/tensor"
+)
+
+// dheGen adapts a dhe.DHE to the Generator interface. Its memory accesses
+// are the dense sweeps of the decoder weights — the same blocks in the
+// same order for every input — which the trace records at layer
+// granularity so trace-equality tests cover DHE alongside the storage
+// techniques.
+type dheGen struct {
+	d      *dhe.DHE
+	rows   int
+	tracer *memtrace.Tracer
+	region string
+}
+
+// NewDHE wraps a (possibly trained) DHE as a generator for a virtual table
+// of `rows` entries.
+func NewDHE(d *dhe.DHE, rows int, opts Options) Generator {
+	d.Threads = opts.Threads
+	return &dheGen{d: d, rows: rows, tracer: opts.Tracer, region: opts.region("dhe")}
+}
+
+// NewDHEUniform builds an untrained Uniform-architecture DHE generator
+// (k=1024, 512-256-dim decoder) — the fixed architecture of Table IV.
+func NewDHEUniform(rows, dim int, opts Options) Generator {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	return NewDHE(dhe.New(dhe.UniformConfig(dim, opts.Seed), rng), rows, opts)
+}
+
+// NewDHEVaried builds an untrained Varied-architecture DHE generator,
+// scaled down with the table size per Table IV.
+func NewDHEVaried(rows, dim int, opts Options) Generator {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	return NewDHE(dhe.New(dhe.VariedConfig(dim, rows, opts.Seed), rng), rows, opts)
+}
+
+func (g *dheGen) Generate(ids []uint64) *tensor.Matrix {
+	checkIDs(ids, g.rows)
+	if g.tracer.Enabled() {
+		// One deterministic sweep over each decoder layer's weights per
+		// batch: the block sequence is a function of the architecture
+		// only, never of the ids.
+		for li, p := range g.d.Params() {
+			blocks := (p.NumParams()*4 + 63) / 64 // 64-byte lines
+			g.tracer.TouchRange(g.region, int64(li)<<32, int64(li)<<32+int64(blocks), memtrace.Read)
+		}
+	}
+	return g.d.Generate(ids)
+}
+
+func (g *dheGen) Rows() int            { return g.rows }
+func (g *dheGen) Dim() int             { return g.d.Dim }
+func (g *dheGen) Technique() Technique { return DHE }
+func (g *dheGen) NumBytes() int64      { return g.d.NumBytes() }
+func (g *dheGen) SetThreads(n int)     { g.d.Threads = n }
+
+// Underlying returns the wrapped DHE (for training and DHE→table
+// conversion in the hybrid pipeline); ok is false for non-DHE generators.
+func Underlying(g Generator) (*dhe.DHE, bool) {
+	if dg, isDHE := g.(*dheGen); isDHE {
+		return dg.d, true
+	}
+	return nil, false
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"secemb/internal/dhe"
+	"secemb/internal/memtrace"
+	"secemb/internal/tensor"
+)
+
+func testDual(t *testing.T, threshold int, tracer *memtrace.Tracer) *Dual {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	d := dhe.New(dhe.Config{K: 32, Hidden: []int{16}, Dim: 4, Seed: 9}, rng)
+	g := NewDHE(d, 128, Options{Tracer: tracer})
+	return NewDual(g, threshold, Options{Seed: 10, Tracer: tracer})
+}
+
+func TestDualRepresentationsAgree(t *testing.T) {
+	// The ORAM table is materialized from the DHE, so both dispatch
+	// targets must return identical embeddings.
+	g := testDual(t, 2, nil)
+	big := g.Generate([]uint64{5, 6, 7}) // batch 3 > threshold → DHE
+	for i, id := range []uint64{5, 6, 7} {
+		small := g.Generate([]uint64{id}) // batch 1 ≤ threshold → ORAM
+		if !tensor.AllClose(small, tensor.SliceRows(big, i, i+1), 0) {
+			t.Fatalf("dual representations disagree for id %d", id)
+		}
+	}
+}
+
+func TestDualDispatchByBatchSize(t *testing.T) {
+	tracer := memtrace.NewEnabled()
+	g := testDual(t, 2, tracer)
+
+	regions := func(ids []uint64) map[string]bool {
+		tracer.Reset()
+		g.Generate(ids)
+		seen := map[string]bool{}
+		for _, a := range tracer.Snapshot() {
+			seen[a.Region] = true
+		}
+		return seen
+	}
+	small := regions([]uint64{1})
+	if !small["circuit.tree"] || small["dhe"] {
+		t.Fatalf("batch 1 must hit the ORAM, got regions %v", small)
+	}
+	large := regions([]uint64{1, 2, 3})
+	if !large["dhe"] || large["circuit.tree"] {
+		t.Fatalf("batch 3 must hit the DHE, got regions %v", large)
+	}
+}
+
+func TestDualActiveAndMetadata(t *testing.T) {
+	g := testDual(t, 4, nil)
+	if g.Active(1) != CircuitORAM || g.Active(4) != CircuitORAM || g.Active(5) != DHE {
+		t.Fatal("Active dispatch rule wrong")
+	}
+	if g.Rows() != 128 || g.Dim() != 4 || g.Technique() != DHE {
+		t.Fatal("metadata wrong")
+	}
+	// Both representations are resident: footprint exceeds either alone.
+	if g.NumBytes() <= g.dhe.NumBytes() || g.NumBytes() <= g.oram.NumBytes() {
+		t.Fatal("dual must count both representations")
+	}
+	if g.String() == "" {
+		t.Fatal("String empty")
+	}
+	g.SetThreads(2) // must not panic
+}
+
+func TestDualRequiresDHE(t *testing.T) {
+	tbl := testTable(16, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-DHE generator")
+		}
+	}()
+	NewDual(NewLookup(tbl, Options{}), 1, Options{})
+}
+
+func TestScanBatchedMatchesScan(t *testing.T) {
+	tbl := testTable(200, 8, 2)
+	ids := []uint64{0, 42, 199, 42}
+	a := NewLinearScan(tbl, Options{}).Generate(ids)
+	b := NewLinearScanBatched(tbl, Options{}).Generate(ids)
+	if !tensor.AllClose(a, b, 0) {
+		t.Fatal("batched scan must match per-query scan exactly")
+	}
+}
+
+func TestScanBatchedTraceDeterministic(t *testing.T) {
+	tbl := testTable(64, 4, 3)
+	tracer := memtrace.NewEnabled()
+	g := NewLinearScanBatched(tbl, Options{Tracer: tracer, Threads: 1})
+	probe := func(ids []uint64) memtrace.Trace {
+		tracer.Reset()
+		g.Generate(ids)
+		return tracer.Snapshot()
+	}
+	a := probe([]uint64{0, 0})
+	b := probe([]uint64{63, 17})
+	if !a.Equal(b) {
+		t.Fatal("batched scan trace must be id-independent")
+	}
+	// One full table sweep for the whole batch (single worker).
+	if len(a) != 64 {
+		t.Fatalf("expected one 64-row sweep, got %d touches", len(a))
+	}
+}
+
+func TestScanBatchedMetadata(t *testing.T) {
+	tbl := testTable(32, 4, 4)
+	g := NewLinearScanBatched(tbl, Options{})
+	if g.Rows() != 32 || g.Dim() != 4 || g.Technique() != LinearScan || g.NumBytes() != tbl.NumBytes() {
+		t.Fatal("metadata wrong")
+	}
+	g.SetThreads(2)
+	out := g.Generate([]uint64{1, 2, 3})
+	if out.Rows != 3 {
+		t.Fatal("threaded generate wrong shape")
+	}
+}

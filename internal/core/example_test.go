@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/core"
+	"secemb/internal/dhe"
+	"secemb/internal/tensor"
+)
+
+// Example shows the basic flow: wrap an embedding table in a secure
+// generator and query it without leaking the indices.
+func Example() {
+	table := tensor.NewGaussian(1000, 16, 0.1, rand.New(rand.NewSource(1)))
+	gen := core.NewLinearScan(table, core.Options{})
+	emb := gen.Generate([]uint64{42, 7})
+	fmt.Println(emb.Rows, emb.Cols, gen.Technique().Secure())
+	// Output: 2 16 true
+}
+
+// ExampleNewDHE builds a compute-based generator: constant memory
+// footprint regardless of the virtual table size.
+func ExampleNewDHE() {
+	d := dhe.New(dhe.Config{K: 64, Hidden: []int{32}, Dim: 16, Seed: 1},
+		rand.New(rand.NewSource(1)))
+	gen := core.NewDHE(d, 10_000_000, core.Options{})
+	emb := gen.Generate([]uint64{9_999_999})
+	fmt.Println(emb.Rows, emb.Cols, gen.NumBytes() < 1<<20)
+	// Output: 1 16 true
+}
+
+// ExampleNewDual demonstrates the §IV-D LLM hybrid: DHE for large
+// (prefill) batches, Circuit ORAM over the materialized table for small
+// (decode) batches — dispatched by the public batch size.
+func ExampleNewDual() {
+	d := dhe.New(dhe.Config{K: 32, Hidden: []int{16}, Dim: 8, Seed: 2},
+		rand.New(rand.NewSource(2)))
+	dual := core.NewDual(core.NewDHE(d, 512, core.Options{}), 1, core.Options{Seed: 3})
+	fmt.Println(dual.Active(1), dual.Active(256))
+	// Output: Circuit ORAM DHE
+}

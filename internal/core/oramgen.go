@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+
+	"secemb/internal/oram"
+	"secemb/internal/tensor"
+)
+
+// oramGen protects a stored embedding table with a tree ORAM. Queries in a
+// batch are served sequentially — "processing each item in the input batch
+// is sequential since the internal ORAM structures must be updated
+// sequentially and parallelism is not possible" (§V-A1) — which is why
+// ORAM scales poorly with batch size (Figure 12).
+type oramGen struct {
+	o    oram.ORAM
+	rows int
+	dim  int
+	tech Technique
+}
+
+// NewPathORAM stores table in a Path ORAM (paper config: Z=4, stash 150,
+// recursion beyond 2^16 blocks).
+func NewPathORAM(table *tensor.Matrix, opts Options) Generator {
+	cfg := oram.Config{
+		NumBlocks:  table.Rows,
+		BlockWords: table.Cols,
+		Seed:       opts.Seed,
+		Tracer:     opts.Tracer,
+		Region:     opts.region("path"),
+	}
+	return &oramGen{
+		o:    oram.NewPathInit(cfg, tableToBlocks(table)),
+		rows: table.Rows,
+		dim:  table.Cols,
+		tech: PathORAM,
+	}
+}
+
+// NewCircuitORAM stores table in a Circuit ORAM (paper config: Z=4, stash
+// 10, recursion beyond 2^12 blocks).
+func NewCircuitORAM(table *tensor.Matrix, opts Options) Generator {
+	cfg := oram.Config{
+		NumBlocks:  table.Rows,
+		BlockWords: table.Cols,
+		Seed:       opts.Seed,
+		Tracer:     opts.Tracer,
+		Region:     opts.region("circuit"),
+	}
+	return &oramGen{
+		o:    oram.NewCircuitInit(cfg, tableToBlocks(table)),
+		rows: table.Rows,
+		dim:  table.Cols,
+		tech: CircuitORAM,
+	}
+}
+
+// tableToBlocks reinterprets each float32 row as an ORAM payload of raw
+// uint32 words.
+func tableToBlocks(table *tensor.Matrix) [][]uint32 {
+	blocks := make([][]uint32, table.Rows)
+	for r := 0; r < table.Rows; r++ {
+		row := table.Row(r)
+		words := make([]uint32, len(row))
+		for c, v := range row {
+			words[c] = math.Float32bits(v)
+		}
+		blocks[r] = words
+	}
+	return blocks
+}
+
+func (g *oramGen) Generate(ids []uint64) *tensor.Matrix {
+	checkIDs(ids, g.rows)
+	out := tensor.New(len(ids), g.dim)
+	for r, id := range ids {
+		words := g.o.Read(id)
+		dst := out.Row(r)
+		for c, w := range words {
+			dst[c] = math.Float32frombits(w)
+		}
+	}
+	return out
+}
+
+func (g *oramGen) Rows() int            { return g.rows }
+func (g *oramGen) Dim() int             { return g.dim }
+func (g *oramGen) Technique() Technique { return g.tech }
+func (g *oramGen) NumBytes() int64      { return g.o.NumBytes() }
+
+// SetThreads is a no-op: ORAM accesses are inherently sequential (§V-A1).
+func (g *oramGen) SetThreads(int) {}
+
+// ORAMStats exposes the controller counters when g is ORAM-backed, for the
+// enclave cost model; ok is false otherwise.
+func ORAMStats(g Generator) (s *oram.Stats, ok bool) {
+	if og, isORAM := g.(*oramGen); isORAM {
+		return og.o.Stats(), true
+	}
+	return nil, false
+}

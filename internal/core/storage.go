@@ -1,0 +1,92 @@
+package core
+
+import (
+	"secemb/internal/memtrace"
+	"secemb/internal/oblivious"
+	"secemb/internal/tensor"
+)
+
+// lookupGen is the non-secure baseline: a direct row gather. Its trace
+// records exactly the requested rows — the leak demonstrated in §III.
+type lookupGen struct {
+	table   *tensor.Matrix
+	tracer  *memtrace.Tracer
+	region  string
+	threads int
+}
+
+// NewLookup wraps table (rows×dim) as a direct-lookup generator.
+func NewLookup(table *tensor.Matrix, opts Options) Generator {
+	return &lookupGen{
+		table:   table,
+		tracer:  opts.Tracer,
+		region:  opts.region("lookup"),
+		threads: opts.Threads,
+	}
+}
+
+func (g *lookupGen) Generate(ids []uint64) *tensor.Matrix {
+	checkIDs(ids, g.table.Rows)
+	out := tensor.New(len(ids), g.table.Cols)
+	tensor.ParallelRows(len(ids), g.threads, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			g.tracer.Touch(g.region, int64(ids[r]), memtrace.Read)
+			copy(out.Row(r), g.table.Row(int(ids[r])))
+		}
+	})
+	return out
+}
+
+func (g *lookupGen) Rows() int            { return g.table.Rows }
+func (g *lookupGen) Dim() int             { return g.table.Cols }
+func (g *lookupGen) Technique() Technique { return Lookup }
+func (g *lookupGen) NumBytes() int64      { return g.table.NumBytes() }
+func (g *lookupGen) SetThreads(n int)     { g.threads = n }
+
+// scanGen is the oblivious linear scan (§IV-A1 / §V-A2): for every query
+// in the batch the entire table is streamed and the matching row is
+// blended into the output with branchless masked copies — the Go analogue
+// of the paper's AVX-512 blend implementation. O(n) per query; the fastest
+// secure technique for small tables (Figure 4).
+type scanGen struct {
+	table   *tensor.Matrix
+	tracer  *memtrace.Tracer
+	region  string
+	threads int
+}
+
+// NewLinearScan wraps table (rows×dim) as a linear-scan generator.
+func NewLinearScan(table *tensor.Matrix, opts Options) Generator {
+	return &scanGen{
+		table:   table,
+		tracer:  opts.Tracer,
+		region:  opts.region("scan"),
+		threads: opts.Threads,
+	}
+}
+
+func (g *scanGen) Generate(ids []uint64) *tensor.Matrix {
+	checkIDs(ids, g.table.Rows)
+	out := tensor.New(len(ids), g.table.Cols)
+	rows, width := g.table.Rows, g.table.Cols
+	// The batch is partitioned across threads; every worker scans the
+	// full table per query, as in the paper ("we scan the entire
+	// embedding table for each input index in a batch"). With several
+	// threads the scans share the table in cache, the reuse effect that
+	// raises the scan/DHE threshold with thread count (Fig. 6).
+	tensor.ParallelRows(len(ids), g.threads, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			if g.tracer.Enabled() {
+				g.tracer.TouchRange(g.region, 0, int64(rows), memtrace.Read)
+			}
+			oblivious.LookupScan(g.table.Data, rows, width, ids[r], out.Row(r))
+		}
+	})
+	return out
+}
+
+func (g *scanGen) Rows() int            { return g.table.Rows }
+func (g *scanGen) Dim() int             { return g.table.Cols }
+func (g *scanGen) Technique() Technique { return LinearScan }
+func (g *scanGen) NumBytes() int64      { return g.table.NumBytes() }
+func (g *scanGen) SetThreads(n int)     { g.threads = n }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/dhe"
+	"secemb/internal/nn"
+	"secemb/internal/tensor"
+)
+
+// TrainableRep is a trainable embedding representation — a conventional
+// table or a DHE — shared by the DLRM and LLM training paths. After
+// training, BuildGenerator converts a rep into any deployment technique
+// (materializing DHE→table where needed, §IV-C1).
+type TrainableRep interface {
+	Forward(ids []uint64) *tensor.Matrix
+	Backward(ids []uint64, grad *tensor.Matrix)
+	Params() []*nn.Param
+	NumBytes() int64
+}
+
+// tableRep adapts nn.Embedding.
+type tableRep struct{ e *nn.Embedding }
+
+// NewTableRep builds a trainable embedding table of rows×dim.
+func NewTableRep(rows, dim int, rng *rand.Rand) TrainableRep {
+	return &tableRep{e: nn.NewEmbedding(rows, dim, rng)}
+}
+
+func (t *tableRep) Forward(ids []uint64) *tensor.Matrix {
+	return t.e.LookupBatch(toInts(ids))
+}
+func (t *tableRep) Backward(ids []uint64, grad *tensor.Matrix) {
+	t.e.BackwardBatch(toInts(ids), grad)
+}
+func (t *tableRep) Params() []*nn.Param { return t.e.Params() }
+func (t *tableRep) NumBytes() int64     { return t.e.NumBytes() }
+
+// dheRep adapts dhe.DHE.
+type dheRep struct {
+	d    *dhe.DHE
+	rows int
+}
+
+// NewDHERep wraps a DHE as a trainable representation for a virtual table
+// of the given size.
+func NewDHERep(d *dhe.DHE, rows int) TrainableRep {
+	return &dheRep{d: d, rows: rows}
+}
+
+func (r *dheRep) Forward(ids []uint64) *tensor.Matrix      { return r.d.Generate(ids) }
+func (r *dheRep) Backward(_ []uint64, grad *tensor.Matrix) { r.d.Backward(grad) }
+func (r *dheRep) Params() []*nn.Param                      { return r.d.Params() }
+func (r *dheRep) NumBytes() int64                          { return r.d.NumBytes() }
+
+// TableWeights returns the trained table when rep is table-based.
+func TableWeights(rep TrainableRep) (*tensor.Matrix, bool) {
+	if t, ok := rep.(*tableRep); ok {
+		return t.e.Weight.Value, true
+	}
+	return nil, false
+}
+
+// RepDHE returns the wrapped DHE when rep is DHE-based.
+func RepDHE(rep TrainableRep) (*dhe.DHE, bool) {
+	if r, ok := rep.(*dheRep); ok {
+		return r.d, true
+	}
+	return nil, false
+}
+
+// BuildGenerator converts a trained representation into a deployment
+// generator with the requested technique. DHE-trained reps serve DHE
+// directly and materialize tables for the storage techniques; table reps
+// serve storage techniques directly and cannot serve DHE.
+func BuildGenerator(rep TrainableRep, rows int, tech Technique, opts Options) Generator {
+	if tech == DHE {
+		d, ok := RepDHE(rep)
+		if !ok {
+			panic("core: DHE technique requires a DHE-trained representation")
+		}
+		return NewDHE(d, rows, opts)
+	}
+	var table *tensor.Matrix
+	if w, ok := TableWeights(rep); ok {
+		table = w
+	} else if d, ok := RepDHE(rep); ok {
+		table = d.ToTable(rows)
+	} else {
+		panic("core: unknown trainable representation")
+	}
+	switch tech {
+	case Lookup:
+		return NewLookup(table, opts)
+	case LinearScan:
+		return NewLinearScan(table, opts)
+	case PathORAM:
+		return NewPathORAM(table, opts)
+	case CircuitORAM:
+		return NewCircuitORAM(table, opts)
+	}
+	panic(fmt.Sprintf("core: unknown technique %v", tech))
+}
+
+func toInts(ids []uint64) []int {
+	out := make([]int, len(ids))
+	for i, v := range ids {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// criteoLine builds a synthetic Criteo TSV line.
+func criteoLine(label string, dense []string, sparse []string) string {
+	fields := append([]string{label}, dense...)
+	fields = append(fields, sparse...)
+	return strings.Join(fields, "\t")
+}
+
+func fullDense(v string) []string {
+	out := make([]string, NumDenseFeatures)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestParseCriteoLine(t *testing.T) {
+	cards := []int{100, 200, 300}
+	line := criteoLine("1", fullDense("3"), []string{"68fd1e64", "80e26c9b", "fb936136"})
+	rec, err := ParseCriteoLine(line, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label != 1 {
+		t.Fatalf("label %v", rec.Label)
+	}
+	// log1p(3) ≈ 1.386.
+	if rec.Dense[0] < 1.3 || rec.Dense[0] > 1.5 {
+		t.Fatalf("dense[0]=%v, want log1p(3)", rec.Dense[0])
+	}
+	for i, n := range cards {
+		if rec.Sparse[i] >= uint64(n) {
+			t.Fatalf("sparse[%d]=%d out of cardinality %d", i, rec.Sparse[i], n)
+		}
+	}
+	// Determinism: same value hashes to the same index.
+	rec2, _ := ParseCriteoLine(line, cards)
+	if rec2.Sparse[0] != rec.Sparse[0] {
+		t.Fatal("hashing must be deterministic")
+	}
+}
+
+func TestParseCriteoMissingFields(t *testing.T) {
+	cards := []int{50}
+	dense := fullDense("")
+	line := criteoLine("0", dense, []string{""})
+	rec, err := ParseCriteoLine(line, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label != 0 || rec.Dense[0] != 0 || rec.Sparse[0] != 0 {
+		t.Fatalf("missing fields must default to zero: %+v", rec)
+	}
+}
+
+func TestParseCriteoNegativeDenseClamped(t *testing.T) {
+	rec, err := ParseCriteoLine(criteoLine("0", fullDense("-2"), []string{"aa"}), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dense[0] != 0 {
+		t.Fatalf("negative dense must clamp: %v", rec.Dense[0])
+	}
+}
+
+func TestParseCriteoErrors(t *testing.T) {
+	cards := []int{10}
+	cases := []string{
+		"1\tonly_three_fields\tx",
+		criteoLine("7", fullDense("1"), []string{"aa"}),   // bad label
+		criteoLine("1", fullDense("abc"), []string{"aa"}), // bad dense
+	}
+	for i, line := range cases {
+		if _, err := ParseCriteoLine(line, cards); err == nil {
+			t.Fatalf("case %d must error", i)
+		}
+	}
+}
+
+func TestParseCriteoNonHexCategoricalTolerated(t *testing.T) {
+	rec, err := ParseCriteoLine(criteoLine("1", fullDense("1"), []string{"not-hex!"}), []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Sparse[0] >= 7 {
+		t.Fatal("string-hashed value out of range")
+	}
+}
+
+func TestLoadCriteoStream(t *testing.T) {
+	cards := []int{64, 64}
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		label := "0"
+		if i%3 == 0 {
+			label = "1"
+		}
+		fmt.Fprintln(&sb, criteoLine(label, fullDense(fmt.Sprint(i)), []string{fmt.Sprintf("%x", i*17), fmt.Sprintf("%x", i*31)}))
+	}
+	b, err := LoadCriteo(strings.NewReader(sb.String()), cards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dense.Rows != 10 || len(b.Sparse) != 2 || len(b.Labels) != 10 {
+		t.Fatalf("batch layout: %d rows, %d features", b.Dense.Rows, len(b.Sparse))
+	}
+	if b.Labels[0] != 1 || b.Labels[1] != 0 {
+		t.Fatal("labels wrong")
+	}
+	// Limit.
+	b2, err := LoadCriteo(strings.NewReader(sb.String()), cards, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Dense.Rows != 4 {
+		t.Fatalf("limit ignored: %d rows", b2.Dense.Rows)
+	}
+	// Malformed line reports its number.
+	bad := sb.String() + "garbage\n"
+	if _, err := LoadCriteo(strings.NewReader(bad), cards, 0); err == nil || !strings.Contains(err.Error(), "line 11") {
+		t.Fatalf("expected line-11 error, got %v", err)
+	}
+}
+
+func TestCriteoBatchTrainsDLRMShape(t *testing.T) {
+	// The loaded batch slots directly into the model's expected layout —
+	// checked structurally (full training covered elsewhere).
+	cards := []int{32, 32}
+	line := criteoLine("1", fullDense("2"), []string{"ff", "ee"})
+	b, err := LoadCriteo(strings.NewReader(line+"\n"+line+"\n"), cards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dense.Cols != NumDenseFeatures {
+		t.Fatalf("dense cols %d", b.Dense.Cols)
+	}
+	for f := range b.Sparse {
+		if len(b.Sparse[f]) != b.Dense.Rows {
+			t.Fatal("sparse/dense row mismatch")
+		}
+	}
+}

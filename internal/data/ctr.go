@@ -1,0 +1,120 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"secemb/internal/tensor"
+)
+
+// CTRDataset generates click-through-rate examples with a *planted* ground
+// truth: every (feature, value) pair carries a hidden score derived from a
+// hash, and the label is Bernoulli of a logistic combination of the dense
+// features and those scores. Because the truth is a deterministic function
+// of the categorical values, a table-based model and a DHE-based model can
+// both represent it — which is exactly the property Table V needs
+// ("DHE matches the baseline table accuracy").
+type CTRDataset struct {
+	DenseDim      int
+	Cardinalities []int
+
+	seed     int64
+	denseW   []float32
+	sparseW  []float32 // per-feature weight on the hidden score
+	biasTerm float32
+}
+
+// NewCTR builds a dataset over the given sparse layout.
+func NewCTR(denseDim int, cardinalities []int, seed int64) *CTRDataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &CTRDataset{
+		DenseDim:      denseDim,
+		Cardinalities: append([]int(nil), cardinalities...),
+		seed:          seed,
+		denseW:        make([]float32, denseDim),
+		sparseW:       make([]float32, len(cardinalities)),
+		biasTerm:      float32(rng.NormFloat64() * 0.1),
+	}
+	for i := range d.denseW {
+		d.denseW[i] = float32(rng.NormFloat64())
+	}
+	for i := range d.sparseW {
+		d.sparseW[i] = float32(rng.NormFloat64())
+	}
+	return d
+}
+
+// hiddenScore is the planted per-(feature,value) effect, computed by a
+// 64-bit mix hash so no storage is needed even for 1e7-row features.
+func (d *CTRDataset) hiddenScore(feature int, value uint64) float32 {
+	x := value*0x9E3779B97F4A7C15 + uint64(feature)*0xBF58476D1CE4E5B9 + uint64(d.seed)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	// Map to roughly N(0,1) via the sum of two uniforms (triangular, then
+	// scaled) — cheap and smooth enough for a planted signal.
+	u1 := float64(x&0xFFFFFFFF) / float64(1<<32)
+	u2 := float64(x>>32) / float64(1<<32)
+	return float32((u1 + u2 - 1) * 2.45) // var ≈ 1
+}
+
+// Batch is one mini-batch of CTR examples: Dense is batch×DenseDim,
+// Sparse[f][r] is the value of feature f in example r, Labels are 0/1.
+type Batch struct {
+	Dense  *tensor.Matrix
+	Sparse [][]uint64 // [feature][row]
+	Labels []float32
+}
+
+// Sample draws a batch. Sparse values follow a Zipf-ish distribution
+// (real CTR traffic is heavily skewed toward popular items).
+func (d *CTRDataset) Sample(batch int, rng *rand.Rand) Batch {
+	b := Batch{
+		Dense:  tensor.New(batch, d.DenseDim),
+		Sparse: make([][]uint64, len(d.Cardinalities)),
+		Labels: make([]float32, batch),
+	}
+	for f := range b.Sparse {
+		b.Sparse[f] = make([]uint64, batch)
+	}
+	for r := 0; r < batch; r++ {
+		logit := float64(d.biasTerm)
+		row := b.Dense.Row(r)
+		for i := range row {
+			v := float32(rng.NormFloat64())
+			row[i] = v
+			logit += float64(d.denseW[i] * v * 0.3)
+		}
+		for f, n := range d.Cardinalities {
+			v := ZipfValue(rng, n)
+			b.Sparse[f][r] = v
+			logit += float64(d.sparseW[f]*d.hiddenScore(f, v)) * 0.5 / math.Sqrt(float64(len(d.Cardinalities)))
+		}
+		p := 1 / (1 + math.Exp(-logit))
+		if rng.Float64() < p {
+			b.Labels[r] = 1
+		}
+	}
+	return b
+}
+
+// ZipfValue draws a value in [0, n) with a Zipf-like skew toward small
+// indices (popular items first), falling back to uniform for tiny tables.
+func ZipfValue(rng *rand.Rand, n int) uint64 {
+	if n <= 1 {
+		return 0
+	}
+	// Log-uniform over [1, n]: P(value = k) ∝ 1/k, so index 0 is the most
+	// popular — the 1/rank skew of real CTR traffic.
+	v := math.Pow(float64(n), rng.Float64())
+	idx := int(v) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return uint64(idx)
+}

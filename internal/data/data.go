@@ -1,0 +1,110 @@
+// Package data provides the synthetic datasets that stand in for the
+// paper's proprietary/huge corpora (DESIGN.md §1):
+//
+//   - The published per-table cardinalities of Criteo Kaggle and Criteo
+//     Terabyte (the real 26-sparse-feature layouts the paper's DLRM
+//     models use) with a planted-ground-truth CTR generator so both the
+//     table- and DHE-based models can be trained to the same accuracy.
+//   - A Meta-2022-like sampler of 788 embedding-table sizes reaching 4e7
+//     rows, calibrated so the raw-table footprint at dim 64 lands near
+//     the paper's 931 GB (Table VIII).
+//   - A structured synthetic token corpus for the LLM experiments with
+//     learnable order-1 dynamics, so finetuning measurably reduces
+//     perplexity (Figure 14's role).
+//
+// Everything is deterministic under a seed.
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KaggleCardinalities are the 26 sparse-feature table sizes of the Criteo
+// Kaggle Display-Advertising dataset, as used by the reference DLRM.
+var KaggleCardinalities = []int{
+	1460, 583, 10131227, 2202608, 305, 24, 12517, 633, 3, 93145,
+	5683, 8351593, 3194, 27, 14992, 5461306, 10, 5652, 2173, 4,
+	7046547, 18, 15, 286181, 105, 142572,
+}
+
+// TerabyteCardinalities are the 26 sparse-feature table sizes of Criteo
+// Terabyte under the standard 1e7 index cap (the paper notes Criteo tables
+// "only go up to 1e7").
+var TerabyteCardinalities = []int{
+	9980333, 36084, 17217, 7420, 20263, 3, 7120, 1543, 63, 9999999,
+	2642264, 9299374, 39, 2796, 1790, 4, 970, 75, 34, 9994222,
+	33091, 9919369, 7745, 4, 12191, 106,
+}
+
+// NumDenseFeatures is Criteo's count of continuous (dense) features.
+const NumDenseFeatures = 13
+
+// TableBytes returns the raw embedding-table footprint of a model with the
+// given cardinalities at embedding dimension dim (float32 rows).
+func TableBytes(cardinalities []int, dim int) int64 {
+	var total int64
+	for _, n := range cardinalities {
+		total += int64(n) * int64(dim) * 4
+	}
+	return total
+}
+
+// ScaleCardinalities shrinks every table size by factor (min 1 row),
+// used to build trainable miniatures of the Criteo layouts that preserve
+// the relative size distribution.
+func ScaleCardinalities(cardinalities []int, factor float64) []int {
+	out := make([]int, len(cardinalities))
+	for i, n := range cardinalities {
+		v := int(math.Round(float64(n) * factor))
+		if v < 2 {
+			v = 2
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// MetaCardinalities synthesizes the 788-table size distribution of the
+// Meta 2022 embedding-trace dataset: log-normal sizes capped at 4e7 rows,
+// rescaled so the dim-64 raw footprint matches the paper's 931 GB within
+// a few percent.
+func MetaCardinalities(seed int64) []int {
+	const tables = 788
+	const cap = 40_000_000
+	const targetRows = 931_335.7e6 / (64 * 4) // Table VIII footprint → total rows
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]float64, tables)
+	var total float64
+	for i := range sizes {
+		// mu/sigma chosen for a heavy right tail; the rescale below pins
+		// the total.
+		v := math.Exp(13.0 + 2.0*rng.NormFloat64())
+		if v > cap {
+			v = cap
+		}
+		sizes[i] = v
+		total += v
+	}
+	// Rescale toward the target, iterating because the cap re-binds.
+	for iter := 0; iter < 8; iter++ {
+		scale := targetRows / total
+		total = 0
+		for i := range sizes {
+			v := sizes[i] * scale
+			if v > cap {
+				v = cap
+			}
+			if v < 10 {
+				v = 10
+			}
+			sizes[i] = v
+			total += v
+		}
+	}
+	out := make([]int, tables)
+	for i, v := range sizes {
+		out[i] = int(v)
+	}
+	return out
+}

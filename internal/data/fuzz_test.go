@@ -1,0 +1,30 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCriteoLine hardens the TSV parser: arbitrary input must never
+// panic, and accepted records must respect the cardinality caps.
+func FuzzParseCriteoLine(f *testing.F) {
+	cards := []int{16, 1024}
+	f.Add("1\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11\t12\t13\taa\tbb")
+	f.Add("0\t\t\t\t\t\t\t\t\t\t\t\t\t\t\t")
+	f.Add("garbage")
+	f.Add(strings.Repeat("\t", 40))
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCriteoLine(line, cards)
+		if err != nil {
+			return
+		}
+		if rec.Label != 0 && rec.Label != 1 {
+			t.Fatalf("accepted label %v", rec.Label)
+		}
+		for i, n := range cards {
+			if rec.Sparse[i] >= uint64(n) {
+				t.Fatalf("sparse[%d]=%d ≥ %d", i, rec.Sparse[i], n)
+			}
+		}
+	})
+}

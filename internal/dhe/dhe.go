@@ -1,0 +1,200 @@
+// Package dhe implements Deep Hash Embedding (Algorithm 1): a categorical
+// feature value is encoded by k universal hash functions into a dense
+// vector in [-1,1]^k, which a fully-connected decoder transforms into the
+// embedding. Unlike a table lookup, every step is dense arithmetic whose
+// memory access pattern is independent of the input value — which is why
+// the paper proposes DHE as a side-channel-safe embedding generator.
+//
+// Two sizing policies from §IV-B1 are provided: Uniform (one architecture
+// for every table) and Varied (architectures scaled down with table size;
+// the paper scales by 0.125× per order-of-magnitude decrease from 10^7
+// rows for the Criteo models).
+package dhe
+
+import (
+	"math"
+	"math/rand"
+
+	"secemb/internal/hashenc"
+	"secemb/internal/nn"
+	"secemb/internal/tensor"
+)
+
+// Config describes a DHE architecture.
+type Config struct {
+	K      int   // number of hash functions (encoder width)
+	Hidden []int // decoder hidden widths, e.g. {512, 256}
+	Dim    int   // embedding dimension (decoder output width)
+	M      uint64
+	Seed   int64
+	// Gaussian selects the Box–Muller encoding variant of the original
+	// DHE paper instead of the uniform [-1,1] scaling (Algorithm 1 uses
+	// uniform; this is the ablation knob).
+	Gaussian bool
+}
+
+// DHE is one deep-hash-embedding generator: encoder + FC decoder.
+type DHE struct {
+	Enc     *hashenc.Encoder         // uniform encoding (nil when Gaussian)
+	GEnc    *hashenc.GaussianEncoder // Gaussian encoding (nil when uniform)
+	Decoder *nn.Sequential
+	K, Dim  int
+	Threads int
+}
+
+// New builds a DHE with Xavier-initialized decoder weights.
+func New(cfg Config, rng *rand.Rand) *DHE {
+	if cfg.K <= 0 || cfg.Dim <= 0 {
+		panic("dhe: K and Dim must be positive")
+	}
+	dims := append(append([]int{cfg.K}, cfg.Hidden...), cfg.Dim)
+	d := &DHE{
+		Decoder: nn.MLP(dims, false, rng),
+		K:       cfg.K,
+		Dim:     cfg.Dim,
+	}
+	if cfg.Gaussian {
+		d.GEnc = hashenc.NewGaussian(cfg.K, cfg.M, cfg.Seed)
+	} else {
+		d.Enc = hashenc.New(cfg.K, cfg.M, cfg.Seed)
+	}
+	return d
+}
+
+// EncodeBatch maps ids to the decoder's input matrix (len(ids)×K).
+func (d *DHE) EncodeBatch(ids []uint64) *tensor.Matrix {
+	if d.GEnc != nil {
+		return tensor.FromSlice(len(ids), d.K, d.GEnc.EncodeBatch(ids))
+	}
+	return tensor.FromSlice(len(ids), d.K, d.Enc.EncodeBatch(ids))
+}
+
+// Generate computes embeddings for a batch of ids: encode, then decode
+// through the FC stack. O(k²) per id regardless of the (virtual) table
+// size — the flat curves of Figures 4 and 5.
+func (d *DHE) Generate(ids []uint64) *tensor.Matrix {
+	d.Decoder.SetThreads(d.Threads)
+	return d.Decoder.Forward(d.EncodeBatch(ids))
+}
+
+// Backward propagates a batch gradient through the decoder (the encoder
+// has no trainable parameters). Callers drive the optimizer.
+func (d *DHE) Backward(grad *tensor.Matrix) {
+	d.Decoder.Backward(grad)
+}
+
+// Params exposes the decoder parameters for optimization.
+func (d *DHE) Params() []*nn.Param { return d.Decoder.Params() }
+
+// NumBytes is the model footprint: hash parameters + decoder weights.
+// Independent of the virtual table size — Table VI's orders-of-magnitude
+// memory reduction.
+func (d *DHE) NumBytes() int64 {
+	enc := int64(0)
+	if d.GEnc != nil {
+		enc = d.GEnc.NumBytes()
+	} else {
+		enc = d.Enc.NumBytes()
+	}
+	return enc + d.Decoder.NumBytes()
+}
+
+// FLOPs returns the decoder multiply-accumulate count for one id.
+func (d *DHE) FLOPs() int64 {
+	var f int64
+	for _, l := range d.Decoder.Layers {
+		if lin, ok := l.(*nn.Linear); ok {
+			f += lin.FLOPs(1)
+		}
+	}
+	return f
+}
+
+// Quantize returns an inference-only copy of the DHE whose decoder uses
+// int8 weights (≈4× smaller) — the CPU-deployment optimization the paper
+// motivates in §II-A. The encoder is shared; the quantized copy cannot be
+// trained further.
+func (d *DHE) Quantize() *DHE {
+	return &DHE{
+		Enc:     d.Enc,
+		GEnc:    d.GEnc,
+		Decoder: nn.QuantizeSequential(d.Decoder),
+		K:       d.K,
+		Dim:     d.Dim,
+		Threads: d.Threads,
+	}
+}
+
+// ToTable materializes the trained DHE into a rows×Dim embedding table by
+// evaluating every valid input — the paper's offline hybrid-model
+// preparation ("use the trained DHEs to create table representations
+// which store the DHEs' outputs for all valid inputs", §IV-C1).
+func (d *DHE) ToTable(rows int) *tensor.Matrix {
+	out := tensor.New(rows, d.Dim)
+	const chunk = 4096
+	ids := make([]uint64, 0, chunk)
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		ids = ids[:0]
+		for i := lo; i < hi; i++ {
+			ids = append(ids, uint64(i))
+		}
+		emb := d.Generate(ids)
+		copy(out.Data[lo*d.Dim:hi*d.Dim], emb.Data)
+	}
+	return out
+}
+
+// UniformConfig is the paper's fixed DLRM architecture (Table IV):
+// k = 1024 and a 512-256-dim decoder.
+func UniformConfig(dim int, seed int64) Config {
+	return Config{K: 1024, Hidden: []int{512, 256}, Dim: dim, Seed: seed}
+}
+
+// VariedScale returns the Varied sizing factor for a table of n rows:
+// 0.125× per order-of-magnitude decrease from 10^7 rows (Table IV),
+// clamped to [1/64, 1].
+func VariedScale(n int) float64 {
+	if n <= 0 {
+		panic("dhe: table size must be positive")
+	}
+	decades := math.Log10(1e7 / float64(n))
+	if decades <= 0 {
+		return 1
+	}
+	s := math.Pow(0.125, decades)
+	if s < 1.0/64 {
+		s = 1.0 / 64
+	}
+	return s
+}
+
+// VariedConfig scales the Uniform architecture down for a table of n rows.
+// Widths are rounded to multiples of 16 with a floor of 32 to keep the
+// decoder expressive enough to match table accuracy on small features.
+func VariedConfig(dim, n int, seed int64) Config {
+	s := VariedScale(n)
+	scale := func(w int) int {
+		v := int(math.Round(float64(w) * s / 16.0))
+		if v < 2 {
+			v = 2
+		}
+		return v * 16
+	}
+	return Config{
+		K:      scale(1024),
+		Hidden: []int{scale(512), scale(256)},
+		Dim:    dim,
+		Seed:   seed,
+	}
+}
+
+// LLMConfig is the paper's GPT-2 setup (§VI-A3): 4 FC layers with both k
+// and the internal widths equal to 2× the embedding dimension.
+func LLMConfig(dim int, seed int64) Config {
+	w := 2 * dim
+	return Config{K: w, Hidden: []int{w, w, w}, Dim: dim, Seed: seed}
+}

@@ -1,0 +1,18 @@
+package dlrm
+
+import (
+	"io"
+
+	"secemb/internal/nn"
+)
+
+// Save writes the model's parameters (MLPs + embedding representations).
+// Loading requires a model built with the same Config and embedding kind.
+func (m *Model) Save(w io.Writer) error {
+	return nn.SaveParams(w, m.Params())
+}
+
+// Load restores parameters saved by Save into this model.
+func (m *Model) Load(r io.Reader) error {
+	return nn.LoadParams(r, m.Params())
+}

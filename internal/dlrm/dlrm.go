@@ -1,0 +1,251 @@
+// Package dlrm implements the Deep Learning Recommendation Model
+// [Naumov et al.] used as the paper's first case study (Figure 1a): a
+// bottom MLP over dense features, one embedding per sparse feature, a
+// pairwise dot-product feature interaction, and a top MLP producing a
+// click probability.
+//
+// Two forms are provided: a trainable Model whose embeddings are either
+// tables or DHEs (the paper trains all-DHE models and materializes tables
+// from them, §IV-C1), and an inference Pipeline whose embeddings come from
+// any core.Generator — which is where the secure techniques and the hybrid
+// allocation plug in.
+package dlrm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/core"
+	"secemb/internal/dhe"
+	"secemb/internal/nn"
+	"secemb/internal/tensor"
+)
+
+// Config describes a DLRM architecture, mirroring Table IV.
+type Config struct {
+	DenseDim      int
+	EmbDim        int
+	BottomHidden  []int // bottom MLP hidden widths; output is EmbDim
+	TopHidden     []int // top MLP hidden widths; output is 1 (CTR logit)
+	Cardinalities []int
+	Seed          int64
+}
+
+// KaggleConfig is the Criteo Kaggle model of Table IV (dim 16,
+// bottom 512-256-64-16, top 512-256-1) over the given cardinalities.
+func KaggleConfig(cardinalities []int, seed int64) Config {
+	return Config{
+		DenseDim:      13,
+		EmbDim:        16,
+		BottomHidden:  []int{512, 256, 64},
+		TopHidden:     []int{512, 256},
+		Cardinalities: cardinalities,
+		Seed:          seed,
+	}
+}
+
+// TerabyteConfig is the Criteo Terabyte model of Table IV (dim 64,
+// bottom 512-256-64, top 512-512-256-1).
+func TerabyteConfig(cardinalities []int, seed int64) Config {
+	return Config{
+		DenseDim:      13,
+		EmbDim:        64,
+		BottomHidden:  []int{512, 256},
+		TopHidden:     []int{512, 512, 256},
+		Cardinalities: cardinalities,
+		Seed:          seed,
+	}
+}
+
+// numInteractionFeatures returns the top-MLP input width: the bottom
+// output concatenated with all pairwise dot products among the m+1 vectors
+// (bottom output + m embeddings).
+func (c Config) numInteractionFeatures() int {
+	m := len(c.Cardinalities) + 1
+	return c.EmbDim + m*(m-1)/2
+}
+
+// EmbKind selects the trainable representation for Model construction.
+type EmbKind int
+
+const (
+	// TableEmb trains conventional embedding tables.
+	TableEmb EmbKind = iota
+	// DHEUniformEmb trains fixed-architecture DHEs for every feature.
+	DHEUniformEmb
+	// DHEVariedEmb trains size-scaled DHEs (Table IV's Varied policy).
+	DHEVariedEmb
+)
+
+// Model is the trainable DLRM.
+type Model struct {
+	Cfg    Config
+	Bottom *nn.Sequential
+	Top    *nn.Sequential
+	Embs   []core.TrainableRep
+
+	// Forward caches for Backward.
+	lastSparse [][]uint64
+	lastZ      []*tensor.Matrix // bottom output + per-feature embeddings
+	lastTopIn  *tensor.Matrix
+}
+
+// New builds a DLRM with the chosen embedding representation.
+func New(cfg Config, kind EmbKind) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bottomDims := append(append([]int{cfg.DenseDim}, cfg.BottomHidden...), cfg.EmbDim)
+	topDims := append(append([]int{cfg.numInteractionFeatures()}, cfg.TopHidden...), 1)
+	m := &Model{
+		Cfg:    cfg,
+		Bottom: nn.MLP(bottomDims, true, rng), // bottom ends in ReLU (reference DLRM)
+		Top:    nn.MLP(topDims, false, rng),   // bare logit output
+	}
+	for i, n := range cfg.Cardinalities {
+		seed := cfg.Seed + int64(i) + 1
+		switch kind {
+		case TableEmb:
+			m.Embs = append(m.Embs, core.NewTableRep(n, cfg.EmbDim, rng))
+		case DHEUniformEmb:
+			m.Embs = append(m.Embs, core.NewDHERep(dhe.New(dhe.UniformConfig(cfg.EmbDim, seed), rng), n))
+		case DHEVariedEmb:
+			m.Embs = append(m.Embs, core.NewDHERep(dhe.New(dhe.VariedConfig(cfg.EmbDim, n, seed), rng), n))
+		default:
+			panic(fmt.Sprintf("dlrm: unknown embedding kind %d", kind))
+		}
+	}
+	return m
+}
+
+// NewWithReps builds a DLRM with caller-provided embedding
+// representations (one per sparse feature) — used to train miniatures
+// with custom DHE architectures.
+func NewWithReps(cfg Config, reps []core.TrainableRep) *Model {
+	if len(reps) != len(cfg.Cardinalities) {
+		panic(fmt.Sprintf("dlrm: %d representations for %d features", len(reps), len(cfg.Cardinalities)))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bottomDims := append(append([]int{cfg.DenseDim}, cfg.BottomHidden...), cfg.EmbDim)
+	topDims := append(append([]int{cfg.numInteractionFeatures()}, cfg.TopHidden...), 1)
+	return &Model{
+		Cfg:    cfg,
+		Bottom: nn.MLP(bottomDims, true, rng),
+		Top:    nn.MLP(topDims, false, rng),
+		Embs:   reps,
+	}
+}
+
+// Forward runs dense features (batch×DenseDim) and per-feature sparse ids
+// through the model, returning CTR logits (batch×1).
+func (m *Model) Forward(dense *tensor.Matrix, sparse [][]uint64) *tensor.Matrix {
+	if len(sparse) != len(m.Embs) {
+		panic(fmt.Sprintf("dlrm: %d sparse features, model has %d", len(sparse), len(m.Embs)))
+	}
+	m.lastSparse = sparse
+	z0 := m.Bottom.Forward(dense)
+	m.lastZ = []*tensor.Matrix{z0}
+	for f, rep := range m.Embs {
+		m.lastZ = append(m.lastZ, rep.Forward(sparse[f]))
+	}
+	inter := interact(m.lastZ)
+	m.lastTopIn = tensor.Concat(append([]*tensor.Matrix{z0}, inter)...)
+	return m.Top.Forward(m.lastTopIn)
+}
+
+// Backward propagates the logit gradient through the whole model,
+// accumulating parameter gradients everywhere.
+func (m *Model) Backward(gradLogits *tensor.Matrix) {
+	gradTopIn := m.Top.Backward(gradLogits)
+	d := m.Cfg.EmbDim
+	gradZ0Direct := tensor.SliceCols(gradTopIn, 0, d)
+	gradInter := tensor.SliceCols(gradTopIn, d, gradTopIn.Cols)
+	gradZ := interactBackward(m.lastZ, gradInter)
+	tensor.AddInPlace(gradZ[0], gradZ0Direct)
+	m.Bottom.Backward(gradZ[0])
+	for f, rep := range m.Embs {
+		rep.Backward(m.lastSparse[f], gradZ[f+1])
+	}
+}
+
+// Params collects every trainable parameter.
+func (m *Model) Params() []*nn.Param {
+	out := append([]*nn.Param{}, m.Bottom.Params()...)
+	out = append(out, m.Top.Params()...)
+	for _, rep := range m.Embs {
+		out = append(out, rep.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all gradients.
+func (m *Model) ZeroGrads() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumBytes is the model footprint: MLPs plus embedding representations —
+// the accounting behind Table VI.
+func (m *Model) NumBytes() int64 {
+	n := m.Bottom.NumBytes() + m.Top.NumBytes()
+	for _, rep := range m.Embs {
+		n += rep.NumBytes()
+	}
+	return n
+}
+
+// interact computes the pairwise dot products p_ij = z_i·z_j (i<j) over
+// the m+1 vectors, returning a batch×(m+1)m/2 matrix. This is DLRM's
+// all-to-all inner-product feature interaction — deterministic data flow
+// (§V-C).
+func interact(z []*tensor.Matrix) *tensor.Matrix {
+	batch := z[0].Rows
+	m := len(z)
+	out := tensor.New(batch, m*(m-1)/2)
+	for r := 0; r < batch; r++ {
+		dst := out.Row(r)
+		k := 0
+		for i := 0; i < m; i++ {
+			zi := z[i].Row(r)
+			for j := i + 1; j < m; j++ {
+				zj := z[j].Row(r)
+				var sum float32
+				for c := range zi {
+					sum += zi[c] * zj[c]
+				}
+				dst[k] = sum
+				k++
+			}
+		}
+	}
+	return out
+}
+
+// interactBackward returns per-vector gradients for the interaction:
+// dz_i += Σ_j dp_ij · z_j.
+func interactBackward(z []*tensor.Matrix, grad *tensor.Matrix) []*tensor.Matrix {
+	batch := z[0].Rows
+	m := len(z)
+	out := make([]*tensor.Matrix, m)
+	for i := range out {
+		out[i] = tensor.New(batch, z[i].Cols)
+	}
+	for r := 0; r < batch; r++ {
+		g := grad.Row(r)
+		k := 0
+		for i := 0; i < m; i++ {
+			zi := z[i].Row(r)
+			oi := out[i].Row(r)
+			for j := i + 1; j < m; j++ {
+				zj := z[j].Row(r)
+				oj := out[j].Row(r)
+				gij := g[k]
+				k++
+				for c := range zi {
+					oi[c] += gij * zj[c]
+					oj[c] += gij * zi[c]
+				}
+			}
+		}
+	}
+	return out
+}

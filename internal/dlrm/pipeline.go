@@ -1,0 +1,107 @@
+package dlrm
+
+import (
+	"fmt"
+
+	"secemb/internal/core"
+	"secemb/internal/nn"
+	"secemb/internal/tensor"
+)
+
+// Pipeline is the inference-time DLRM: the trained MLPs plus one
+// core.Generator per sparse feature. Swapping generators is how the
+// protection techniques — and the hybrid allocation — are deployed without
+// touching the rest of the model (Algorithm 2's online stage).
+type Pipeline struct {
+	Cfg    Config
+	Bottom *nn.Sequential
+	Top    *nn.Sequential
+	Gens   []core.Generator
+}
+
+// NewPipeline assembles an inference pipeline from a trained model's MLPs
+// and explicit generators (one per sparse feature). The MLPs are cloned
+// for inference (shared weights, private activation caches), so multiple
+// pipelines built from one model can serve concurrently — each pipeline
+// instance itself handles one request at a time (its generators hold
+// mutable ORAM state).
+func NewPipeline(m *Model, gens []core.Generator) *Pipeline {
+	if len(gens) != len(m.Cfg.Cardinalities) {
+		panic(fmt.Sprintf("dlrm: %d generators for %d features", len(gens), len(m.Cfg.Cardinalities)))
+	}
+	return &Pipeline{
+		Cfg:    m.Cfg,
+		Bottom: m.Bottom.CloneForInference(),
+		Top:    m.Top.CloneForInference(),
+		Gens:   gens,
+	}
+}
+
+// Build converts a trained model into a pipeline where every sparse
+// feature uses the given technique. Table-trained models can serve
+// Lookup/LinearScan/ORAM directly from their weights; DHE-trained models
+// serve DHE directly and *materialize* tables (DHE→table conversion,
+// §IV-C1) for the storage-based techniques.
+func Build(m *Model, tech core.Technique, opts core.Options) *Pipeline {
+	techs := make([]core.Technique, len(m.Embs))
+	for i := range techs {
+		techs[i] = tech
+	}
+	return BuildHybrid(m, techs, opts)
+}
+
+// BuildHybrid converts a trained model into a pipeline with a per-feature
+// technique assignment — the hybrid scheme's deployment step (Algorithm 3
+// decides techs; this materializes the representations).
+func BuildHybrid(m *Model, techs []core.Technique, opts core.Options) *Pipeline {
+	if len(techs) != len(m.Embs) {
+		panic(fmt.Sprintf("dlrm: %d techniques for %d features", len(techs), len(m.Embs)))
+	}
+	gens := make([]core.Generator, len(m.Embs))
+	for f, rep := range m.Embs {
+		o := opts
+		o.Region = fmt.Sprintf("feat%d", f)
+		o.Seed = opts.Seed + int64(f)
+		gens[f] = core.BuildGenerator(rep, m.Cfg.Cardinalities[f], techs[f], o)
+	}
+	return NewPipeline(m, gens)
+}
+
+// Predict runs inference, returning CTR probabilities (batch×1).
+// Sequential sparse-feature processing, as in the paper's experiments
+// (§IV-C1).
+func (p *Pipeline) Predict(dense *tensor.Matrix, sparse [][]uint64) *tensor.Matrix {
+	logits := p.Logits(dense, sparse)
+	s := &nn.Sigmoid{}
+	return s.Forward(logits)
+}
+
+// Logits runs inference up to the CTR logit.
+func (p *Pipeline) Logits(dense *tensor.Matrix, sparse [][]uint64) *tensor.Matrix {
+	if len(sparse) != len(p.Gens) {
+		panic(fmt.Sprintf("dlrm: %d sparse features, pipeline has %d", len(sparse), len(p.Gens)))
+	}
+	z := []*tensor.Matrix{p.Bottom.Forward(dense)}
+	for f, g := range p.Gens {
+		z = append(z, g.Generate(sparse[f]))
+	}
+	inter := interact(z)
+	return p.Top.Forward(tensor.Concat(append([]*tensor.Matrix{z[0]}, inter)...))
+}
+
+// NumBytes is the deployed footprint: MLPs + all generator
+// representations.
+func (p *Pipeline) NumBytes() int64 {
+	n := p.Bottom.NumBytes() + p.Top.NumBytes()
+	for _, g := range p.Gens {
+		n += g.NumBytes()
+	}
+	return n
+}
+
+// SetThreads propagates the worker count to every generator.
+func (p *Pipeline) SetThreads(n int) {
+	for _, g := range p.Gens {
+		g.SetThreads(n)
+	}
+}

@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"secemb/internal/core"
+	"secemb/internal/data"
+	"secemb/internal/dhe"
+	"secemb/internal/dlrm"
+	"secemb/internal/nn"
+	"secemb/internal/perf"
+)
+
+// criteoModel groups one dataset's accounting inputs.
+type criteoModel struct {
+	name         string
+	cards        []int
+	dim          int
+	bottomHidden []int
+	topHidden    []int
+}
+
+func kaggleModel() criteoModel {
+	return criteoModel{"Kaggle", data.KaggleCardinalities, 16, []int{512, 256, 64}, []int{512, 256}}
+}
+func terabyteModel() criteoModel {
+	return criteoModel{"Terabyte", data.TerabyteCardinalities, 64, []int{512, 256}, []int{512, 512, 256}}
+}
+
+// e2eNs prices a full DLRM inference (MLPs + interaction + all 26 sparse
+// features under the given technique) at batch size `batch`, 1 thread.
+func (m criteoModel) e2eNs(tech string, batch int) float64 {
+	p := perf.IceLake(1)
+	total := mlpNs(p, 13, m.dim, m.bottomHidden, m.topHidden, len(m.cards), batch)
+	for i, n := range m.cards {
+		switch tech {
+		case "hybridU":
+			total += hybridNs(p, "dheU", n, m.dim, batch, int64(i))
+		case "hybridV":
+			total += hybridNs(p, "dheV", n, m.dim, batch, int64(i))
+		default:
+			total += techNs(p, tech, n, m.dim, batch, int64(i))
+		}
+	}
+	return total
+}
+
+// TableVII reproduces the end-to-end DLRM latency table: every technique,
+// batch 32, 1 thread, with speedups relative to Circuit ORAM.
+func TableVII() Report {
+	r := Report{
+		ID:      "tableVII",
+		Title:   "DLRM end-to-end model latency (ms, batch 32, 1 thread)",
+		Headers: []string{"technique", "Kaggle", "vs Circuit", "Terabyte", "vs Circuit"},
+	}
+	k, t := kaggleModel(), terabyteModel()
+	kC, tC := k.e2eNs("circuit", 32), t.e2eNs("circuit", 32)
+	for _, tech := range []struct{ key, label string }{
+		{"lookup", "Index Lookup (non-secure)"},
+		{"scan", "Linear Scan"},
+		{"path", "Path ORAM"},
+		{"circuit", "Circuit ORAM"},
+		{"dheU", "DHE Uniform"},
+		{"dheV", "DHE Varied"},
+		{"hybridU", "Hybrid Uniform"},
+		{"hybridV", "Hybrid Varied"},
+	} {
+		kNs, tNs := k.e2eNs(tech.key, 32), t.e2eNs(tech.key, 32)
+		r.AddRow(tech.label, ms(kNs), speedup(kC, kNs), ms(tNs), speedup(tC, tNs))
+	}
+	r.AddNote("paper Table VII: Hybrid Varied 2.01x (Kaggle) / 2.28x (Terabyte) over Circuit ORAM; scan in the seconds")
+	return r
+}
+
+// Fig12 reproduces the batch-size scaling of end-to-end latency
+// (Figure 12): the hybrid's advantage over Circuit ORAM grows with the
+// batch because ORAM accesses serialize.
+func Fig12(quick bool) Report {
+	batches := []int{8, 16, 32, 64, 128}
+	if quick {
+		batches = []int{32, 128}
+	}
+	r := Report{
+		ID:      "fig12",
+		Title:   "End-to-end DLRM latency vs batch size (ms, 1 thread)",
+		Headers: []string{"dataset", "batch", "circuit oram", "dhe varied", "hybrid varied", "hybrid vs circuit"},
+	}
+	for _, m := range []criteoModel{kaggleModel(), terabyteModel()} {
+		for _, b := range batches {
+			c := m.e2eNs("circuit", b)
+			h := m.e2eNs("hybridV", b)
+			r.AddRow(m.name, fmt.Sprintf("%d", b), ms(c), ms(m.e2eNs("dheV", b)), ms(h), speedup(c, h))
+		}
+	}
+	r.AddNote("paper Figure 12: hybrid/circuit ratio grows from 2.01x/2.28x at batch 32 to 2.61x/3.08x at batch 128")
+	return r
+}
+
+// Fig11 reproduces the threshold sweep (Figure 11): end-to-end latency of
+// the Hybrid Varied Kaggle model as the scan/DHE split point moves across
+// the sorted tables; the profiled threshold should land at (or next to)
+// the empirical best.
+func Fig11() Report {
+	m := kaggleModel()
+	p := perf.IceLake(1)
+	const batch = 32
+	sorted := append([]int(nil), m.cards...)
+	sort.Ints(sorted)
+	base := mlpNs(p, 13, m.dim, m.bottomHidden, m.topHidden, len(m.cards), batch)
+	r := Report{
+		ID:      "fig11",
+		Title:   "Kaggle Hybrid-Varied latency vs allocation split (tables sorted by size; first k use scan)",
+		Headers: []string{"k (scan tables)", "threshold size", "latency (ms)"},
+	}
+	best, bestK := -1.0, 0
+	for k := 0; k <= len(sorted); k++ {
+		total := base
+		for i, n := range sorted {
+			if i < k {
+				total += p.ScanNs(n, m.dim, batch)
+			} else {
+				total += techNs(p, "dheV", n, m.dim, batch, int64(i))
+			}
+		}
+		thr := "-"
+		if k > 0 {
+			thr = fmt.Sprintf("%d", sorted[k-1])
+		}
+		r.AddRow(fmt.Sprintf("%d", k), thr, ms(total))
+		if best < 0 || total < best {
+			best, bestK = total, k
+		}
+	}
+	// Where would the profiled (Varied) threshold put the split? The sweep
+	// runs the Hybrid *Varied* model, so the relevant profile compares the
+	// scan against the size-scaled DHE, not the Uniform one.
+	profiled := ModelThresholdVaried(m.dim, batch, 1)
+	profK := 0
+	for _, n := range sorted {
+		if n <= profiled {
+			profK++
+		}
+	}
+	r.AddNote("empirical best split k=%d; profiled threshold %d puts k=%d (off by %d)",
+		bestK, profiled, profK, abs(bestK-profK))
+	r.AddNote("paper Figure 11: the profiled threshold matches the best empirical allocation")
+	return r
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TableVI reproduces the model memory-footprint table: raw table,
+// tree-ORAM, DHE Uniform/Varied, Hybrid Uniform/Varied, for both Criteo
+// datasets.
+func TableVI() Report {
+	r := Report{
+		ID:      "tableVI",
+		Title:   "DLRM model memory footprint (MB; % of table representation)",
+		Headers: []string{"representation", "Kaggle (MB)", "Kaggle %", "Terabyte (MB)", "Terabyte %"},
+	}
+	row := func(label string, f func(m criteoModel) int64) {
+		k, t := kaggleModel(), terabyteModel()
+		kb, tb := f(k), f(t)
+		kTbl, tTbl := data.TableBytes(k.cards, k.dim), data.TableBytes(t.cards, t.dim)
+		r.AddRow(label, mb(kb), fmt.Sprintf("%.2f%%", 100*float64(kb)/float64(kTbl)),
+			mb(tb), fmt.Sprintf("%.2f%%", 100*float64(tb)/float64(tTbl)))
+	}
+	row("Table", func(m criteoModel) int64 { return data.TableBytes(m.cards, m.dim) })
+	row("Tree-ORAM", func(m criteoModel) int64 {
+		var total int64
+		for _, n := range m.cards {
+			total += circuitBytes(n, m.dim)
+		}
+		return total
+	})
+	row("DHE Uniform", func(m criteoModel) int64 { return dheModelBytes(m, "dheU", -1) })
+	row("DHE Varied", func(m criteoModel) int64 { return dheModelBytes(m, "dheV", -1) })
+	thr := ModelThreshold(64, 32, 1)
+	row("Hybrid Uniform", func(m criteoModel) int64 { return dheModelBytes(m, "dheU", thr) })
+	row("Hybrid Varied", func(m criteoModel) int64 { return dheModelBytes(m, "dheV", thr) })
+	r.AddNote("paper Table VI: Hybrid Varied 24.9 MB (1.20%%) Kaggle / 36.2 MB (0.30%%) Terabyte; Tree-ORAM >3.2x the table")
+	return r
+}
+
+// dheModelBytes sums per-feature representation bytes; threshold < 0
+// means all-DHE, otherwise features at/below it hold materialized tables.
+func dheModelBytes(m criteoModel, kind string, threshold int) int64 {
+	var total int64
+	for i, n := range m.cards {
+		t := threshold
+		if t < 0 {
+			t = 0
+		}
+		total += hybridBytes(kind, n, m.dim, t, int64(i))
+	}
+	return total
+}
+
+// TableVIII reproduces the Meta-dataset study: embedding-layer latency
+// and memory for a 788-table production-scale model, dim 64, batch 32.
+func TableVIII(quick bool) Report {
+	cards := data.MetaCardinalities(2022)
+	if quick {
+		cards = cards[:64]
+	}
+	p := perf.IceLake(1)
+	const batch = 32
+	r := Report{
+		ID:      "tableVIII",
+		Title:   fmt.Sprintf("Meta-dataset model (%d tables, dim 64): embedding latency and memory", len(cards)),
+		Headers: []string{"technique", "latency (ms)", "vs Circuit", "memory (MB)", "% of table"},
+	}
+	tableBytes := data.TableBytes(cards, 64)
+	var circuitLat float64
+	type techRow struct {
+		key, label string
+	}
+	lat := map[string]float64{}
+	memB := map[string]int64{}
+	thr := ModelThreshold(64, batch, 1)
+	for _, tr := range []techRow{
+		{"lookup", "Index Lookup (non-secure)"}, {"scan", "Linear Scan"},
+		{"path", "Path ORAM"}, {"circuit", "Circuit ORAM"},
+		{"dheU", "DHE Uniform"}, {"dheV", "DHE Varied"},
+		{"hybridU", "Hybrid Uniform"}, {"hybridV", "Hybrid Varied"},
+	} {
+		var total float64
+		var bytes int64
+		for i, n := range cards {
+			switch tr.key {
+			case "hybridU":
+				total += hybridNs(p, "dheU", n, 64, batch, int64(i))
+				bytes += hybridBytes("dheU", n, 64, thr, int64(i))
+			case "hybridV":
+				total += hybridNs(p, "dheV", n, 64, batch, int64(i))
+				bytes += hybridBytes("dheV", n, 64, thr, int64(i))
+			default:
+				total += techNs(p, tr.key, n, 64, batch, int64(i))
+				switch tr.key {
+				case "lookup", "scan":
+					bytes += int64(n) * 64 * 4
+				case "path":
+					bytes += pathBytes(n, 64)
+				case "circuit":
+					bytes += circuitBytes(n, 64)
+				case "dheU":
+					bytes += hybridBytes("dheU", n, 64, 0, int64(i))
+				case "dheV":
+					bytes += hybridBytes("dheV", n, 64, 0, int64(i))
+				}
+			}
+		}
+		lat[tr.key], memB[tr.key] = total, bytes
+		if tr.key == "circuit" {
+			circuitLat = total
+		}
+	}
+	for _, tr := range []techRow{
+		{"lookup", "Index Lookup (non-secure)"}, {"scan", "Linear Scan"},
+		{"path", "Path ORAM"}, {"circuit", "Circuit ORAM"},
+		{"dheU", "DHE Uniform"}, {"dheV", "DHE Varied"},
+		{"hybridU", "Hybrid Uniform"}, {"hybridV", "Hybrid Varied"},
+	} {
+		r.AddRow(tr.label, ms(lat[tr.key]), speedup(circuitLat, lat[tr.key]),
+			mb(memB[tr.key]), fmt.Sprintf("%.2f%%", 100*float64(memB[tr.key])/float64(tableBytes)))
+	}
+	r.AddNote("paper Table VIII: Hybrid Varied 2.40x over Circuit ORAM; DHE models ~0.13%% of the 931 GB table")
+	return r
+}
+
+// TableV reproduces the accuracy-parity experiment: a miniature Criteo
+// layout with planted ground truth, trained with table embeddings and
+// with DHE embeddings; all reach the same accuracy.
+func TableV(quick bool) Report {
+	factor := 2e-4 // miniature cardinalities (max ≈ 2000 rows)
+	steps, evalBatches := 250, 12
+	nFeat := 8
+	if quick {
+		steps, evalBatches, nFeat = 80, 6, 4
+	}
+	cards := data.ScaleCardinalities(data.KaggleCardinalities, factor)[:nFeat]
+	cfg := dlrm.Config{
+		DenseDim: 13, EmbDim: 16,
+		BottomHidden: []int{64, 32}, TopHidden: []int{64},
+		Cardinalities: cards, Seed: 5,
+	}
+	ds := data.NewCTR(cfg.DenseDim, cards, 99)
+
+	r := Report{
+		ID:      "tableV",
+		Title:   fmt.Sprintf("DLRM accuracy parity on planted-truth mini-Criteo (%d features, %d steps)", nFeat, steps),
+		Headers: []string{"embedding", "accuracy"},
+	}
+	// Miniature DHE architectures scaled to the miniature tables ("sized
+	// for no loss", Table I): the paper's k=1024 decoders are for 1e7-row
+	// features and would be severely overparameterized (and untrainably
+	// slow on one core) here.
+	miniUniform := func(n int, seed int64) dhe.Config {
+		return dhe.Config{K: 96, Hidden: []int{64, 32}, Dim: cfg.EmbDim, Seed: seed}
+	}
+	miniVaried := func(n int, seed int64) dhe.Config {
+		c := miniUniform(n, seed)
+		if n < 200 {
+			c.K, c.Hidden = 48, []int{32, 16}
+		}
+		return c
+	}
+	buildReps := func(mk func(n int, seed int64) dhe.Config) []core.TrainableRep {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		reps := make([]core.TrainableRep, len(cards))
+		for i, n := range cards {
+			reps[i] = core.NewDHERep(dhe.New(mk(n, int64(i+1)), rng), n)
+		}
+		return reps
+	}
+	var accs []float64
+	for _, k := range []struct {
+		label string
+		mk    func() *dlrm.Model
+	}{
+		{"Table", func() *dlrm.Model { return dlrm.New(cfg, dlrm.TableEmb) }},
+		{"DHE Uniform (mini)", func() *dlrm.Model { return dlrm.NewWithReps(cfg, buildReps(miniUniform)) }},
+		{"DHE Varied (mini)", func() *dlrm.Model { return dlrm.NewWithReps(cfg, buildReps(miniVaried)) }},
+	} {
+		m := k.mk()
+		m.Train(ds, steps, 64, nn.NewAdam(0.005), 7)
+		acc := m.Accuracy(ds, evalBatches, 128, 1234)
+		accs = append(accs, acc)
+		r.AddRow(k.label, fmt.Sprintf("%.2f%%", 100*acc))
+	}
+	spread := 0.0
+	for _, a := range accs {
+		d := a - accs[0]
+		if d < 0 {
+			d = -d
+		}
+		if d > spread {
+			spread = d
+		}
+	}
+	r.AddNote("max accuracy spread across representations: %.2f points", 100*spread)
+	r.AddNote("paper Table V: 78.82%% / 78.82%% / 78.82%% (Kaggle) — DHE matches the table with proper sizing")
+	return r
+}

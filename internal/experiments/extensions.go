@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/dhe"
+	"secemb/internal/nn"
+	"secemb/internal/tensor"
+)
+
+// Extension experiments: studies beyond the paper's figures that probe
+// its design choices (registered under ext-* ids).
+
+// ExtEncodingAblation compares the two DHE encoding variants — the
+// paper's uniform [-1,1] scaling vs the original DHE paper's Box–Muller
+// Gaussian transform — on the core capability both need: fitting a target
+// embedding table. Both are equally side-channel safe; the question is
+// representational quality per parameter.
+func ExtEncodingAblation(quick bool) Report {
+	steps := 400
+	if quick {
+		steps = 150
+	}
+	const rows, dim = 64, 8
+	rng := rand.New(rand.NewSource(60))
+	target := tensor.NewGaussian(rows, dim, 0.5, rng)
+	ids := make([]uint64, rows)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	fit := func(gaussian bool) float64 {
+		d := dhe.New(dhe.Config{K: 64, Hidden: []int{48}, Dim: dim, Seed: 61, Gaussian: gaussian},
+			rand.New(rand.NewSource(61)))
+		opt := nn.NewAdam(0.01)
+		for s := 0; s < steps; s++ {
+			nn.ZeroGrads(d.Decoder)
+			grad := tensor.Sub(d.Generate(ids), target)
+			tensor.ScaleInPlace(grad, 2.0/float32(rows))
+			d.Backward(grad)
+			opt.Step(d.Params())
+		}
+		return tensor.Norm2(tensor.Sub(d.Generate(ids), target))
+	}
+	r := Report{
+		ID:      "ext-encoding",
+		Title:   fmt.Sprintf("DHE encoding ablation: fit error after %d steps (64-row target, dim 8)", steps),
+		Headers: []string{"encoding", "residual ‖err‖"},
+	}
+	u := fit(false)
+	g := fit(true)
+	r.AddRow("Uniform [-1,1] (Algorithm 1)", fmt.Sprintf("%.4f", u))
+	r.AddRow("Gaussian (Box–Muller)", fmt.Sprintf("%.4f", g))
+	r.AddNote("both encodings are input-independent straight-line arithmetic; quality is the only trade-off")
+	return r
+}
+
+// ExtScanOrderAblation reports the analytic memory-traffic difference of
+// the per-query vs batch-amortized scan (the wall-clock companion is
+// BenchmarkAblationScanOrder).
+func ExtScanOrderAblation(quick bool) Report {
+	_ = quick
+	r := Report{
+		ID:      "ext-scanorder",
+		Title:   "Linear-scan loop order: table words loaded from memory per batch",
+		Headers: []string{"rows", "batch", "per-query order", "batch-amortized order", "traffic ratio"},
+	}
+	for _, rows := range []int{10_000, 1_000_000} {
+		for _, batch := range []int{1, 32, 128} {
+			perQ := int64(rows) * 64 * int64(batch)
+			amort := int64(rows) * 64
+			r.AddRow(fmt.Sprintf("%d", rows), fmt.Sprintf("%d", batch),
+				fmt.Sprintf("%d", perQ), fmt.Sprintf("%d", amort),
+				fmt.Sprintf("%dx", batch))
+		}
+	}
+	r.AddNote("identical masked work and security; the amortized order streams the table once per batch")
+	return r
+}
+
+// ExtQuantization measures int8 weight quantization of the DHE decoder:
+// footprint reduction and output drift — the CPU-deployment knob the
+// paper motivates in §II-A ("LLMs on CPUs are becoming more feasible by
+// leveraging techniques such as quantization").
+func ExtQuantization(quick bool) Report {
+	_ = quick
+	r := Report{
+		ID:      "ext-quant",
+		Title:   "Int8 quantization of DHE decoders: footprint and output drift",
+		Headers: []string{"architecture", "float32 (MB)", "int8 (MB)", "compression", "max output drift"},
+	}
+	for _, c := range []struct {
+		name string
+		cfg  dhe.Config
+	}{
+		{"DLRM Uniform (k=1024, dim 64)", dhe.UniformConfig(64, 70)},
+		{"LLM (k=2048, dim 1024)", dhe.LLMConfig(1024, 70)},
+	} {
+		d := dhe.New(c.cfg, rand.New(rand.NewSource(70)))
+		q := d.Quantize()
+		ids := []uint64{1, 2, 3, 4}
+		drift := tensor.MaxAbsDiff(d.Generate(ids), q.Generate(ids))
+		r.AddRow(c.name, mb(d.NumBytes()), mb(q.NumBytes()),
+			fmt.Sprintf("%.2fx", float64(d.NumBytes())/float64(q.NumBytes())),
+			fmt.Sprintf("%.4f", drift))
+	}
+	r.AddNote("quantized decoders keep the dense, input-independent data flow — same side-channel argument")
+	return r
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/data"
+	"secemb/internal/dhe"
+	"secemb/internal/llm"
+	"secemb/internal/nn"
+	"secemb/internal/perf"
+)
+
+// Fig14 reproduces the finetuning study (Figure 14): perplexity curves of
+// a table-embedding and a DHE-embedding language model finetuned on the
+// same corpus — at miniature scale, with *real training* of this
+// repository's transformer. The claim under test: after finetuning, the
+// DHE model's perplexity is within a few percent of the table model's.
+func Fig14(quick bool) Report {
+	cfg := llm.Config{Vocab: 101, Dim: 24, Heads: 2, Layers: 2, MaxSeq: 16, Seed: 21}
+	steps, every := 120, 20
+	if quick {
+		steps, every = 40, 10
+	}
+	corpus := data.NewCorpus(cfg.Vocab, 77)
+	rng := rand.New(rand.NewSource(78))
+	train := corpus.Generate(8000, rng)
+	test := corpus.Generate(800, rng)
+	ins, tgts := data.Batches(train, 12)
+	tins, ttgts := data.Batches(test, 12)
+
+	run := func(kind llm.TokKind) []float64 {
+		m := llm.New(cfg, kind)
+		opt := nn.NewAdam(3e-3)
+		var curve []float64
+		idx := 0
+		for s := 0; s <= steps; s++ {
+			if s%every == 0 {
+				curve = append(curve, m.Perplexity(tins, ttgts))
+			}
+			m.ZeroGrads()
+			for b := 0; b < 4; b++ {
+				m.TrainSeq(ins[idx%len(ins)], tgts[idx%len(ins)])
+				idx++
+			}
+			opt.Step(m.Params())
+		}
+		return curve
+	}
+	table := run(llm.TableTok)
+	dheC := run(llm.DHETok)
+
+	r := Report{
+		ID:      "fig14",
+		Title:   fmt.Sprintf("Miniature-LLM finetuning perplexity (vocab %d, dim %d, %d steps)", cfg.Vocab, cfg.Dim, steps),
+		Headers: []string{"step", "table ppl", "dhe ppl"},
+	}
+	for i := range table {
+		r.AddRow(fmt.Sprintf("%d", i*every), fmt.Sprintf("%.2f", table[i]), fmt.Sprintf("%.2f", dheC[i]))
+	}
+	tf, df := table[len(table)-1], dheC[len(dheC)-1]
+	r.AddNote("final perplexity: table %.2f vs DHE %.2f (%.1f%% gap)", tf, df, 100*(df-tf)/tf)
+	r.AddNote("paper Figure 14: GPT-2 medium on OpenWebText reaches 14.6 (table) vs 15.0 (DHE), a 2.7%% gap")
+	return r
+}
+
+// Fig15 reproduces the GPT-2 medium latency table (the paper's Fig. 15):
+// prefill (TTFT) and decode (TBT) per technique for request batches 1, 8
+// and 12, prompt 256 tokens, 16 threads, under the platform model.
+func Fig15() Report {
+	cfg := llm.GPT2Medium(1)
+	p := perf.IceLake(16)
+	const prompt = 256
+	batches := []int{1, 8, 12}
+
+	trunkPrefill := func(b int) float64 { return trunkNs(p, cfg, b*prompt, prompt/2) }
+	trunkDecode := func(b, ctx int) float64 {
+		return trunkNs(p, cfg, b, ctx) + headNs(p, cfg, b)
+	}
+	headPrefill := func(b int) float64 { return headNs(p, cfg, b) } // last position only, per sequence
+
+	dheCfg := dhe.LLMConfig(cfg.Dim, 1)
+	embNs := func(tech string, batch int) float64 {
+		switch tech {
+		case "dhe":
+			return p.DHENs(dheCfg, batch)
+		default:
+			return techNs(p, tech, cfg.Vocab, cfg.Dim, batch, 1)
+		}
+	}
+
+	r := Report{
+		ID:      "fig15",
+		Title:   "GPT-2 medium latency (ms): prefill/TTFT (prompt 256) and decode/TBT, 16 threads",
+		Headers: []string{"technique", "prefill b=1", "decode b=1", "prefill b=8", "decode b=8", "prefill b=12", "decode b=12"},
+	}
+	const avgCtx = 256 + 64 // mid-generation context for the decode TBT
+	type tr struct{ key, label string }
+	rows := []tr{
+		{"lookup", "Index Lookup (non-secure)"},
+		{"scan", "Linear Scan"},
+		{"path", "Path ORAM"},
+		{"circuit", "Circuit ORAM"},
+		{"dhe", "DHE"},
+	}
+	lat := map[string][]float64{}
+	for _, t := range rows {
+		var cells []float64
+		for _, b := range batches {
+			pf := embNs(t.key, b*prompt) + trunkPrefill(b) + headPrefill(b)
+			dc := embNs(t.key, b) + trunkDecode(b, avgCtx)
+			cells = append(cells, pf, dc)
+		}
+		lat[t.key] = cells
+	}
+	for _, t := range rows {
+		cells := []string{t.label}
+		for i, v := range lat[t.key] {
+			s := ms(v)
+			if t.key == "dhe" {
+				s += fmt.Sprintf(" (%.2fx vs circ)", lat["circuit"][i]/v)
+			}
+			cells = append(cells, s)
+		}
+		r.AddRow(cells...)
+	}
+	r.AddNote("paper Fig. 15: DHE 1.23-1.32x faster prefill than Circuit ORAM; decode 0.99x (b=1) to 1.07x (b=12)")
+	r.AddNote("DHE end-to-end overhead vs non-secure: prefill %s%%, decode %s%% (paper: 2-5%%)",
+		fmt.Sprintf("%.1f", 100*(lat["dhe"][4]/lat["lookup"][4]-1)),
+		fmt.Sprintf("%.1f", 100*(lat["dhe"][5]/lat["lookup"][5]-1)))
+	// §V-C: "the overhead of securing argmax in LLMs is less than 0.4% of
+	// the total generation latency" — the oblivious argmax is a linear
+	// masked scan over the vocabulary logits.
+	argmaxNs := float64(cfg.Vocab) * 2 // ~2ns per masked compare/select
+	r.AddNote("oblivious-argmax overhead per decode step: %.3f%% of TBT (paper: <0.4%%)",
+		100*argmaxNs/lat["dhe"][1])
+	return r
+}
+
+// trunkNs prices the transformer trunk for `tokens` new tokens at average
+// attention context `ctx`: QKV/proj/FFN matmuls plus attention
+// score/value products, at the platform's threaded GEMM rate.
+func trunkNs(p perf.Platform, cfg llm.Config, tokens, ctx int) float64 {
+	d := float64(cfg.Dim)
+	perTokenFlops := 2*d*3*d + 2*d*d + 2*2*d*4*d // qkv + proj + fc1/fc2
+	perTokenFlops += 4 * float64(ctx) * d        // QKᵀ and A·V
+	return float64(cfg.Layers) * float64(tokens) * perTokenFlops * p.FlopNs
+}
+
+// headNs prices the vocabulary projection for `positions` output
+// positions.
+func headNs(p perf.Platform, cfg llm.Config, positions int) float64 {
+	return float64(positions) * 2 * float64(cfg.Vocab) * float64(cfg.Dim) * p.FlopNs
+}
+
+// LLMMemory reproduces the §VI-D3 memory analysis: the embedding
+// representation's size relative to the GPT-2 medium model.
+func LLMMemory() Report {
+	cfg := llm.GPT2Medium(1)
+	table := int64(cfg.Vocab) * int64(cfg.Dim) * 4
+	d := dheBytes(dhe.LLMConfig(cfg.Dim, 1))
+	oramB := circuitBytes(cfg.Vocab, cfg.Dim)
+	// Trunk parameters: 12·d² per layer + head/embedding.
+	trunk := int64(cfg.Layers) * 12 * int64(cfg.Dim) * int64(cfg.Dim) * 4
+	model := trunk + table // tied head
+
+	r := Report{
+		ID:      "llm-memory",
+		Title:   "GPT-2 medium embedding representation footprint",
+		Headers: []string{"representation", "size (MB)", "overhead vs table model"},
+	}
+	r.AddRow("Token table (tied head)", mb(table), "baseline")
+	r.AddRow("DHE (+ untied head)", mb(d+table), fmt.Sprintf("+%.1f%%", 100*float64(d)/float64(model)))
+	r.AddRow("Circuit ORAM table", mb(oramB), fmt.Sprintf("+%.1f%%", 100*float64(oramB-table)/float64(model)))
+	r.AddNote("paper §VI-D3: DHE adds 56 MB (≈4%%) to the 1353 MB model; ORAM's 513.6 MB adds 38%%")
+	return r
+}

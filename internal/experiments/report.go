@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index in DESIGN.md §3). Each Fig*/Table*
+// function returns a Report that cmd/experiments renders, the root-level
+// benchmarks re-run under testing.B, and EXPERIMENTS.md records against
+// the paper's numbers.
+//
+// Experiments come in three measurement modes, chosen per figure by what
+// the host can faithfully reproduce (see internal/perf's package comment):
+// real wall-clock execution of this repository's implementations (attack,
+// ORAM variants, finetuning, accuracy); the calibrated Ice Lake platform
+// model (latency crossover figures); and exact footprint accounting
+// (memory tables).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table/figure.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-form note rendered under the table.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns an aligned plain-text table.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// ms formats nanoseconds as milliseconds.
+func ms(ns float64) string { return fmt.Sprintf("%.2f", ns/1e6) }
+
+// mb formats bytes as megabytes.
+func mb(b int64) string { return fmt.Sprintf("%.1f", float64(b)/1e6) }
+
+// speedup renders a ratio like the paper's "(2.01×↑)" annotations.
+func speedup(baselineNs, ns float64) string {
+	r := baselineNs / ns
+	if r >= 1 {
+		return fmt.Sprintf("%.2fx faster", r)
+	}
+	return fmt.Sprintf("%.2fx slower", 1/r)
+}

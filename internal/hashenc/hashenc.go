@@ -1,0 +1,100 @@
+// Package hashenc implements the DHE encoding stage (Algorithm 1, steps
+// 1–2): k universal hash functions [Carter & Wegman] map a categorical
+// feature value to k integers in [0, m), which are then scaled uniformly
+// into [-1, 1] to form the decoder's input vector.
+//
+// The entire computation is straight-line arithmetic over the input value:
+// no table lookups, no data-dependent branches (the single conditional
+// reduction uses a branchless masked subtract). This is precisely why the
+// paper re-purposes DHE as a side-channel-safe embedding generator — the
+// memory access pattern of encoding is independent of the secret feature
+// value.
+package hashenc
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"secemb/internal/oblivious"
+)
+
+// DefaultBuckets is the paper's hash bucket size m = 10^6.
+const DefaultBuckets = 1_000_000
+
+// mersenne61 = 2^61 - 1, a Mersenne prime used as the universal-hash
+// modulus p. All hash parameters live in [0, p), comfortably above any
+// table cardinality or LLM vocabulary, as universal hashing requires.
+const mersenne61 = (1 << 61) - 1
+
+// Encoder holds k universal hash functions h_i(x) = ((a_i·x + b_i) mod p)
+// mod m and scales their outputs to [-1, 1].
+type Encoder struct {
+	K int
+	M uint64
+
+	a, b []uint64
+}
+
+// New draws k hash functions with a_i ∈ [1, p), b_i ∈ [0, p) from a
+// deterministic PRNG so models are reproducible. m is the bucket count
+// (0 → DefaultBuckets).
+func New(k int, m uint64, seed int64) *Encoder {
+	if k <= 0 {
+		panic("hashenc: k must be positive")
+	}
+	if m == 0 {
+		m = DefaultBuckets
+	}
+	rng := rand.New(rand.NewSource(seed))
+	e := &Encoder{K: k, M: m, a: make([]uint64, k), b: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		e.a[i] = 1 + uint64(rng.Int63n(mersenne61-1))
+		e.b[i] = uint64(rng.Int63n(mersenne61))
+	}
+	return e
+}
+
+// mod61 reduces v (< 2^62 + small) modulo 2^61-1 branchlessly.
+func mod61(v uint64) uint64 {
+	v = (v & mersenne61) + (v >> 61)
+	// v may still equal or slightly exceed the modulus; subtract it under
+	// a mask rather than a branch.
+	ge := ^oblivious.Lt(v, mersenne61) // all-ones when v >= p
+	return v - (mersenne61 & ge)
+}
+
+// mulmod61 returns a·b mod 2^61-1 for a, b < 2^61, using the Mersenne
+// folding identity 2^64 ≡ 2^3 (mod p).
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a,b < 2^61 ⇒ the true product < 2^122 ⇒ hi < 2^58, so hi<<3 < 2^61.
+	return mod61((lo & mersenne61) + (lo >> 61) + hi<<3)
+}
+
+// Hash returns h_i(x) ∈ [0, M).
+func (e *Encoder) Hash(i int, x uint64) uint64 {
+	y := mod61(mulmod61(e.a[i], mod61(x)) + e.b[i])
+	return y % e.M // constant divisor: compiled to mul/shift, data-independent
+}
+
+// Encode writes the k scaled hash values for x into out (len ≥ K):
+// out[i] = 2·h_i(x)/(M-1) − 1 ∈ [-1, 1] (Algorithm 1, step 2).
+func (e *Encoder) Encode(x uint64, out []float32) {
+	scale := 2 / float32(e.M-1)
+	for i := 0; i < e.K; i++ {
+		out[i] = float32(e.Hash(i, x))*scale - 1
+	}
+}
+
+// EncodeBatch encodes each id into one row of a len(ids)×K row-major
+// buffer and returns it.
+func (e *Encoder) EncodeBatch(ids []uint64) []float32 {
+	out := make([]float32, len(ids)*e.K)
+	for r, id := range ids {
+		e.Encode(id, out[r*e.K:(r+1)*e.K])
+	}
+	return out
+}
+
+// NumBytes reports the parameter footprint of the encoder (the a_i, b_i).
+func (e *Encoder) NumBytes() int64 { return int64(e.K) * 16 }

@@ -1,0 +1,18 @@
+package llm
+
+import (
+	"io"
+
+	"secemb/internal/nn"
+)
+
+// Save writes the model's parameters (trunk, embeddings, head). Loading
+// requires a model built with the same Config and token kind.
+func (m *Model) Save(w io.Writer) error {
+	return nn.SaveParams(w, m.Params())
+}
+
+// Load restores parameters saved by Save into this model.
+func (m *Model) Load(r io.Reader) error {
+	return nn.LoadParams(r, m.Params())
+}

@@ -1,0 +1,320 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/nn"
+	"secemb/internal/oblivious"
+	"secemb/internal/tensor"
+)
+
+// Pipeline is the inference-time transformer: trained (or random, for
+// latency studies) trunk weights, KV caches, and a pluggable
+// core.Generator for token embeddings. Prefill embeds the whole prompt
+// batch in one embedding-generation call (batch = requests × prompt
+// length) while each decode step embeds one token per request — the
+// batch-size asymmetry behind the paper's prefill-vs-decode findings
+// (Figure 5, Figure 15's table).
+type Pipeline struct {
+	Cfg    Config
+	Gen    core.Generator
+	Pos    *tensor.Matrix // MaxSeq×Dim positional table (public indices)
+	Blocks []*block
+	LNF    *nn.LayerNorm
+	Head   *tensor.Matrix // Vocab×Dim
+}
+
+// FromModel assembles a pipeline reusing a trained model's trunk, with
+// token embeddings served by gen.
+func FromModel(m *Model, gen core.Generator) *Pipeline {
+	if gen.Dim() != m.Cfg.Dim {
+		panic(fmt.Sprintf("llm: generator dim %d != model dim %d", gen.Dim(), m.Cfg.Dim))
+	}
+	return &Pipeline{
+		Cfg:    m.Cfg,
+		Gen:    gen,
+		Pos:    m.Pos.Weight.Value,
+		Blocks: m.Blocks,
+		LNF:    m.LNF,
+		Head:   m.Head.Value,
+	}
+}
+
+// NewRandomPipeline builds an untrained pipeline of the given shape —
+// sufficient for latency experiments, where only shapes matter.
+func NewRandomPipeline(cfg Config, gen core.Generator) *Pipeline {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Pipeline{
+		Cfg:  cfg,
+		Gen:  gen,
+		Pos:  tensor.NewGaussian(cfg.MaxSeq, cfg.Dim, 0.02, rng),
+		LNF:  nn.NewLayerNorm(cfg.Dim, rng),
+		Head: tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rng),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		p.Blocks = append(p.Blocks, newBlock(cfg, rng))
+	}
+	return p
+}
+
+// Session holds the KV caches for one batch of generation requests.
+type Session struct {
+	p    *Pipeline
+	kv   [][]kvCache // [layer][sequence]
+	lens []int       // tokens cached so far, per sequence
+
+	// Timing of the last Prefill and of each Decode step.
+	PrefillTime time.Duration
+	DecodeTimes []time.Duration
+}
+
+type kvCache struct {
+	k, v *tensor.Matrix // MaxSeq×Dim
+}
+
+// NewSession prepares caches for `batch` concurrent sequences.
+func (p *Pipeline) NewSession(batch int) *Session {
+	s := &Session{p: p, lens: make([]int, batch)}
+	s.kv = make([][]kvCache, p.Cfg.Layers)
+	for l := range s.kv {
+		s.kv[l] = make([]kvCache, batch)
+		for b := range s.kv[l] {
+			s.kv[l][b] = kvCache{
+				k: tensor.New(p.Cfg.MaxSeq, p.Cfg.Dim),
+				v: tensor.New(p.Cfg.MaxSeq, p.Cfg.Dim),
+			}
+		}
+	}
+	return s
+}
+
+// Prefill processes the prompt of every sequence and returns the logits of
+// each sequence's final position (batch×Vocab). The token embeddings of
+// *all* prompts are generated in a single Generate call, so the embedding
+// batch is Σ prompt lengths (e.g. 256×B for the paper's setup).
+func (s *Session) Prefill(prompts [][]int) *tensor.Matrix {
+	start := time.Now()
+	p := s.p
+	if len(prompts) != len(s.lens) {
+		panic(fmt.Sprintf("llm: %d prompts for %d-sequence session", len(prompts), len(s.lens)))
+	}
+	var ids []uint64
+	for b, toks := range prompts {
+		if s.lens[b] != 0 {
+			panic("llm: Prefill on an already-prefilled session")
+		}
+		if len(toks) == 0 || len(toks) > p.Cfg.MaxSeq {
+			panic(fmt.Sprintf("llm: prompt length %d out of (0, %d]", len(toks), p.Cfg.MaxSeq))
+		}
+		for _, t := range toks {
+			ids = append(ids, uint64(t))
+		}
+	}
+	emb := p.Gen.Generate(ids) // ONE batched secure embedding generation
+	out := tensor.New(len(prompts), p.Cfg.Vocab)
+	off := 0
+	for b, toks := range prompts {
+		T := len(toks)
+		x := tensor.SliceRows(emb, off, off+T)
+		off += T
+		for i := 0; i < T; i++ {
+			row := x.Row(i)
+			pos := p.Pos.Row(i)
+			for c := range row {
+				row[c] += pos[c]
+			}
+		}
+		hidden := p.forwardChunk(s, b, x)
+		last := tensor.SliceRows(hidden, T-1, T)
+		logits := tensor.MatMulTransB(last, p.Head, 0)
+		copy(out.Row(b), logits.Row(0))
+		s.lens[b] = T
+	}
+	s.PrefillTime = time.Since(start)
+	return out
+}
+
+// Decode appends one token per sequence and returns next-token logits
+// (batch×Vocab). The embedding-generation batch equals the request batch.
+func (s *Session) Decode(tokens []int) *tensor.Matrix {
+	start := time.Now()
+	p := s.p
+	if len(tokens) != len(s.lens) {
+		panic(fmt.Sprintf("llm: %d tokens for %d-sequence session", len(tokens), len(s.lens)))
+	}
+	ids := make([]uint64, len(tokens))
+	for i, t := range tokens {
+		ids[i] = uint64(t)
+	}
+	emb := p.Gen.Generate(ids)
+	out := tensor.New(len(tokens), p.Cfg.Vocab)
+	for b := range tokens {
+		if s.lens[b] >= p.Cfg.MaxSeq {
+			panic("llm: sequence exceeded MaxSeq")
+		}
+		x := tensor.SliceRows(emb, b, b+1)
+		row := x.Row(0)
+		pos := p.Pos.Row(s.lens[b])
+		for c := range row {
+			row[c] += pos[c]
+		}
+		hidden := p.forwardChunk(s, b, x)
+		logits := tensor.MatMulTransB(hidden, p.Head, 0)
+		copy(out.Row(b), logits.Row(0))
+		s.lens[b]++
+	}
+	d := time.Since(start)
+	s.DecodeTimes = append(s.DecodeTimes, d)
+	return out
+}
+
+// forwardChunk runs Tnew new embedded tokens of sequence b through the
+// trunk using (and extending) the KV caches. Returns Tnew×Dim hidden
+// states after the final LayerNorm.
+func (p *Pipeline) forwardChunk(s *Session, b int, x *tensor.Matrix) *tensor.Matrix {
+	prev := s.lens[b]
+	for li, blk := range p.Blocks {
+		x = p.blockInfer(s.kv[li][b], prev, blk, x)
+	}
+	return p.LNF.Forward(x)
+}
+
+// blockInfer is block.forward with cached K/V attention.
+func (p *Pipeline) blockInfer(cache kvCache, prev int, blk *block, x *tensor.Matrix) *tensor.Matrix {
+	h := blk.ln1.Forward(x)
+	attnOut := p.attnInfer(cache, prev, blk.attn, h)
+	x2 := tensor.Add(x, attnOut)
+	f := blk.fc2.Forward(blk.act.Forward(blk.fc1.Forward(blk.ln2.Forward(x2))))
+	return tensor.Add(x2, f)
+}
+
+// attnInfer computes causal attention for Tnew new tokens against
+// prev+Tnew cached positions.
+func (p *Pipeline) attnInfer(cache kvCache, prev int, a *attention, x *tensor.Matrix) *tensor.Matrix {
+	Tnew := x.Rows
+	dim := p.Cfg.Dim
+	hd := p.Cfg.headDim()
+	qkv := a.qkv.Forward(x)
+	// Append new K/V rows to the cache.
+	for i := 0; i < Tnew; i++ {
+		copy(cache.k.Row(prev+i), qkv.Row(i)[dim:2*dim])
+		copy(cache.v.Row(prev+i), qkv.Row(i)[2*dim:3*dim])
+	}
+	concat := tensor.New(Tnew, dim)
+	scale := 1 / math.Sqrt(float64(hd))
+	for h := 0; h < p.Cfg.Heads; h++ {
+		for i := 0; i < Tnew; i++ {
+			q := qkv.Row(i)[h*hd : (h+1)*hd]
+			limit := prev + i + 1 // causal: attend up to self
+			scores := make([]float64, limit)
+			maxS := math.Inf(-1)
+			for j := 0; j < limit; j++ {
+				kRow := cache.k.Row(j)[h*hd : (h+1)*hd]
+				var dot float64
+				for c := 0; c < hd; c++ {
+					dot += float64(q[c]) * float64(kRow[c])
+				}
+				dot *= scale
+				scores[j] = dot
+				if dot > maxS {
+					maxS = dot
+				}
+			}
+			var sum float64
+			for j := range scores {
+				scores[j] = math.Exp(scores[j] - maxS)
+				sum += scores[j]
+			}
+			dst := concat.Row(i)[h*hd : (h+1)*hd]
+			for j := 0; j < limit; j++ {
+				w := float32(scores[j] / sum)
+				vRow := cache.v.Row(j)[h*hd : (h+1)*hd]
+				for c := 0; c < hd; c++ {
+					dst[c] += w * vRow[c]
+				}
+			}
+		}
+	}
+	return a.proj.Forward(concat)
+}
+
+// GreedyNext returns the most probable token per row using the oblivious
+// argmax — the secure greedy sampling of §V-C.
+func GreedyNext(logits *tensor.Matrix) []int {
+	out := make([]int, logits.Rows)
+	for r := range out {
+		out[r] = oblivious.ArgMax(logits.Row(r))
+	}
+	return out
+}
+
+// SampleNext draws the next token per row from the top-k softmax at the
+// given temperature, using the oblivious top-k/cumulative-select kernels —
+// the sampling analogue of the paper's oblivious greedy argmax. rng
+// supplies the (non-secret) randomness; temperature ≤ 0 degrades to
+// greedy.
+func SampleNext(logits *tensor.Matrix, k int, temperature float64, rng *rand.Rand) []int {
+	out := make([]int, logits.Rows)
+	for r := range out {
+		out[r] = oblivious.SampleTopK(logits.Row(r), k, temperature, rng.Float64())
+	}
+	return out
+}
+
+// GenerateSampled is Generate with top-k/temperature sampling instead of
+// greedy decoding.
+func (p *Pipeline) GenerateSampled(prompts [][]int, steps, k int, temperature float64, rng *rand.Rand) (*Session, [][]int) {
+	s := p.NewSession(len(prompts))
+	logits := s.Prefill(prompts)
+	outs := make([][]int, len(prompts))
+	next := SampleNext(logits, k, temperature, rng)
+	for i, t := range next {
+		outs[i] = append(outs[i], t)
+	}
+	for step := 1; step < steps; step++ {
+		logits = s.Decode(next)
+		next = SampleNext(logits, k, temperature, rng)
+		for i, t := range next {
+			outs[i] = append(outs[i], t)
+		}
+	}
+	return s, outs
+}
+
+// Generate runs prefill plus `steps` greedy decode steps and returns the
+// generated tokens per sequence. Timing lands in the session fields
+// (TTFT = PrefillTime; TBT = mean of DecodeTimes), matching the metrics of
+// §VI-A3.
+func (p *Pipeline) Generate(prompts [][]int, steps int) (*Session, [][]int) {
+	s := p.NewSession(len(prompts))
+	logits := s.Prefill(prompts)
+	outs := make([][]int, len(prompts))
+	next := GreedyNext(logits)
+	for i, t := range next {
+		outs[i] = append(outs[i], t)
+	}
+	for step := 1; step < steps; step++ {
+		logits = s.Decode(next)
+		next = GreedyNext(logits)
+		for i, t := range next {
+			outs[i] = append(outs[i], t)
+		}
+	}
+	return s, outs
+}
+
+// MeanDecodeTime is the paper's TBT (time between tokens).
+func (s *Session) MeanDecodeTime() time.Duration {
+	if len(s.DecodeTimes) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.DecodeTimes {
+		total += d
+	}
+	return total / time.Duration(len(s.DecodeTimes))
+}

@@ -1,0 +1,59 @@
+package memtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace export/import as line-oriented text (`op region block`), so traces
+// captured from one run can be diffed, archived, or analyzed offline —
+// e.g. comparing a generator's access pattern across versions.
+
+// WriteTo serializes the trace, one access per line.
+func (t Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, a := range t {
+		c, err := fmt.Fprintf(bw, "%s %s %d\n", a.Op, a.Region, a.Block)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTo.
+func ReadTrace(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out Trace
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("memtrace: line %d: want 'op region block', got %q", lineNo, line)
+		}
+		var op Op
+		switch fields[0] {
+		case "R":
+			op = Read
+		case "W":
+			op = Write
+		default:
+			return nil, fmt.Errorf("memtrace: line %d: bad op %q", lineNo, fields[0])
+		}
+		block, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("memtrace: line %d: %w", lineNo, err)
+		}
+		out = append(out, Access{Region: fields[1], Block: block, Op: op})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,33 @@
+package memtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace: arbitrary input never panics; anything that parses must
+// re-serialize to a trace that parses to the same value.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("R tbl 3\nW oram.tree 17\n")
+	f.Add("")
+	f.Add("X bad 1")
+	f.Add("R a notanum")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !again.Equal(tr) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+
+	"secemb/internal/oblivious"
+	"secemb/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation, computed with the branchless
+// max kernel from internal/oblivious — the Go analogue of the paper's
+// AVX-512 secure ReLU (§V-A3): no secret-dependent branch decides whether
+// an activation is clamped.
+type ReLU struct {
+	lastOut *tensor.Matrix
+}
+
+// Forward clamps negatives to zero, branchlessly.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := x.Clone()
+	oblivious.ReLU(y.Data)
+	r.lastOut = y
+	return y
+}
+
+// Backward masks the incoming gradient where the output was zero.
+// The mask is derived arithmetically (sign bit), not by branching.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := grad.Clone()
+	for i, v := range r.lastOut.Data {
+		// v > 0 ⇒ pass gradient. v is never negative post-ReLU. Use the
+		// sign of (0 - v): negative exactly when v > 0 (0-0 yields +0
+		// under IEEE round-to-nearest, so clamped cells block).
+		m := -uint32(math.Float32bits(0-v) >> 31) // all-ones when v > 0
+		out.Data[i] = oblivious.Select32f(m, out.Data[i], 0)
+	}
+	return out
+}
+
+// Params returns nil: ReLU is parameter-free.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation, used for DLRM's final click
+// probability. A pure mathematical map: data-independent flow (§V-C).
+type Sigmoid struct {
+	lastOut *tensor.Matrix
+}
+
+// Forward applies 1/(1+e^{-x}) element-wise.
+func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.Apply(x, func(v float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	})
+	s.lastOut = y
+	return y
+}
+
+// Backward multiplies by σ'(x) = σ(x)(1-σ(x)).
+func (s *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := grad.Clone()
+	for i, y := range s.lastOut.Data {
+		out.Data[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params returns nil: Sigmoid is parameter-free.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// GELU is the Gaussian-error linear unit (tanh approximation), the
+// transformer FFN activation. Deterministic mathematical flow (§V-C).
+type GELU struct {
+	lastX *tensor.Matrix
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/π)
+
+func geluForward(v float64) float64 {
+	return 0.5 * v * (1 + math.Tanh(geluC*(v+0.044715*v*v*v)))
+}
+
+// Forward applies GELU element-wise.
+func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	g.lastX = x
+	return tensor.Apply(x, func(v float32) float32 {
+		return float32(geluForward(float64(v)))
+	})
+}
+
+// Backward applies the analytic derivative of the tanh-approximate GELU.
+func (g *GELU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	out := grad.Clone()
+	for i, xv := range g.lastX.Data {
+		v := float64(xv)
+		u := geluC * (v + 0.044715*v*v*v)
+		t := math.Tanh(u)
+		du := geluC * (1 + 3*0.044715*v*v)
+		d := 0.5*(1+t) + 0.5*v*(1-t*t)*du
+		out.Data[i] *= float32(d)
+	}
+	return out
+}
+
+// Params returns nil: GELU is parameter-free.
+func (g *GELU) Params() []*Param { return nil }
+
+// SoftmaxRows applies a numerically-stable softmax to each row of x,
+// returning a new matrix. Shared by the attention layers and the
+// cross-entropy loss. The max subtraction uses the branchless max.
+func SoftmaxRows(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		dst := out.Row(r)
+		m := row[0]
+		for _, v := range row[1:] {
+			m = oblivious.Max(m, v)
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - m))
+			dst[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	return out
+}

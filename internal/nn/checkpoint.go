@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"secemb/internal/tensor"
+)
+
+// Checkpoint format: magic "SECK", uint32 parameter count, then per
+// parameter a length-prefixed name followed by the tensor. Loading
+// requires an identically-structured model (same order, names, shapes),
+// which catches architecture mismatches instead of silently corrupting.
+
+var ckptMagic = [4]byte{'S', 'E', 'C', 'K'}
+
+// SaveParams writes the parameters (values only; no optimizer state).
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(params)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(name)))
+		if _, err := bw.Write(nl[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if _, err := p.Value.WriteTo(w); err != nil {
+			return fmt.Errorf("nn: writing %s: %w", p.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint written by SaveParams into params, which
+// must match in count, order, names, and shapes.
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return err
+	}
+	if got := int(binary.LittleEndian.Uint32(cnt[:])); got != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", got, len(params))
+	}
+	for _, p := range params {
+		var nl [2]byte
+		if _, err := io.ReadFull(br, nl[:]); err != nil {
+			return err
+		}
+		name := make([]byte, binary.LittleEndian.Uint16(nl[:]))
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q, model expects %q", name, p.Name)
+		}
+		if err := tensor.ReadMatrixInto(br, p.Value); err != nil {
+			return fmt.Errorf("nn: loading %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}

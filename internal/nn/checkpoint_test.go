@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"secemb/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := MLP([]int{4, 8, 2}, false, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := MLP([]int{4, 8, 2}, false, rand.New(rand.NewSource(99)))
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewUniform(3, 4, 1, rng)
+	if !tensor.AllClose(src.Forward(x), dst.Forward(x), 0) {
+		t.Fatal("loaded model differs from saved model")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := MLP([]int{3, 3}, false, rng)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveParams(f, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	m2 := MLP([]int{3, 3}, false, rand.New(rand.NewSource(3)))
+	if err := LoadParams(g, m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(m.Params()[0].Value, m2.Params()[0].Value, 0) {
+		t.Fatal("file round-trip corrupted weights")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, MLP([]int{4, 2}, false, rng).Params()); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadParams(&buf, MLP([]int{4, 3}, false, rng).Params())
+	if err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestCheckpointCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, MLP([]int{4, 2}, false, rng).Params()); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadParams(&buf, MLP([]int{4, 4, 2}, false, rng).Params())
+	if err == nil {
+		t.Fatal("param-count mismatch must error")
+	}
+}
+
+func TestCheckpointBadMagic(t *testing.T) {
+	if err := LoadParams(bytes.NewReader([]byte("nope....")), nil); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	if err := LoadParams(bytes.NewReader(nil), nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestTensorIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range [][2]int{{1, 1}, {3, 7}, {0, 0}, {5, 0}} {
+		m := tensor.NewUniform(shape[0], shape[1], 2, rng)
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := tensor.ReadMatrix(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(m, got, 0) {
+			t.Fatalf("round trip failed for %v", shape)
+		}
+	}
+}
+
+func TestTensorIOTruncated(t *testing.T) {
+	m := tensor.New(4, 4)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := tensor.ReadMatrix(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+	if _, err := tensor.ReadMatrix(bytes.NewReader(raw[:6])); err == nil {
+		t.Fatal("truncated header must error")
+	}
+}

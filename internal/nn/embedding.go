@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/tensor"
+)
+
+// Embedding is a trainable lookup table mapping integer IDs to dense rows —
+// the *storage-based* embedding representation of Figure 2 (1). This type
+// is the non-secure baseline and the training-time representation; the
+// secure generators that wrap it (linear scan, ORAM) live in internal/core.
+type Embedding struct {
+	NumRows int
+	Dim     int
+	Weight  *Param
+}
+
+// NewEmbedding builds a table of numRows×dim with N(0, 1/√dim) rows, the
+// usual embedding init.
+func NewEmbedding(numRows, dim int, rng *rand.Rand) *Embedding {
+	std := 1.0 / float64(dim)
+	w := tensor.NewGaussian(numRows, dim, std, rng)
+	return &Embedding{NumRows: numRows, Dim: dim, Weight: NewParam("emb", w)}
+}
+
+// LookupBatch gathers the rows for ids into a len(ids)×Dim matrix.
+// This is the direct (index-leaking) lookup the paper attacks in §III.
+func (e *Embedding) LookupBatch(ids []int) *tensor.Matrix {
+	out := tensor.New(len(ids), e.Dim)
+	for r, id := range ids {
+		if id < 0 || id >= e.NumRows {
+			panic(fmt.Sprintf("nn: embedding id %d out of table size %d", id, e.NumRows))
+		}
+		copy(out.Row(r), e.Weight.Value.Row(id))
+	}
+	return out
+}
+
+// BackwardBatch scatters per-row gradients back into the table gradient.
+func (e *Embedding) BackwardBatch(ids []int, grad *tensor.Matrix) {
+	if grad.Rows != len(ids) || grad.Cols != e.Dim {
+		panic(fmt.Sprintf("nn: embedding grad %dx%d vs %d ids dim %d", grad.Rows, grad.Cols, len(ids), e.Dim))
+	}
+	for r, id := range ids {
+		dst := e.Weight.Grad.Row(id)
+		src := grad.Row(r)
+		for c, v := range src {
+			dst[c] += v
+		}
+	}
+}
+
+// Params returns the table parameter.
+func (e *Embedding) Params() []*Param { return []*Param{e.Weight} }
+
+// NumBytes returns the table footprint in bytes (Table VI accounting).
+func (e *Embedding) NumBytes() int64 { return e.Weight.Value.NumBytes() }

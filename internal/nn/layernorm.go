@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"secemb/internal/tensor"
+)
+
+// LayerNorm normalizes each row to zero mean / unit variance and applies a
+// learned affine transform, as in the transformer blocks. Its memory
+// access pattern depends only on the input shape (§V-C: "normalization
+// layers ... have deterministic data and control flow").
+type LayerNorm struct {
+	Dim   int
+	Gamma *Param
+	Beta  *Param
+	Eps   float32
+
+	lastNorm *tensor.Matrix // normalized (pre-affine) activations
+	lastInv  []float32      // per-row 1/σ
+}
+
+// NewLayerNorm returns a LayerNorm over rows of width dim, with γ=1, β=0.
+// rng is accepted for interface symmetry with other layer constructors but
+// is unused (the standard init is deterministic).
+func NewLayerNorm(dim int, rng *rand.Rand) *LayerNorm {
+	_ = rng
+	gamma := tensor.New(1, dim)
+	gamma.Fill(1)
+	return &LayerNorm{
+		Dim:   dim,
+		Gamma: NewParam("gamma", gamma),
+		Beta:  NewParam("beta", tensor.New(1, dim)),
+		Eps:   1e-5,
+	}
+}
+
+// Forward normalizes each row and applies γ,β.
+func (l *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	shapeCheck("LayerNorm", x, l.Dim)
+	out := tensor.New(x.Rows, x.Cols)
+	l.lastNorm = tensor.New(x.Rows, x.Cols)
+	l.lastInv = make([]float32, x.Rows)
+	g := l.Gamma.Value.Data
+	b := l.Beta.Value.Data
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := float32(1 / math.Sqrt(varsum/float64(len(row))+float64(l.Eps)))
+		l.lastInv[r] = inv
+		norm := l.lastNorm.Row(r)
+		dst := out.Row(r)
+		for c, v := range row {
+			n := (v - float32(mean)) * inv
+			norm[c] = n
+			dst[c] = n*g[c] + b[c]
+		}
+	}
+	return out
+}
+
+// Backward propagates through the normalization and accumulates γ,β grads.
+func (l *LayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	shapeCheck("LayerNorm.Backward", grad, l.Dim)
+	out := tensor.New(grad.Rows, grad.Cols)
+	g := l.Gamma.Value.Data
+	n := float32(l.Dim)
+	for r := 0; r < grad.Rows; r++ {
+		gRow := grad.Row(r)
+		normRow := l.lastNorm.Row(r)
+		inv := l.lastInv[r]
+		// dγ += dy ⊙ norm; dβ += dy
+		var sumDy, sumDyN float32
+		for c, dy := range gRow {
+			l.Gamma.Grad.Data[c] += dy * normRow[c]
+			l.Beta.Grad.Data[c] += dy
+			h := dy * g[c]
+			sumDy += h
+			sumDyN += h * normRow[c]
+		}
+		dst := out.Row(r)
+		for c, dy := range gRow {
+			h := dy * g[c]
+			dst[c] = (h - sumDy/n - normRow[c]*sumDyN/n) * inv
+		}
+	}
+	return out
+}
+
+// Params returns γ and β.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }

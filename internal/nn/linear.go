@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+
+	"secemb/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = x·W + b with W of shape in×out.
+//
+// Threads controls the worker count of the underlying matmul (0 = all
+// CPUs); the paper's profiling sweeps latency across thread counts, so the
+// embedding generators expose this knob all the way down.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+	Threads int
+
+	lastX *tensor.Matrix // cached input for Backward
+}
+
+// NewLinear builds a Linear layer with Xavier-initialized weights and zero
+// bias, matching the DLRM reference MLP initialization.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam("W", tensor.NewXavier(in, out, rng)),
+		B:   NewParam("b", tensor.New(1, out)),
+	}
+}
+
+// Forward computes x·W + b for a batch of rows.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	shapeCheck("Linear", x, l.In)
+	l.lastX = x
+	y := tensor.MatMul(x, l.W.Value, l.Threads)
+	tensor.AddRowVec(y, l.B.Value.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dy and db = Σrows(dy), and returns
+// dx = dy·Wᵀ.
+func (l *Linear) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	shapeCheck("Linear.Backward", grad, l.Out)
+	tensor.AddInPlace(l.W.Grad, tensor.MatMulTransA(l.lastX, grad, l.Threads))
+	bg := tensor.ColSums(grad)
+	for i, v := range bg {
+		l.B.Grad.Data[i] += v
+	}
+	return tensor.MatMulTransB(grad, l.W.Value, l.Threads)
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// FLOPs returns the multiply-accumulate count of one forward pass with the
+// given batch size; the cost model uses this to reason about DHE's O(k²)
+// compute independent of wall-clock noise.
+func (l *Linear) FLOPs(batch int) int64 {
+	return 2 * int64(batch) * int64(l.In) * int64(l.Out)
+}
+
+// NumBytes returns the parameter footprint in bytes.
+func (l *Linear) NumBytes() int64 {
+	return l.W.Value.NumBytes() + l.B.Value.NumBytes()
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"secemb/internal/tensor"
+)
+
+// BCEWithLogits computes the mean binary cross-entropy between logits
+// (batch×1) and labels (0/1, batch×1) and the gradient w.r.t. the logits.
+// This is DLRM's click-through-rate training loss.
+func BCEWithLogits(logits *tensor.Matrix, labels []float32) (loss float64, grad *tensor.Matrix) {
+	if logits.Cols != 1 || logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: BCEWithLogits shape %dx%d vs %d labels", logits.Rows, logits.Cols, len(labels)))
+	}
+	n := float64(len(labels))
+	grad = tensor.New(logits.Rows, 1)
+	for i, y := range labels {
+		z := float64(logits.Data[i])
+		// Numerically-stable log(1+e^{-|z|}) formulation.
+		loss += math.Max(z, 0) - z*float64(y) + math.Log1p(math.Exp(-math.Abs(z)))
+		p := 1 / (1 + math.Exp(-z))
+		grad.Data[i] = float32((p - float64(y)) / n)
+	}
+	return loss / n, grad
+}
+
+// CrossEntropyLogits computes the mean cross-entropy between row-batched
+// logits (batch×classes) and integer targets, plus the gradient w.r.t. the
+// logits. Rows whose target is IgnoreIndex contribute nothing. This is the
+// language-modeling loss used for the GPT-2 finetuning experiments.
+func CrossEntropyLogits(logits *tensor.Matrix, targets []int) (loss float64, grad *tensor.Matrix) {
+	if logits.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: CrossEntropyLogits %d rows vs %d targets", logits.Rows, len(targets)))
+	}
+	probs := SoftmaxRows(logits)
+	grad = tensor.New(logits.Rows, logits.Cols)
+	counted := 0
+	for r, t := range targets {
+		if t == IgnoreIndex {
+			continue
+		}
+		if t < 0 || t >= logits.Cols {
+			panic(fmt.Sprintf("nn: target %d out of %d classes", t, logits.Cols))
+		}
+		counted++
+		p := float64(probs.At(r, t))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	if counted == 0 {
+		return 0, grad
+	}
+	inv := float32(1 / float64(counted))
+	for r, t := range targets {
+		if t == IgnoreIndex {
+			continue
+		}
+		src := probs.Row(r)
+		dst := grad.Row(r)
+		for c, pv := range src {
+			dst[c] = pv * inv
+		}
+		dst[t] -= inv
+	}
+	return loss / float64(counted), grad
+}
+
+// IgnoreIndex marks targets excluded from CrossEntropyLogits (padding).
+const IgnoreIndex = -1
+
+// Perplexity converts a mean cross-entropy (nats) to perplexity.
+func Perplexity(meanCrossEntropy float64) float64 {
+	return math.Exp(meanCrossEntropy)
+}

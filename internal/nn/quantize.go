@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+
+	"secemb/internal/tensor"
+)
+
+// Int8 weight quantization: the paper motivates CPU LLM inference with
+// "techniques such as quantization and SIMD vector units" (§II-A). This
+// file provides symmetric per-output-channel int8 weight quantization for
+// Linear layers, with float32 activations and int32-style accumulation —
+// the standard weight-only scheme. Quantized inference has the same
+// deterministic control and data flow as the float path (the quantized
+// weights are dense and every multiply happens regardless of values), so
+// the side-channel argument is unchanged.
+
+// QuantLinear is an inference-only, int8-weight fully-connected layer.
+type QuantLinear struct {
+	In, Out int
+	// W8 holds the quantized weights, row-major In×Out like the float
+	// layer it was built from.
+	W8 []int8
+	// Scale[o] converts the int8 column o back to float: w ≈ W8·Scale[o].
+	Scale []float32
+	Bias  []float32
+}
+
+// Quantize converts a trained Linear layer to int8 weights with
+// symmetric per-output-channel scales.
+func Quantize(l *Linear) *QuantLinear {
+	q := &QuantLinear{
+		In:    l.In,
+		Out:   l.Out,
+		W8:    make([]int8, l.In*l.Out),
+		Scale: make([]float32, l.Out),
+		Bias:  append([]float32(nil), l.B.Value.Data...),
+	}
+	w := l.W.Value
+	for o := 0; o < l.Out; o++ {
+		var maxAbs float64
+		for i := 0; i < l.In; i++ {
+			if v := math.Abs(float64(w.At(i, o))); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			q.Scale[o] = 1
+			continue
+		}
+		scale := maxAbs / 127
+		q.Scale[o] = float32(scale)
+		for i := 0; i < l.In; i++ {
+			v := math.Round(float64(w.At(i, o)) / scale)
+			if v > 127 {
+				v = 127
+			} else if v < -127 {
+				v = -127
+			}
+			q.W8[i*l.Out+o] = int8(v)
+		}
+	}
+	return q
+}
+
+// Forward computes x·Ŵ + b with dequantization folded into the column
+// scales.
+func (q *QuantLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	shapeCheck("QuantLinear", x, q.In)
+	out := tensor.New(x.Rows, q.Out)
+	for r := 0; r < x.Rows; r++ {
+		xRow := x.Row(r)
+		dst := out.Row(r)
+		for i, xv := range xRow {
+			if xv == 0 {
+				continue
+			}
+			wRow := q.W8[i*q.Out : (i+1)*q.Out]
+			for o, w8 := range wRow {
+				dst[o] += xv * float32(w8) * q.Scale[o]
+			}
+		}
+		for o := range dst {
+			dst[o] += q.Bias[o]
+		}
+	}
+	return out
+}
+
+// NumBytes is the quantized footprint: int8 weights + per-channel scales
+// + float bias (~4× smaller than the float32 layer).
+func (q *QuantLinear) NumBytes() int64 {
+	return int64(len(q.W8)) + int64(len(q.Scale))*4 + int64(len(q.Bias))*4
+}
+
+// MaxAbsError reports the worst-case |w - ŵ| over all weights against the
+// original layer — bounded by Scale[o]/2 per channel.
+func (q *QuantLinear) MaxAbsError(l *Linear) float64 {
+	var worst float64
+	for o := 0; o < q.Out; o++ {
+		for i := 0; i < q.In; i++ {
+			approx := float64(q.W8[i*q.Out+o]) * float64(q.Scale[o])
+			if d := math.Abs(approx - float64(l.W.Value.At(i, o))); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// QuantizeSequential converts every Linear in a trained inference stack,
+// leaving activations and norms as-is. Returns a Sequential of
+// QuantLinear/activation layers usable wherever the float stack was.
+func QuantizeSequential(s *Sequential) *Sequential {
+	clone := s.CloneForInference()
+	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
+	for i, l := range s.Layers {
+		if lin, ok := l.(*Linear); ok {
+			out.Layers[i] = &quantLayer{QuantLinear: Quantize(lin)}
+			continue
+		}
+		out.Layers[i] = clone.Layers[i]
+	}
+	return out
+}
+
+// quantLayer adapts QuantLinear to the Layer interface (inference only).
+type quantLayer struct{ *QuantLinear }
+
+func (q *quantLayer) Forward(x *tensor.Matrix) *tensor.Matrix { return q.QuantLinear.Forward(x) }
+func (q *quantLayer) Backward(*tensor.Matrix) *tensor.Matrix {
+	panic("nn: quantized layers are inference-only")
+}
+func (q *quantLayer) Params() []*Param { return nil }

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math/rand"
+
+	"secemb/internal/tensor"
+)
+
+// Sequential chains layers; the Forward output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential wraps the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the chain front to back.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the chain back to front.
+func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params collects all child parameters in order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// SetThreads propagates a matmul worker count to every Linear child.
+func (s *Sequential) SetThreads(n int) {
+	for _, l := range s.Layers {
+		if lin, ok := l.(*Linear); ok {
+			lin.Threads = n
+		}
+	}
+}
+
+// NumBytes sums the resident footprint of all children. Layers that know
+// their own size (Linear, QuantLinear) report it directly — which keeps
+// the accounting correct for quantized layers, whose weights are not
+// trainable Params.
+func (s *Sequential) NumBytes() int64 {
+	var n int64
+	for _, l := range s.Layers {
+		if sz, ok := l.(interface{ NumBytes() int64 }); ok {
+			n += sz.NumBytes()
+			continue
+		}
+		for _, p := range l.Params() {
+			n += p.Value.NumBytes()
+		}
+	}
+	return n
+}
+
+// CloneForInference returns a Sequential that *shares* the trainable
+// parameters but owns fresh layer structs — and therefore private forward
+// caches. Layers cache activations for Backward, so two goroutines may
+// never run Forward on the same layer instance; concurrent inference
+// replicas must each hold a clone. Backward on a clone is unsupported
+// (gradient accumulators are shared but caches are per-clone).
+func (s *Sequential) CloneForInference() *Sequential {
+	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
+	for i, l := range s.Layers {
+		switch v := l.(type) {
+		case *Linear:
+			out.Layers[i] = &Linear{In: v.In, Out: v.Out, W: v.W, B: v.B, Threads: v.Threads}
+		case *ReLU:
+			out.Layers[i] = &ReLU{}
+		case *Sigmoid:
+			out.Layers[i] = &Sigmoid{}
+		case *GELU:
+			out.Layers[i] = &GELU{}
+		case *LayerNorm:
+			out.Layers[i] = &LayerNorm{Dim: v.Dim, Gamma: v.Gamma, Beta: v.Beta, Eps: v.Eps}
+		default:
+			panic("nn: CloneForInference: unsupported layer type")
+		}
+	}
+	return out
+}
+
+// MLP builds the DLRM-style fully-connected stack: Linear+ReLU for every
+// hidden transition, and (per the reference DLRM) a bare Linear at the end
+// when withFinalActivation is false. dims lists layer widths including
+// input and output, e.g. {512, 256, 64, 16}.
+func MLP(dims []int, withFinalActivation bool, rng *rand.Rand) *Sequential {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output widths")
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(dims); i++ {
+		layers = append(layers, NewLinear(dims[i], dims[i+1], rng))
+		last := i+2 == len(dims)
+		if !last || withFinalActivation {
+			layers = append(layers, &ReLU{})
+		}
+	}
+	return NewSequential(layers...)
+}

@@ -1,0 +1,27 @@
+package oblivious
+
+import "testing"
+
+// FuzzEqLt cross-checks the branchless comparisons against the operators
+// for arbitrary operand pairs.
+func FuzzEqLt(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(1))
+	f.Add(uint64(1)<<63, uint64(1)<<63-1)
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		wantEq := uint64(0)
+		if a == b {
+			wantEq = ^uint64(0)
+		}
+		if Eq(a, b) != wantEq {
+			t.Fatalf("Eq(%d,%d)", a, b)
+		}
+		wantLt := uint64(0)
+		if a < b {
+			wantLt = ^uint64(0)
+		}
+		if Lt(a, b) != wantLt {
+			t.Fatalf("Lt(%d,%d)", a, b)
+		}
+	})
+}

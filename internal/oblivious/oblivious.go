@@ -1,0 +1,157 @@
+// Package oblivious provides branchless, constant-flow primitives — the Go
+// analogue of the paper's cmov/AVX-512 blend building blocks (§V-A).
+//
+// Every function in this package is written so that its sequence of memory
+// accesses and its control flow are independent of the *values* of its
+// secret operands; only the (public) lengths of slices affect the work done.
+// Secrets influence results exclusively through masked integer arithmetic.
+//
+// The paper hardens its implementations at the ISA level (cmov, AVX masks).
+// Go gives no such guarantee, so this repository instead *verifies* the
+// property these primitives are meant to deliver: internal/memtrace
+// instruments the block-granular access pattern of every secure embedding
+// generator and the tests assert the trace is identical for all secret
+// inputs. These primitives make that property hold by construction at the
+// algorithm level.
+package oblivious
+
+import "math"
+
+// Mask64 converts a boolean condition into an all-ones/all-zeros 64-bit
+// mask. The conversion from bool goes through a 0/1 integer; no secret-
+// dependent branch is introduced by the compiler for this pattern.
+func Mask64(cond bool) uint64 {
+	var b uint64
+	if cond { // branch on the *public representation* produced by callers
+		b = 1
+	}
+	return -b // 0 → 0x000..0, 1 → 0xFFF..F
+}
+
+// Eq returns an all-ones mask when a == b and zero otherwise, without
+// branching on the comparison.
+func Eq(a, b uint64) uint64 {
+	x := a ^ b
+	// (x-1) has its top bit set only when x == 0 (wrap-around) or when x
+	// already had the top bit clear but borrowed; AND with ^x clears the
+	// latter case.
+	return -(((x - 1) &^ x) >> 63)
+}
+
+// Lt returns an all-ones mask when a < b and zero otherwise. It is exact
+// for all uint64 inputs (Hacker's Delight §2-12 borrow formula).
+func Lt(a, b uint64) uint64 {
+	return -(((^a & b) | ((^(a ^ b)) & (a - b))) >> 63)
+}
+
+// Select64 returns a when mask is all-ones and b when mask is zero.
+func Select64(mask, a, b uint64) uint64 {
+	return (a & mask) | (b &^ mask)
+}
+
+// Select32f returns a when mask is all-ones and b when mask is zero,
+// operating on the raw bit patterns of the float32 operands.
+func Select32f(mask uint32, a, b float32) float32 {
+	ab := math.Float32bits(a)
+	bb := math.Float32bits(b)
+	return math.Float32frombits((ab & mask) | (bb &^ mask))
+}
+
+// CondCopy copies src into dst element-wise when mask is all-ones and
+// leaves dst untouched when mask is zero; either way it reads every element
+// of both slices and writes every element of dst. This is the scan-side
+// "AVX blend" of the paper's linear scan (§V-A2). dst and src must have
+// equal length.
+func CondCopy(mask uint64, dst, src []float32) {
+	m := uint32(mask)
+	for i := range dst {
+		dst[i] = Select32f(m, src[i], dst[i])
+	}
+}
+
+// CondCopyWords is CondCopy for uint32 payloads (ORAM block words).
+// dst and src must have equal length.
+func CondCopyWords(mask uint64, dst, src []uint32) {
+	m := uint32(mask)
+	for i := range dst {
+		dst[i] = (src[i] & m) | (dst[i] &^ m)
+	}
+}
+
+// CondCopy64 is CondCopy for uint64 payloads (ORAM metadata).
+func CondCopy64(mask uint64, dst, src []uint64) {
+	for i := range dst {
+		dst[i] = Select64(mask, src[i], dst[i])
+	}
+}
+
+// CondSwap swaps a and b element-wise when mask is all-ones; it always
+// performs the same reads and writes on both slices.
+func CondSwap(mask uint64, a, b []float32) {
+	m := uint32(mask)
+	for i := range a {
+		x, y := a[i], b[i]
+		a[i] = Select32f(m, y, x)
+		b[i] = Select32f(m, x, y)
+	}
+}
+
+// CondSwapU64 swaps two uint64 values through pointers when mask is set.
+func CondSwapU64(mask uint64, a, b *uint64) {
+	x, y := *a, *b
+	*a = Select64(mask, y, x)
+	*b = Select64(mask, x, y)
+}
+
+// Max returns max(a, b) branchlessly for float32 — the paper's secure
+// ReLU building block (ReLU(x) = max(0, x) via AVX, §V-A3).
+func Max(a, b float32) float32 {
+	// ltMask is all-ones when a < b. Comparing float bits directly is
+	// wrong for floats, so derive the mask from the arithmetic sign of
+	// the difference; NaNs are out of scope for model activations.
+	d := a - b
+	sign := uint32(math.Float32bits(d)) >> 31 // 1 when d < 0 (a < b)
+	mask := -sign                             // all-ones when a < b
+	return Select32f(mask, b, a)
+}
+
+// ReLU applies max(0, x) to every element of x in place, branchlessly.
+func ReLU(x []float32) {
+	for i, v := range x {
+		x[i] = Max(v, 0)
+	}
+}
+
+// ArgMax returns the index of the maximum element of x using a linear scan
+// that obliviously carries the running maximum and its index — the paper's
+// secure greedy-sampling argmax for LLM logits (§V-C). Access pattern and
+// control flow are independent of the values in x. Ties resolve to the
+// lowest index. Panics on empty input.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		panic("oblivious: ArgMax of empty slice")
+	}
+	best := x[0]
+	bestIdx := uint64(0)
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		d := best - v
+		sign := math.Float32bits(d) >> 31 // 1 when best < v
+		mask := -uint64(sign)             // all-ones when best < v
+		best = Select32f(uint32(mask), v, best)
+		bestIdx = Select64(mask, uint64(i), bestIdx)
+	}
+	return int(bestIdx)
+}
+
+// LookupScan returns row `index` of a table with `rows` rows of width
+// `width`, laid out contiguously in data, by scanning the *entire* table
+// and blending the matching row into out. This is the core of the secure
+// linear scan (§IV-A1): every row is read on every call regardless of the
+// secret index. out must have length width.
+func LookupScan(data []float32, rows, width int, index uint64, out []float32) {
+	for r := 0; r < rows; r++ {
+		mask := Eq(uint64(r), index)
+		CondCopy(mask, out, data[r*width:(r+1)*width])
+	}
+}

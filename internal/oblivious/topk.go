@@ -1,0 +1,88 @@
+package oblivious
+
+import "math"
+
+// TopK returns the indices of the k largest values of x in descending
+// value order, computed obliviously: the values are ranked by a bitonic
+// sorting network (schedule fixed by len(x)), so the memory access pattern
+// and control flow are independent of the values. Ties resolve to the
+// lower index. This extends the paper's oblivious greedy argmax (§V-C) to
+// top-k sampling: the k selected token ids stay inside the controller's
+// private state, never surfacing as addresses.
+func TopK(x []float32, k int) []int {
+	n := len(x)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// Pack (value, index) into sortable keys: flip the float bits into a
+	// monotone order, invert for descending, and keep the index in the
+	// low bits so ties break toward lower indices.
+	keys := make([]uint64, n)
+	for i, v := range x {
+		keys[i] = packDescending(v, uint32(i), n)
+	}
+	BitonicSort64(keys)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = int(keys[i] & 0xFFFFFFFF)
+	}
+	return out
+}
+
+// packDescending builds a key whose ascending sort order equals
+// descending value order (ties → ascending index).
+func packDescending(v float32, idx uint32, n int) uint64 {
+	_ = n
+	b := math.Float32bits(v)
+	// Map float bits to a totally-ordered unsigned key (sign-magnitude →
+	// biased): negative floats reverse, positives offset.
+	var m uint32
+	if b>>31 == 1 {
+		m = ^b
+	} else {
+		m = b | 0x80000000
+	}
+	// Descending: invert. Low 32 bits carry the index (not inverted, so
+	// equal values sort by ascending index).
+	return (uint64(^m) << 32) | uint64(idx)
+}
+
+// SampleTopK draws one index from the softmax of the k largest logits at
+// the given temperature, using uniform u ∈ [0,1) supplied by the caller
+// (keeping this package free of RNG state). The cumulative scan selects
+// the index with masked arithmetic — every candidate is touched exactly
+// once regardless of where the draw lands.
+func SampleTopK(logits []float32, k int, temperature float64, u float64) int {
+	if temperature <= 0 {
+		return ArgMax(logits)
+	}
+	top := TopK(logits, k)
+	if len(top) == 1 {
+		return top[0]
+	}
+	// Stable softmax over the k candidates.
+	maxLogit := logits[top[0]] // TopK is descending
+	weights := make([]float64, len(top))
+	var total float64
+	for i, idx := range top {
+		w := math.Exp(float64(logits[idx]-maxLogit) / temperature)
+		weights[i] = w
+		total += w
+	}
+	target := u * total
+	// Oblivious cumulative selection: scan all k, keeping the first
+	// candidate whose cumulative weight exceeds the target.
+	var cum float64
+	chosen := uint64(top[len(top)-1]) // fallback: last candidate
+	taken := uint64(0)
+	for i, idx := range top {
+		cum += weights[i]
+		hit := Mask64(cum > target) &^ taken
+		chosen = Select64(hit, uint64(idx), chosen)
+		taken |= hit
+	}
+	return int(chosen)
+}

@@ -1,0 +1,128 @@
+package oblivious
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveTopK is the reference oracle.
+func naiveTopK(x []float32, k int) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] > x[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		k := 1 + rng.Intn(n)
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		got := TopK(x, k)
+		want := naiveTopK(x, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: TopK(%d)[%d]=%d, want %d", trial, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKNegativesAndTies(t *testing.T) {
+	x := []float32{-1, -3, -1, -2}
+	got := TopK(x, 4)
+	want := []int{0, 2, 3, 1} // ties (idx 0,2) → lower index first
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if TopK(nil, 3) != nil {
+		t.Fatal("empty input")
+	}
+	if TopK([]float32{1}, 0) != nil {
+		t.Fatal("k=0")
+	}
+	got := TopK([]float32{5, 9}, 10) // k > n clamps
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("clamped TopK=%v", got)
+	}
+}
+
+func TestSampleTopKZeroTemperatureIsGreedy(t *testing.T) {
+	x := []float32{0.1, 3.5, 0.2}
+	if SampleTopK(x, 3, 0, 0.7) != 1 {
+		t.Fatal("temperature 0 must be argmax")
+	}
+}
+
+func TestSampleTopKRespectsSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, 50)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	allowed := map[int]bool{}
+	for _, idx := range TopK(x, 5) {
+		allowed[idx] = true
+	}
+	for trial := 0; trial < 200; trial++ {
+		got := SampleTopK(x, 5, 1.0, rng.Float64())
+		if !allowed[got] {
+			t.Fatalf("sampled %d outside the top-5 support", got)
+		}
+	}
+}
+
+func TestSampleTopKDistribution(t *testing.T) {
+	// Two candidates with a big logit gap: the hotter one dominates at
+	// low temperature and evens out at high temperature.
+	x := []float32{2, 0}
+	rng := rand.New(rand.NewSource(3))
+	count := func(temp float64) int {
+		hits := 0
+		for i := 0; i < 2000; i++ {
+			if SampleTopK(x, 2, temp, rng.Float64()) == 0 {
+				hits++
+			}
+		}
+		return hits
+	}
+	cold := count(0.25) // p(0) = σ(8) ≈ 0.9997
+	hot := count(8)     // p(0) = σ(0.25) ≈ 0.56
+	if cold < 1950 {
+		t.Fatalf("cold sampling picked the max only %d/2000", cold)
+	}
+	if hot > 1400 || hot < 900 {
+		t.Fatalf("hot sampling should approach uniform: %d/2000", hot)
+	}
+}
+
+func TestSampleTopKBoundaryDraws(t *testing.T) {
+	x := []float32{1, 1, 1}
+	// u=0 → first candidate; u→1 → last candidate.
+	if got := SampleTopK(x, 3, 1, 0); got != 0 {
+		t.Fatalf("u=0 picked %d", got)
+	}
+	if got := SampleTopK(x, 3, 1, 0.999999); got != 2 {
+		t.Fatalf("u≈1 picked %d", got)
+	}
+}

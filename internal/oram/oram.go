@@ -1,0 +1,160 @@
+// Package oram implements the two tree-based Oblivious RAMs the paper uses
+// to protect embedding-table lookups (§IV-A2): Path ORAM [Stefanov et al.]
+// and Circuit ORAM [Wang et al.], in the software-controller style of
+// ZeroTrace (§V-A1) — full-table oblivious scans of the stash and position
+// map, recursive position maps, and deterministic reverse-lexicographic
+// eviction for Circuit ORAM.
+//
+// Configuration follows the paper: bucket size Z=4; stash sizes 150 (Path)
+// and 10 (Circuit); recursion enabled beyond 2^16 blocks for Path and 2^12
+// for Circuit; 16× position-map reduction per recursion level.
+//
+// Blocks carry opaque uint32 payloads; embedding rows are stored as the
+// bit patterns of their float32 elements (see internal/core).
+//
+// Security model: the attacker observes accesses to the tree, the position
+// map, and the stash *regions* (bucket granularity); the controller's
+// registers are private, as in ZeroTrace's cmov-hardened controller. The
+// implementation keeps all externally-visible access patterns dependent
+// only on public quantities (tree height, stash capacity, access counter)
+// plus fresh uniform randomness, and the test suite checks this via
+// internal/memtrace.
+package oram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/memtrace"
+)
+
+// DummyID marks an empty slot. Real block IDs must be below DummyID.
+const DummyID = ^uint64(0)
+
+// chi is the position-map packing factor: each recursive posmap block holds
+// chi leaf positions ("pos-map tree reduction at each recursion level is
+// 16×", §V-A1).
+const chi = 16
+
+// Defaults from the paper (§V-A1).
+const (
+	DefaultZ                   = 4
+	DefaultPathStash           = 150
+	DefaultCircuitStash        = 10
+	DefaultPathRecursionCutoff = 1 << 16 // enable recursion after 2^16 blocks
+	DefaultCircRecursionCutoff = 1 << 12 // enable recursion after 2^12 blocks
+)
+
+// Stats counts the work an ORAM controller performs. The enclave cost
+// model (internal/enclave) converts these counts into deployment-dependent
+// latency estimates (Figure 10); benchmarks also measure wall-clock
+// directly.
+type Stats struct {
+	Accesses       int64 // logical accesses served (including posmap-internal)
+	BucketsRead    int64 // tree buckets fetched
+	BucketsWritten int64 // tree buckets written back
+	WordsMoved     int64 // payload words copied between tree and stash
+	StashScans     int64 // stash slots touched by oblivious scans
+	PosmapScans    int64 // flat posmap entries touched by oblivious scans
+	Evictions      int64 // Circuit ORAM eviction passes
+	CmovOps        int64 // conditional-select operations (cost-model input)
+	MaxStash       int   // high-water mark of real blocks resident in any stash
+}
+
+// add merges s2 into s (used when reporting combined recursion stats).
+func (s *Stats) observeStash(occupancy int) {
+	if occupancy > s.MaxStash {
+		s.MaxStash = occupancy
+	}
+}
+
+// Config parameterizes an ORAM instance.
+type Config struct {
+	NumBlocks  int // logical table size n (must be > 0)
+	BlockWords int // payload words per block (embedding dim for float32 rows)
+
+	Z         int // blocks per bucket; 0 → DefaultZ
+	StashSize int // stash capacity; 0 → scheme default
+
+	// RecursionCutoff: when NumBlocks exceeds this, the position map is
+	// stored in a recursive ORAM instead of a flat scanned array.
+	// 0 → scheme default. Negative → never recurse.
+	RecursionCutoff int
+
+	// EvictionsPerAccess is Circuit ORAM's eviction rate (ignored by Path
+	// ORAM). 0 → the standard 2. Lower rates trade bandwidth for stash
+	// pressure — the knob behind Circuit ORAM's stash bound and this
+	// repository's eviction-rate ablation.
+	EvictionsPerAccess int
+
+	Seed   int64            // PRNG seed for leaf assignment (deterministic runs)
+	Tracer *memtrace.Tracer // optional access-trace instrumentation
+	Region string           // trace region prefix; "" → "oram"
+}
+
+func (c *Config) fill(defaultStash, defaultCutoff int) {
+	if c.NumBlocks <= 0 {
+		panic(fmt.Sprintf("oram: NumBlocks must be positive, got %d", c.NumBlocks))
+	}
+	if c.BlockWords <= 0 {
+		panic(fmt.Sprintf("oram: BlockWords must be positive, got %d", c.BlockWords))
+	}
+	if c.Z == 0 {
+		c.Z = DefaultZ
+	}
+	if c.StashSize == 0 {
+		c.StashSize = defaultStash
+	}
+	if c.RecursionCutoff == 0 {
+		c.RecursionCutoff = defaultCutoff
+	}
+	if c.Region == "" {
+		c.Region = "oram"
+	}
+}
+
+// ORAM is the interface shared by Path ORAM and Circuit ORAM.
+type ORAM interface {
+	// Read returns a copy of block id's payload.
+	Read(id uint64) []uint32
+	// Write replaces block id's payload.
+	Write(id uint64, data []uint32)
+	// Update reads block id, applies fn to its payload in place, and
+	// writes it back, all within a single ORAM access.
+	Update(id uint64, fn func(data []uint32))
+	// Stats returns the cumulative controller work counters (shared
+	// across recursive position-map levels).
+	Stats() *Stats
+	// NumBytes returns the total memory footprint: tree + stash +
+	// position-map structures, including all recursion levels.
+	NumBytes() int64
+	// RecursionDepth returns the number of recursive posmap levels
+	// (0 = flat position map).
+	RecursionDepth() int
+}
+
+// uniformLeaf draws a uniform leaf in [0, leaves) where leaves is a power
+// of two.
+func uniformLeaf(rng *rand.Rand, leaves int) uint32 {
+	return uint32(rng.Intn(leaves))
+}
+
+// nextPow2 returns the smallest power of two ≥ v (v ≥ 1).
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// bitReverse reverses the low `bits` bits of v — the reverse-lexicographic
+// eviction-path schedule of Circuit ORAM.
+func bitReverse(v uint32, bits int) uint32 {
+	var out uint32
+	for i := 0; i < bits; i++ {
+		out = (out << 1) | (v & 1)
+		v >>= 1
+	}
+	return out
+}

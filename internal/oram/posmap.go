@@ -1,0 +1,116 @@
+package oram
+
+import (
+	"math/rand"
+
+	"secemb/internal/memtrace"
+	"secemb/internal/oblivious"
+)
+
+// PositionMap maps block ids to their current tree leaves. Swap atomically
+// returns the old leaf and installs a new one — exactly the operation an
+// ORAM access needs, performed obliviously.
+type PositionMap interface {
+	Swap(id uint64, newLeaf uint32) uint32
+	NumBytes() int64
+	Depth() int
+}
+
+// flatPosMap stores leaves in a plain array and performs a full oblivious
+// scan per Swap — ZeroTrace's non-recursive mode. O(n) per access with a
+// tiny constant (4 bytes/entry), which beats recursion below the paper's
+// cutoffs (2^16 blocks for Path, 2^12 for Circuit).
+type flatPosMap struct {
+	leaves []uint32
+	tracer *memtrace.Tracer
+	region string
+	stats  *Stats
+}
+
+func newFlatPosMap(init []uint32, tracer *memtrace.Tracer, region string, stats *Stats) *flatPosMap {
+	l := make([]uint32, len(init))
+	copy(l, init)
+	return &flatPosMap{leaves: l, tracer: tracer, region: region, stats: stats}
+}
+
+// Swap scans the whole map, obliviously extracting the old leaf for id and
+// installing newLeaf.
+func (p *flatPosMap) Swap(id uint64, newLeaf uint32) uint32 {
+	p.stats.PosmapScans += int64(len(p.leaves))
+	p.stats.CmovOps += int64(len(p.leaves))
+	// Trace at chi-entry "block" granularity: what a cache-line attacker
+	// would see of a packed uint32 array.
+	p.tracer.TouchRange(p.region+".posmap", 0, int64((len(p.leaves)+chi-1)/chi), memtrace.Read)
+	var old uint64
+	for i := range p.leaves {
+		m := oblivious.Eq(uint64(i), id)
+		old = oblivious.Select64(m, uint64(p.leaves[i]), old)
+		p.leaves[i] = uint32(oblivious.Select64(m, uint64(newLeaf), uint64(p.leaves[i])))
+	}
+	return uint32(old)
+}
+
+func (p *flatPosMap) NumBytes() int64 { return int64(len(p.leaves)) * 4 }
+func (p *flatPosMap) Depth() int      { return 0 }
+
+// oramPosMap stores the position map in a smaller ORAM whose blocks each
+// pack chi leaves — one recursion level. The inner ORAM's own position map
+// recurses further until it fits under the cutoff.
+type oramPosMap struct {
+	inner ORAM
+	n     int
+}
+
+// newPosMap builds the position-map hierarchy for n blocks whose initial
+// leaf assignment is init. mk constructs the inner ORAM for a recursion
+// level (it is the scheme's own constructor, so Path ORAM recursion uses
+// Path ORAMs and Circuit uses Circuit, as in ZeroTrace).
+func newPosMap(init []uint32, cutoff int, rng *rand.Rand,
+	tracer *memtrace.Tracer, region string, stats *Stats, level int,
+	mk func(cfg Config, init [][]uint32, rng *rand.Rand, level int) ORAM) PositionMap {
+
+	n := len(init)
+	if cutoff < 0 || n <= cutoff {
+		return newFlatPosMap(init, tracer, region, stats)
+	}
+	// Pack chi leaves per inner block.
+	blocks := (n + chi - 1) / chi
+	payloads := make([][]uint32, blocks)
+	for b := 0; b < blocks; b++ {
+		words := make([]uint32, chi)
+		for j := 0; j < chi; j++ {
+			idx := b*chi + j
+			if idx < n {
+				words[j] = init[idx]
+			}
+		}
+		payloads[b] = words
+	}
+	cfg := Config{
+		NumBlocks:       blocks,
+		BlockWords:      chi,
+		RecursionCutoff: cutoff,
+		Tracer:          tracer,
+		Region:          region,
+	}
+	return &oramPosMap{inner: mk(cfg, payloads, rng, level), n: n}
+}
+
+// Swap reads the inner block holding id's entry, obliviously swaps the
+// packed slot, and writes the block back — one inner ORAM access.
+func (p *oramPosMap) Swap(id uint64, newLeaf uint32) uint32 {
+	blockID := id / chi
+	slot := id % chi
+	var old uint64
+	p.inner.Update(blockID, func(words []uint32) {
+		for j := 0; j < chi; j++ {
+			m := oblivious.Eq(uint64(j), slot)
+			old = oblivious.Select64(m, uint64(words[j]), old)
+			words[j] = uint32(oblivious.Select64(m, uint64(newLeaf), uint64(words[j])))
+		}
+	})
+	return uint32(old)
+}
+
+func (p *oramPosMap) NumBytes() int64 { return p.inner.NumBytes() }
+func (p *oramPosMap) Depth() int      { return 1 + p.inner.RecursionDepth() }

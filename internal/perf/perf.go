@@ -1,0 +1,179 @@
+// Package perf is the analytic platform cost model that stands in for the
+// paper's evaluation machine (Table III: Ice Lake Xeon 6348, 28 cores,
+// AVX-512, 42 MB LLC, 8-channel DDR4-3200, Scalable SGX).
+//
+// Why it exists: the paper's headline crossovers (Figures 2, 4, 5 and the
+// latency tables) are determined by the *ratio* between vectorized
+// multi-core compute throughput and (oblivious, serialized) memory-system
+// throughput. This reproduction's host is a single slow core, where that
+// ratio is off by 1–2 orders of magnitude, so pure wall-clock would move
+// every crossover (the asymptotic *shapes* still hold and are benchmarked
+// directly). This package counts the operations each technique performs —
+// FLOPs, streamed words, ORAM controller word-ops, bucket fetches,
+// position-map scans — and prices them with constants calibrated to the
+// paper's hardware, reproducing the who-wins-where structure. The
+// calibration checkpoints are asserted in the tests.
+package perf
+
+import (
+	"math"
+
+	"secemb/internal/dhe"
+)
+
+// Platform prices operation counts in nanoseconds.
+type Platform struct {
+	Threads int
+
+	FlopNs       float64 // per MAC-ish FLOP (dense matmul)
+	StreamWordNs float64 // per sequentially streamed float32 word
+	OramWordNs   float64 // per oblivious controller word op (cmov copy)
+	BucketNs     float64 // per ORAM bucket touch (controller bookkeeping)
+	BucketByteNs float64 // per byte of bucket traffic (copy + re-encryption)
+	QueryNs      float64 // fixed per-query overhead
+	ScanReuse    float64 // extra multi-thread cache-reuse factor for scans
+}
+
+// Single-thread Ice Lake constants.
+const (
+	flop1      = 1.0 / 15.0 // 15 GFLOP/s effective fp32 GEMM per core (AVX-512)
+	stream1    = 1.0 / 3.0  // 12 GB/s per-core streaming = 3 words/ns
+	oram1      = 2.0        // oblivious word op: load+select+store, unvectorized
+	bucket1    = 250.0      // controller bookkeeping per bucket
+	bucketByte = 0.35       // copy + SGX re-encryption per byte of bucket traffic
+	query1     = 60.0
+)
+
+// IceLake returns the platform model at the given thread count. Compute
+// scales near-linearly with threads (independent GEMM tiles); streaming
+// bandwidth scales sublinearly (shared memory controllers); the oblivious
+// ORAM controller does not parallelize at all ("processing each item in
+// the input batch is sequential", §V-A1).
+func IceLake(threads int) Platform {
+	if threads < 1 {
+		threads = 1
+	}
+	t := float64(threads)
+	return Platform{
+		Threads:      threads,
+		FlopNs:       flop1 / math.Pow(t, 0.90),
+		StreamWordNs: stream1 / math.Pow(t, 0.60),
+		OramWordNs:   oram1,
+		BucketNs:     bucket1,
+		BucketByteNs: bucketByte,
+		QueryNs:      query1,
+		ScanReuse:    math.Pow(t, 0.35),
+	}
+}
+
+// LookupNs prices the non-secure direct lookup: one row gather per query.
+func (p Platform) LookupNs(dim, batch int) float64 {
+	return float64(batch) * (p.QueryNs + float64(dim)*p.StreamWordNs*4)
+}
+
+// ScanNs prices the oblivious linear scan: every query streams the whole
+// table with a masked blend per row. ScanReuse captures the paper's
+// observation that concurrent scan threads share the table in cache
+// (§IV-C1: "linear scan improves its cache reuse of the table across
+// several queries in multiple threads, so the thresholds increase"), so
+// the scan scales better with threads than DHE's matmuls.
+func (p Platform) ScanNs(rows, dim, batch int) float64 {
+	words := float64(batch) * float64(rows) * float64(dim)
+	return words*p.StreamWordNs*1.5/p.ScanReuse + float64(batch)*p.QueryNs
+}
+
+// DHENs prices a DHE batch: the decoder weights are touched once per
+// batch (on the Xeon's 42 MB LLC roughly half the traffic of even the
+// biggest DHE decoder is cache-resident, hence the 0.5 residency factor)
+// plus the dense-matmul FLOPs for every query. The once-per-batch weight
+// term is what gives DHE its batch amortization (Figures 5, 12).
+func (p Platform) DHENs(cfg dhe.Config, batch int) float64 {
+	var weights, flops float64
+	dims := append(append([]int{cfg.K}, cfg.Hidden...), cfg.Dim)
+	for i := 0; i+1 < len(dims); i++ {
+		weights += float64(dims[i]) * float64(dims[i+1])
+		flops += 2 * float64(dims[i]) * float64(dims[i+1])
+	}
+	const llcResidency = 0.5
+	return weights*p.StreamWordNs*llcResidency + float64(batch)*(flops*p.FlopNs+p.QueryNs)
+}
+
+// --- tree ORAM cost formulas (mirroring internal/oram's controllers) ---
+
+const (
+	oramZ            = 4
+	pathStash        = 150
+	circuitStash     = 10
+	pathCutoff       = 1 << 16
+	circuitCutoff    = 1 << 12
+	chi              = 16
+	posmapEntryNsMul = 0.5 // flat posmap scans are tight uint32 loops
+)
+
+func treeLevels(n int) int {
+	leaves := 1
+	for leaves < (n+oramZ-1)/oramZ {
+		leaves <<= 1
+	}
+	l := 0
+	for 1<<l < leaves {
+		l++
+	}
+	return l
+}
+
+// posmapNs prices the position-map lookup for an n-block ORAM, recursing
+// per the scheme's cutoff.
+func (p Platform) posmapNs(n, cutoff int, inner func(n, words int) float64) float64 {
+	if n <= cutoff {
+		return float64(n) * p.OramWordNs * posmapEntryNsMul
+	}
+	blocks := (n + chi - 1) / chi
+	return inner(blocks, chi)
+}
+
+// PathAccessNs prices one Path ORAM access on an n-block tree with
+// `words`-word blocks: fetch the whole path into the stash (a full
+// oblivious stash scan per slot), serve, and write back greedily (a full
+// stash scan per slot).
+func (p Platform) PathAccessNs(n, words int) float64 {
+	L := treeLevels(n)
+	slots := float64((L + 1) * oramZ)
+	buckets := 2 * float64(L+1)
+	stashScanWords := (slots*2 + 2) * pathStash * float64(words) // insert + extract + serve
+	pathWords := 2 * slots * float64(words)
+	bucketBytes := 2 * slots * float64(4*words+12) // read + write-back traversal
+	ns := buckets*p.BucketNs + bucketBytes*p.BucketByteNs + (stashScanWords+pathWords)*p.OramWordNs
+	ns += p.posmapNs(n, pathCutoff, p.PathAccessNs)
+	return ns
+}
+
+// CircuitAccessNs prices one Circuit ORAM access: the read phase lifts
+// only the target block (one masked copy per path slot), stash scans are
+// tiny, and two metadata-guided evictions move O(L) blocks.
+func (p Platform) CircuitAccessNs(n, words int) float64 {
+	L := treeLevels(n)
+	slots := float64((L + 1) * oramZ)
+	buckets := 2 * float64(L+1)
+	readWords := slots * float64(words)
+	stashWords := 2 * circuitStash * float64(words)
+	bucketBytes := float64(4*words+12) * slots
+	evictions := 2 * (2*float64(L+1)*p.BucketNs + // read+write each bucket
+		2*bucketBytes*p.BucketByteNs + // full-path copy + re-encryption
+		(slots+circuitStash)*p.OramWordNs*4 + // metadata scans
+		3*float64(words)*p.OramWordNs) // block movement
+	ns := buckets*p.BucketNs + 2*bucketBytes*p.BucketByteNs +
+		(readWords+stashWords)*p.OramWordNs + evictions
+	ns += p.posmapNs(n, circuitCutoff, p.CircuitAccessNs)
+	return ns
+}
+
+// PathNs prices a batch (sequential accesses).
+func (p Platform) PathNs(rows, dim, batch int) float64 {
+	return float64(batch) * (p.PathAccessNs(rows, dim) + p.QueryNs)
+}
+
+// CircuitNs prices a batch (sequential accesses).
+func (p Platform) CircuitNs(rows, dim, batch int) float64 {
+	return float64(batch) * (p.CircuitAccessNs(rows, dim) + p.QueryNs)
+}

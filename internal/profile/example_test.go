@@ -1,0 +1,32 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"secemb/internal/core"
+	"secemb/internal/profile"
+)
+
+// ExampleDB_Allocate shows Algorithm 3: a profiled threshold database
+// assigning each sparse feature the faster secure technique.
+func ExampleDB_Allocate() {
+	db := &profile.DB{
+		Dim:  64,
+		Kind: profile.Uniform,
+		Thresholds: map[profile.ExecConfig]int{
+			{Batch: 32, Threads: 1}: 3300, // the paper's Fig. 6 anchor
+		},
+	}
+	techs := db.Allocate([]int{24, 3194, 10_131_227}, profile.ExecConfig{Batch: 32, Threads: 1})
+	for _, tech := range techs {
+		fmt.Println(tech)
+	}
+	fmt.Println("secure:", techs[0].Secure() && techs[2].Secure())
+	// Output:
+	// Linear Scan
+	// Linear Scan
+	// DHE
+	// secure: true
+}
+
+var _ = core.LinearScan // keep the core import for the doc reference

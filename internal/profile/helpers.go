@@ -1,0 +1,15 @@
+package profile
+
+import (
+	"math/rand"
+
+	"secemb/internal/dhe"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// newLLMDHE builds the paper's GPT-2 DHE architecture (4 FC layers, widths
+// and k at 2× the embedding dimension).
+func newLLMDHE(dim int, seed int64) *dhe.DHE {
+	return dhe.New(dhe.LLMConfig(dim, seed), newRng(seed))
+}

@@ -1,0 +1,61 @@
+package profile
+
+import (
+	"math/rand"
+
+	"secemb/internal/core"
+	"secemb/internal/tensor"
+)
+
+// LLMResult profiles token-embedding generation for a fixed vocabulary
+// (Figure 5): DHE vs Circuit ORAM latency per embedding-generation batch
+// size. The LLM hybrid scheme (§IV-D) picks the winner per batch size —
+// prefill batches are large (prompt length × request batch) and favor DHE;
+// decode batches equal the request batch and can favor Circuit ORAM
+// when very small.
+type LLMResult struct {
+	Vocab, Dim int
+	Batches    []int
+	DHENs      []float64
+	CircuitNs  []float64
+	ScanNs     []float64
+	LookupNs   []float64
+}
+
+// ProfileLLM measures all techniques of Figure 5 over the given embedding
+// batch sizes. reps controls timing repetitions.
+func ProfileLLM(vocab, dim int, batches []int, reps int, seed int64) LLMResult {
+	rng := rand.New(rand.NewSource(seed))
+	tbl := tensor.NewGaussian(vocab, dim, 0.02, rng)
+	res := LLMResult{Vocab: vocab, Dim: dim, Batches: batches}
+
+	lookup := core.NewLookup(tbl, core.Options{})
+	scan := core.NewLinearScan(tbl, core.Options{})
+	circ := core.NewCircuitORAM(tbl, core.Options{Seed: seed})
+	d := core.NewDHE(newLLMDHE(dim, seed), vocab, core.Options{})
+
+	for _, b := range batches {
+		res.LookupNs = append(res.LookupNs, measureGenerator(lookup, b, reps))
+		res.ScanNs = append(res.ScanNs, measureGenerator(scan, b, reps))
+		res.CircuitNs = append(res.CircuitNs, measureGenerator(circ, b, reps))
+		res.DHENs = append(res.DHENs, measureGenerator(d, b, reps))
+	}
+	return res
+}
+
+// BestSecure returns the fastest secure technique at each profiled batch
+// size — the per-stage decision of the LLM hybrid scheme.
+func (r LLMResult) BestSecure() []core.Technique {
+	out := make([]core.Technique, len(r.Batches))
+	for i := range r.Batches {
+		best, bestNs := core.LinearScan, r.ScanNs[i]
+		if r.CircuitNs[i] < bestNs {
+			best, bestNs = core.CircuitORAM, r.CircuitNs[i]
+		}
+		if r.DHENs[i] < bestNs {
+			best = core.DHE
+		}
+		out[i] = best
+	}
+	return out
+}

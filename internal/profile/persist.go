@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Persistence for the threshold database: profiling "is done once per
+// system for each embedding dimension" (§IV-C1), so deployments save the
+// DB and reload it at model-serving time rather than re-profiling.
+
+// dbJSON is the serialized form (map keys must be strings in JSON).
+type dbJSON struct {
+	Dim        int            `json:"dim"`
+	Kind       string         `json:"kind"`
+	Thresholds map[string]int `json:"thresholds"` // "batch=B,threads=T" → size
+}
+
+// Save writes the DB as JSON.
+func (db *DB) Save(w io.Writer) error {
+	out := dbJSON{Dim: db.Dim, Kind: db.Kind.String(), Thresholds: map[string]int{}}
+	for cfg, thr := range db.Thresholds {
+		out.Thresholds[cfg.String()] = thr
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadDB reads a DB written by Save.
+func LoadDB(r io.Reader) (*DB, error) {
+	var in dbJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decoding threshold DB: %w", err)
+	}
+	db := &DB{Dim: in.Dim, Thresholds: map[ExecConfig]int{}}
+	switch in.Kind {
+	case "Uniform":
+		db.Kind = Uniform
+	case "Varied":
+		db.Kind = Varied
+	default:
+		return nil, fmt.Errorf("profile: unknown DHE kind %q", in.Kind)
+	}
+	for key, thr := range in.Thresholds {
+		var cfg ExecConfig
+		if _, err := fmt.Sscanf(key, "batch=%d,threads=%d", &cfg.Batch, &cfg.Threads); err != nil {
+			return nil, fmt.Errorf("profile: bad config key %q: %w", key, err)
+		}
+		db.Thresholds[cfg] = thr
+	}
+	return db, nil
+}
+
+// SaveFile / LoadFile are path conveniences.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a threshold DB from disk.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDB(f)
+}

@@ -1,0 +1,168 @@
+// Package serving runs secure DLRM inference behind a concurrent replica
+// pool — the deployment shape of the paper's co-location study (§IV-C2):
+// N model replicas answering a shared request stream, with latency
+// percentiles and SLA-bounded throughput measured on real executions of
+// this repository's pipelines (the analytic counterpart is internal/colo).
+package serving
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"secemb/internal/dlrm"
+	"secemb/internal/tensor"
+)
+
+// Request is one CTR inference request batch.
+type Request struct {
+	Dense  *tensor.Matrix
+	Sparse [][]uint64
+
+	resp chan Response
+}
+
+// Response carries the prediction or an error.
+type Response struct {
+	Probs   *tensor.Matrix
+	Latency time.Duration
+	Err     error
+}
+
+// Pool serves requests across fixed replicas of a DLRM pipeline.
+// Each replica owns its pipeline instance (ORAM state is mutable, so
+// replicas must not share generators).
+type Pool struct {
+	queue chan *Request
+
+	mu        sync.Mutex // guards latencies/served
+	latencies []time.Duration
+	served    int
+
+	lifecycle sync.RWMutex // guards closed + queue sends vs Close
+	closed    bool
+
+	wg      sync.WaitGroup
+	cancel  context.CancelFunc
+	started time.Time
+}
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("serving: pool closed")
+
+// NewPool starts one worker goroutine per pipeline replica. queueDepth
+// bounds the admission queue (back-pressure beyond it).
+func NewPool(replicas []*dlrm.Pipeline, queueDepth int) *Pool {
+	if len(replicas) == 0 {
+		panic("serving: need at least one replica")
+	}
+	if queueDepth < 1 {
+		queueDepth = len(replicas)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		queue:   make(chan *Request, queueDepth),
+		cancel:  cancel,
+		started: time.Now(),
+	}
+	for _, rep := range replicas {
+		p.wg.Add(1)
+		go p.worker(ctx, rep)
+	}
+	return p
+}
+
+func (p *Pool) worker(ctx context.Context, pipe *dlrm.Pipeline) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case req, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			start := time.Now()
+			probs := pipe.Predict(req.Dense, req.Sparse)
+			lat := time.Since(start)
+			p.mu.Lock()
+			p.latencies = append(p.latencies, lat)
+			p.served++
+			p.mu.Unlock()
+			req.resp <- Response{Probs: probs, Latency: lat}
+		}
+	}
+}
+
+// Predict submits a request and waits for its response.
+func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
+	req := &Request{Dense: dense, Sparse: sparse, resp: make(chan Response, 1)}
+	// Hold the lifecycle read-lock across the enqueue so Close cannot
+	// close the queue mid-send.
+	p.lifecycle.RLock()
+	if p.closed {
+		p.lifecycle.RUnlock()
+		return Response{Err: ErrClosed}
+	}
+	select {
+	case <-ctx.Done():
+		p.lifecycle.RUnlock()
+		return Response{Err: ctx.Err()}
+	case p.queue <- req:
+		p.lifecycle.RUnlock()
+	}
+	select {
+	case <-ctx.Done():
+		return Response{Err: ctx.Err()}
+	case r := <-req.resp:
+		return r
+	}
+}
+
+// Stats summarizes the pool's service so far.
+type Stats struct {
+	Served     int
+	Throughput float64 // requests/second since pool start
+	P50, P95   time.Duration
+	Max        time.Duration
+}
+
+// Stats computes latency percentiles over everything served so far.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	lats := append([]time.Duration(nil), p.latencies...)
+	served := p.served
+	p.mu.Unlock()
+	s := Stats{Served: served}
+	if served == 0 {
+		return s
+	}
+	s.Throughput = float64(served) / time.Since(p.started).Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s.P50 = lats[len(lats)/2]
+	s.P95 = lats[len(lats)*95/100]
+	s.Max = lats[len(lats)-1]
+	return s
+}
+
+// MeetsSLA reports whether the p95 latency stays within the target — the
+// Figure 13 acceptance criterion.
+func (s Stats) MeetsSLA(target time.Duration) bool {
+	return s.Served > 0 && s.P95 <= target
+}
+
+// Close drains the queue, stops the workers, and rejects new requests.
+func (p *Pool) Close() {
+	p.lifecycle.Lock()
+	if p.closed {
+		p.lifecycle.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.lifecycle.Unlock()
+	p.wg.Wait()
+	p.cancel()
+}

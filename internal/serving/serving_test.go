@@ -1,0 +1,156 @@
+package serving
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/dlrm"
+	"secemb/internal/tensor"
+)
+
+// newReplicas builds n independent pipelines of the same trained model
+// (independent generators: ORAM/DHE state must not be shared).
+func newReplicas(t *testing.T, n int, tech core.Technique) ([]*dlrm.Pipeline, dlrm.Config) {
+	t.Helper()
+	cfg := dlrm.Config{
+		DenseDim: 3, EmbDim: 4,
+		BottomHidden: []int{4}, TopHidden: []int{4},
+		Cardinalities: []int{30, 70}, Seed: 1,
+	}
+	m := dlrm.New(cfg, dlrm.DHEVariedEmb)
+	reps := make([]*dlrm.Pipeline, n)
+	for i := range reps {
+		reps[i] = dlrm.Build(m, tech, core.Options{Seed: int64(i + 2)})
+	}
+	return reps, cfg
+}
+
+func sampleRequest(cfg dlrm.Config, seed int64) (*tensor.Matrix, [][]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	dense := tensor.NewUniform(4, cfg.DenseDim, 1, rng)
+	sparse := make([][]uint64, len(cfg.Cardinalities))
+	for f, n := range cfg.Cardinalities {
+		sparse[f] = make([]uint64, 4)
+		for r := range sparse[f] {
+			sparse[f][r] = uint64(rng.Intn(n))
+		}
+	}
+	return dense, sparse
+}
+
+func TestPoolServesCorrectly(t *testing.T) {
+	reps, cfg := newReplicas(t, 2, core.LinearScan)
+	pool := NewPool(reps, 4)
+	defer pool.Close()
+	dense, sparse := sampleRequest(cfg, 3)
+	want := reps[0].Predict(dense, sparse)
+
+	resp := pool.Predict(context.Background(), dense, sparse)
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if !tensor.AllClose(resp.Probs, want, 1e-6) {
+		t.Fatal("pooled prediction differs from direct prediction")
+	}
+	if resp.Latency <= 0 {
+		t.Fatal("latency not measured")
+	}
+}
+
+func TestPoolConcurrentLoad(t *testing.T) {
+	reps, cfg := newReplicas(t, 3, core.CircuitORAM)
+	pool := NewPool(reps, 8)
+	defer pool.Close()
+	const requests = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			dense, sparse := sampleRequest(cfg, seed)
+			if r := pool.Predict(context.Background(), dense, sparse); r.Err != nil {
+				errs <- r.Err
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.Served != requests {
+		t.Fatalf("served %d, want %d", s.Served, requests)
+	}
+	if s.Throughput <= 0 || s.P50 <= 0 || s.P95 < s.P50 || s.Max < s.P95 {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}
+
+func TestPoolCloseRejectsNewWork(t *testing.T) {
+	reps, cfg := newReplicas(t, 1, core.DHE)
+	pool := NewPool(reps, 2)
+	dense, sparse := sampleRequest(cfg, 5)
+	if r := pool.Predict(context.Background(), dense, sparse); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	if r := pool.Predict(context.Background(), dense, sparse); r.Err != ErrClosed {
+		t.Fatalf("post-close error = %v, want ErrClosed", r.Err)
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	reps, cfg := newReplicas(t, 1, core.DHE)
+	pool := NewPool(reps, 1)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dense, sparse := sampleRequest(cfg, 6)
+	// Either the request was admitted before cancellation was observed
+	// (fine) or it errors with context.Canceled — it must not hang.
+	done := make(chan Response, 1)
+	go func() { done <- pool.Predict(ctx, dense, sparse) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Predict hung")
+	}
+}
+
+func TestMeetsSLA(t *testing.T) {
+	s := Stats{Served: 10, P95: 5 * time.Millisecond}
+	if !s.MeetsSLA(20 * time.Millisecond) {
+		t.Fatal("should meet 20ms SLA")
+	}
+	if s.MeetsSLA(time.Millisecond) {
+		t.Fatal("should miss 1ms SLA")
+	}
+	if (Stats{}).MeetsSLA(time.Second) {
+		t.Fatal("empty stats cannot meet any SLA")
+	}
+}
+
+func TestEmptyPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(nil, 1)
+}
+
+func TestStatsEmpty(t *testing.T) {
+	reps, _ := newReplicas(t, 1, core.DHE)
+	pool := NewPool(reps, 1)
+	defer pool.Close()
+	if s := pool.Stats(); s.Served != 0 || s.Throughput != 0 {
+		t.Fatalf("fresh pool stats: %+v", s)
+	}
+}

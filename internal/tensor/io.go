@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization: a tiny, explicit little-endian format
+// (magic "TNSR", int32 rows, int32 cols, rows·cols float32s) so
+// checkpoints are portable and dependency-free.
+
+var tensorMagic = [4]byte{'T', 'N', 'S', 'R'}
+
+// WriteTo serializes m. Implements io.WriterTo.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	if _, err := bw.Write(tensorMagic[:]); err != nil {
+		return n, err
+	}
+	n += 4
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m.Cols))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n += 8
+	var buf [4]byte
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	return n, bw.Flush()
+}
+
+// ReadMatrix deserializes a matrix written by WriteTo.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading magic: %w", err)
+	}
+	if magic != tensorMagic {
+		return nil, fmt.Errorf("tensor: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading header: %w", err)
+	}
+	rows := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+	cols := int(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+	if rows < 0 || cols < 0 || (rows > 0 && cols > (1<<31)/rows) {
+		return nil, fmt.Errorf("tensor: implausible shape %dx%d", rows, cols)
+	}
+	m := New(rows, cols)
+	raw := make([]byte, 4*len(m.Data))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("tensor: reading %dx%d payload: %w", rows, cols, err)
+	}
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return m, nil
+}
+
+// ReadMatrixInto deserializes into an existing matrix, enforcing its
+// shape — used when loading checkpoints into an already-built model.
+func ReadMatrixInto(r io.Reader, dst *Matrix) error {
+	m, err := ReadMatrix(r)
+	if err != nil {
+		return err
+	}
+	if !m.SameShape(dst) {
+		return fmt.Errorf("tensor: checkpoint shape %dx%d != model shape %dx%d",
+			m.Rows, m.Cols, dst.Rows, dst.Cols)
+	}
+	copy(dst.Data, m.Data)
+	return nil
+}

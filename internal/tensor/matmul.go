@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockSize is the row-tile used when splitting a multiplication across
+// goroutines. Chosen so one tile of the output plus the streamed panel of B
+// stays L2-resident on typical CPUs; exact value is not critical.
+const blockSize = 64
+
+// maxProcs caps worker counts. Overridable in tests.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// MatMul returns a·b using nthreads workers (nthreads <= 0 means all
+// available CPUs). The kernel is the classic i-k-j loop order so the inner
+// loop streams rows of b and the output — this keeps it vectorizable by the
+// compiler and cache-friendly without explicit SIMD, preserving the
+// compute-bound character the paper's DHE latency model relies on.
+func MatMul(a, b *Matrix, nthreads int) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b, nthreads)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must be
+// a.Rows×b.Cols and must not alias a or b.
+func MatMulInto(dst, a, b *Matrix, nthreads int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst %dx%d = %dx%d · %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	workers := clampWorkers(nthreads, a.Rows)
+	if workers <= 1 {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	step := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += step {
+		hi := lo + step
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo,hi) of dst = a·b.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		outRow := dst.Data[i*n : (i+1)*n]
+		for j := range outRow {
+			outRow[j] = 0
+		}
+		aRow := a.Row(i)
+		for k, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[k*n : (k+1)*n]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a·bᵀ without materializing the transpose.
+// Used by backprop (dX = dY·Wᵀ) and attention (Q·Kᵀ).
+func MatMulTransB(a, b *Matrix, nthreads int) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	workers := clampWorkers(nthreads, a.Rows)
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.Row(i)
+			outRow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				bRow := b.Row(j)
+				var sum float32
+				for k, av := range aRow {
+					sum += av * bRow[k]
+				}
+				outRow[j] = sum
+			}
+		}
+	}
+	parallelRows(a.Rows, workers, run)
+	return out
+}
+
+// MatMulTransA returns aᵀ·b without materializing the transpose.
+// Used by backprop for weight gradients (dW = Xᵀ·dY).
+func MatMulTransA(a, b *Matrix, nthreads int) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	workers := clampWorkers(nthreads, a.Cols)
+	// Partition over output rows (columns of a) so workers never share
+	// output cells.
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ { // i indexes a column of a / row of out
+			outRow := out.Row(i)
+			for k := 0; k < a.Rows; k++ {
+				av := a.Data[k*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				bRow := b.Row(k)
+				for j, bv := range bRow {
+					outRow[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(a.Cols, workers, run)
+	return out
+}
+
+// MatVec returns a·x for a vector x (len a.Cols), as a slice of len a.Rows.
+func MatVec(a *Matrix, x []float32) []float32 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float32, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var sum float32
+		for k, v := range row {
+			sum += v * x[k]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// clampWorkers bounds the worker count by CPUs and work items.
+func clampWorkers(nthreads, items int) int {
+	w := nthreads
+	if w <= 0 {
+		w = maxProcs
+	}
+	if w > maxProcs {
+		w = maxProcs
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRows splits [0,rows) into contiguous chunks and runs fn on each
+// concurrently with the requested number of workers.
+func parallelRows(rows, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || rows <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	step := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += step {
+		hi := lo + step
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRows exposes the chunked row-parallel helper for other packages
+// (e.g. batched embedding generation).
+func ParallelRows(rows, workers int, fn func(lo, hi int)) {
+	parallelRows(rows, clampWorkers(workers, rows), fn)
+}
