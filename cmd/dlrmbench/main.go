@@ -21,6 +21,7 @@ import (
 	"secemb/internal/core"
 	"secemb/internal/data"
 	"secemb/internal/dlrm"
+	"secemb/internal/obs"
 	"secemb/internal/profile"
 	"secemb/internal/tensor"
 )
@@ -33,7 +34,22 @@ func main() {
 	techniques := flag.String("techniques", "lookup,scan,circuit,dhe,hybrid", "comma list")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	criteo := flag.String("criteo", "", "optional path to a Criteo-format TSV; its first -batch rows drive the timing instead of synthetic traffic")
+	metrics := flag.Bool("metrics", false, "print an observability snapshot (per-technique counts, latency percentiles) after the runs")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and pprof on this address during the runs")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
+	}
 
 	var cfg dlrm.Config
 	switch *dataset {
@@ -83,8 +99,11 @@ func main() {
 
 	fmt.Println("technique        latency/batch     model memory (MB)")
 	for _, name := range strings.Split(*techniques, ",") {
-		p := buildPipeline(model, strings.TrimSpace(name), thr, *seed)
-		p.Predict(dense, sparse) // warm-up
+		p := buildPipeline(model, strings.TrimSpace(name), thr, *seed, reg)
+		if _, err := p.Predict(dense, sparse); err != nil { // warm-up
+			fmt.Fprintln(os.Stderr, "predict:", err)
+			os.Exit(1)
+		}
 		start := time.Now()
 		for i := 0; i < *reps; i++ {
 			p.Predict(dense, sparse)
@@ -92,21 +111,16 @@ func main() {
 		lat := time.Since(start) / time.Duration(*reps)
 		fmt.Printf("%-15s  %14v  %14.2f\n", name, lat, float64(p.NumBytes())/1e6)
 	}
+	if *metrics {
+		fmt.Println("\n--- observability snapshot ---")
+		reg.WriteText(os.Stdout)
+	}
 }
 
-func buildPipeline(m *dlrm.Model, name string, threshold int, seed int64) *dlrm.Pipeline {
-	opts := core.Options{Seed: seed}
+func buildPipeline(m *dlrm.Model, name string, threshold int, seed int64, reg *obs.Registry) *dlrm.Pipeline {
+	opts := core.Options{Seed: seed, Obs: reg}
+	var p *dlrm.Pipeline
 	switch name {
-	case "lookup":
-		return dlrm.Build(m, core.Lookup, opts)
-	case "scan":
-		return dlrm.Build(m, core.LinearScan, opts)
-	case "path":
-		return dlrm.Build(m, core.PathORAM, opts)
-	case "circuit":
-		return dlrm.Build(m, core.CircuitORAM, opts)
-	case "dhe":
-		return dlrm.Build(m, core.DHE, opts)
 	case "hybrid":
 		techs := make([]core.Technique, len(m.Cfg.Cardinalities))
 		for i, n := range m.Cfg.Cardinalities {
@@ -116,9 +130,16 @@ func buildPipeline(m *dlrm.Model, name string, threshold int, seed int64) *dlrm.
 				techs[i] = core.DHE
 			}
 		}
-		return dlrm.BuildHybrid(m, techs, opts)
+		p = dlrm.BuildHybrid(m, techs, opts)
+	default:
+		tech, err := core.ParseTechnique(name)
+		if err != nil {
+			panic(err)
+		}
+		p = dlrm.Build(m, tech, opts)
 	}
-	panic("unknown technique " + name)
+	p.SetObserver(reg)
+	return p
 }
 
 func maxInt(xs []int) int {

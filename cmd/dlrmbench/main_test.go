@@ -1,10 +1,13 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"secemb/internal/core"
 	"secemb/internal/dlrm"
+	"secemb/internal/obs"
+	"secemb/internal/tensor"
 )
 
 func testModel(t *testing.T) *dlrm.Model {
@@ -24,7 +27,7 @@ func TestBuildPipelineAllTechniques(t *testing.T) {
 		"path": core.PathORAM, "circuit": core.CircuitORAM, "dhe": core.DHE,
 	}
 	for name, tech := range want {
-		p := buildPipeline(m, name, 30, 2)
+		p := buildPipeline(m, name, 30, 2, nil)
 		for _, g := range p.Gens {
 			if g.Technique() != tech {
 				t.Fatalf("%s built %v", name, g.Technique())
@@ -33,9 +36,44 @@ func TestBuildPipelineAllTechniques(t *testing.T) {
 	}
 }
 
+func TestBuildPipelineEmitsMetrics(t *testing.T) {
+	// The acceptance path behind `dlrmbench -metrics`: per-technique
+	// generate counts and latency percentiles land in the registry.
+	m := testModel(t)
+	reg := obs.NewRegistry()
+	p := buildPipeline(m, "hybrid", 30, 2, reg)
+	dense := tensor.New(2, m.Cfg.DenseDim)
+	sparse := [][]uint64{{1, 2}, {3, 4}}
+	if _, err := p.Predict(dense, sparse); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var gotScan, gotDHE, gotHist, gotStage bool
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case `core_generate_total{tech="scan"}`:
+			gotScan = c.Value > 0
+		case `core_generate_total{tech="dhe"}`:
+			gotDHE = c.Value > 0
+		}
+	}
+	for _, h := range snap.Histograms {
+		if strings.HasPrefix(h.Name, "core_generate_ns{") && h.Count > 0 && h.P99 >= h.P50 {
+			gotHist = true
+		}
+		if strings.HasPrefix(h.Name, "dlrm_stage_ns{") && h.Count > 0 {
+			gotStage = true
+		}
+	}
+	if !gotScan || !gotDHE || !gotHist || !gotStage {
+		t.Fatalf("metrics incomplete: scan=%v dhe=%v hist=%v stage=%v\n%+v",
+			gotScan, gotDHE, gotHist, gotStage, snap)
+	}
+}
+
 func TestBuildPipelineHybridSplitsByThreshold(t *testing.T) {
 	m := testModel(t)
-	p := buildPipeline(m, "hybrid", 30, 2)
+	p := buildPipeline(m, "hybrid", 30, 2, nil)
 	if p.Gens[0].Technique() != core.LinearScan { // 20 ≤ 30
 		t.Fatal("small table should scan")
 	}
@@ -50,7 +88,7 @@ func TestBuildPipelineUnknownPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	buildPipeline(testModel(t), "nope", 1, 1)
+	buildPipeline(testModel(t), "nope", 1, 1, nil)
 }
 
 func TestMaxInt(t *testing.T) {

@@ -15,11 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 
 	"secemb/internal/core"
-	"secemb/internal/dhe"
 	"secemb/internal/llm"
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -33,7 +34,22 @@ func main() {
 	batch := flag.Int("batch", 1, "request batch size")
 	techniques := flag.String("techniques", "lookup,scan,circuit,dhe", "comma list")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	metrics := flag.Bool("metrics", false, "print an observability snapshot after the runs")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and pprof on this address during the runs")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
+	}
 
 	cfg := llm.Config{
 		Vocab: *vocab, Dim: *dim, Heads: *heads, Layers: *layers,
@@ -54,29 +70,37 @@ func main() {
 
 	fmt.Println("technique   TTFT (prefill)   TBT (decode)   emb memory (MB)")
 	for _, name := range strings.Split(*techniques, ",") {
-		g := buildGenerator(strings.TrimSpace(name), table, cfg, *seed)
+		g, err := buildGenerator(strings.TrimSpace(name), table, cfg, *seed, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		p := llm.NewRandomPipeline(cfg, g)
-		s, _ := p.Generate(prompts, *gen)
+		s, _, err := p.Generate(prompts, *gen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "generate:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-10s  %14v  %13v  %14.2f\n",
 			name, s.PrefillTime, s.MeanDecodeTime(), float64(g.NumBytes())/1e6)
 	}
 	fmt.Println("\npaper Fig. 15 shape: DHE leads prefill; Circuit ORAM is competitive only at decode batch 1")
+	if *metrics {
+		fmt.Println("\n--- observability snapshot ---")
+		reg.WriteText(os.Stdout)
+	}
 }
 
-func buildGenerator(name string, table *tensor.Matrix, cfg llm.Config, seed int64) core.Generator {
-	opts := core.Options{Seed: seed}
-	switch name {
-	case "lookup":
-		return core.NewLookup(table, opts)
-	case "scan":
-		return core.NewLinearScan(table, opts)
-	case "path":
-		return core.NewPathORAM(table, opts)
-	case "circuit":
-		return core.NewCircuitORAM(table, opts)
-	case "dhe":
-		d := dhe.New(dhe.LLMConfig(cfg.Dim, seed), rand.New(rand.NewSource(seed)))
-		return core.NewDHE(d, cfg.Vocab, opts)
+func buildGenerator(name string, table *tensor.Matrix, cfg llm.Config, seed int64, reg *obs.Registry) (core.Generator, error) {
+	tech, err := core.ParseTechnique(name)
+	if err != nil {
+		return nil, err
 	}
-	panic("unknown technique " + name)
+	opts := core.Options{Seed: seed, Obs: reg}
+	if tech == core.DHE {
+		opts.DHEArch = core.ArchLLM
+	} else {
+		opts.Table = table
+	}
+	return core.New(tech, cfg.Vocab, cfg.Dim, opts)
 }

@@ -6,6 +6,7 @@ import (
 
 	"secemb/internal/core"
 	"secemb/internal/llm"
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -17,7 +18,10 @@ func TestBuildGeneratorAllTechniques(t *testing.T) {
 		"path": core.PathORAM, "circuit": core.CircuitORAM, "dhe": core.DHE,
 	}
 	for name, tech := range want {
-		g := buildGenerator(name, tbl, cfg, 2)
+		g, err := buildGenerator(name, tbl, cfg, 2, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if g.Technique() != tech {
 			t.Fatalf("%s built %v", name, g.Technique())
 		}
@@ -27,13 +31,33 @@ func TestBuildGeneratorAllTechniques(t *testing.T) {
 	}
 }
 
-func TestBuildGeneratorUnknownPanics(t *testing.T) {
+func TestBuildGeneratorUnknownErrors(t *testing.T) {
 	cfg := llm.Config{Vocab: 8, Dim: 4, Heads: 1, Layers: 1, MaxSeq: 4, Seed: 1}
 	tbl := tensor.New(8, 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if _, err := buildGenerator("nope", tbl, cfg, 1, nil); err == nil {
+		t.Fatal("expected error for unknown technique")
+	}
+}
+
+func TestBuildGeneratorInstrumented(t *testing.T) {
+	cfg := llm.Config{Vocab: 64, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 8, Seed: 1}
+	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(2)))
+	reg := obs.NewRegistry()
+	g, err := buildGenerator("scan", tbl, cfg, 2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == `core_generate_total{tech="scan"}` && c.Value == 1 {
+			found = true
 		}
-	}()
-	buildGenerator("nope", tbl, cfg, 1)
+	}
+	if !found {
+		t.Fatalf("per-technique generate counter missing: %+v", snap.Counters)
+	}
 }

@@ -52,7 +52,11 @@ func main() {
 	pipeline := llm.FromModel(model, core.NewDHE(d, cfg.Vocab, core.Options{}))
 
 	prompt := corpus.Generate(8, rand.New(rand.NewSource(34)))
-	session, outs := pipeline.Generate([][]int{prompt}, 10)
+	session, outs, err := pipeline.Generate([][]int{prompt}, 10)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
 	fmt.Printf("prompt tokens:    %v\n", prompt)
 	fmt.Printf("generated tokens: %v\n", outs[0])
 	fmt.Printf("TTFT %v, mean TBT %v\n", session.PrefillTime, session.MeanDecodeTime())
@@ -75,7 +79,11 @@ func main() {
 	ids := tk.Encode(userText)
 	fmt.Printf("user text:        %q\n", userText)
 	fmt.Printf("token ids sent:   %v (tokenized client-side)\n", ids)
-	session2, reply := pipeline.Generate([][]int{clamp(ids, cfg.Vocab)}, 6)
+	session2, reply, err := pipeline.Generate([][]int{clamp(ids, cfg.Vocab)}, 6)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
 	fmt.Printf("model reply ids:  %v\n", reply[0])
 	fmt.Printf("decoded locally:  %q (TTFT %v)\n", tk.Decode(reply[0]), session2.PrefillTime)
 }

@@ -32,11 +32,15 @@ func main() {
 		core.NewDHEVaried(rows, dim, core.Options{Tracer: tracer, Seed: 3}),
 	}
 
-	reference := gens[0].Generate(queries)
+	reference, _ := gens[0].Generate(queries)
 	fmt.Println("technique                    latency      footprint   matches table   trace hides index")
 	for _, g := range gens {
 		start := time.Now()
-		out := g.Generate(queries)
+		out, err := g.Generate(queries)
+		if err != nil {
+			fmt.Printf("%-27s  generate failed: %v\n", g.Technique(), err)
+			continue
+		}
 		lat := time.Since(start)
 
 		matches := "n/a (computed)"

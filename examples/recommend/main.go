@@ -64,7 +64,11 @@ func main() {
 
 	// Serve a few requests.
 	b := ds.Sample(4, rand.New(rand.NewSource(18)))
-	probs := pipeline.Predict(b.Dense, b.Sparse)
+	probs, err := pipeline.Predict(b.Dense, b.Sparse)
+	if err != nil {
+		fmt.Println("predict:", err)
+		return
+	}
 	for r := 0; r < 4; r++ {
 		fmt.Printf("request %d: click probability %.3f (actual click: %v)\n",
 			r, probs.At(r, 0), b.Labels[r] == 1)

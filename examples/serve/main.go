@@ -3,13 +3,15 @@
 // replica pool, and reports latency percentiles against an SLA — the
 // deployment shape of the paper's co-location study (§IV-C2, Fig. 13).
 //
-//	go run ./examples/serve
+//	go run ./examples/serve [-metrics] [-metrics-addr :0]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -17,12 +19,26 @@ import (
 	"secemb/internal/data"
 	"secemb/internal/dhe"
 	"secemb/internal/dlrm"
+	"secemb/internal/obs"
 	"secemb/internal/serving"
 	"secemb/internal/tensor"
 )
 
 func main() {
+	metrics := flag.Bool("metrics", false, "print an observability snapshot after serving")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and pprof on this address")
+	flag.Parse()
 	const replicas, requests, batch = 3, 60, 8
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		addr, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
+	}
 	cards := data.ScaleCardinalities(data.KaggleCardinalities, 2e-5)
 	cfg := dlrm.Config{
 		DenseDim: 13, EmbDim: 16,
@@ -47,9 +63,10 @@ func main() {
 	}
 	pipes := make([]*dlrm.Pipeline, replicas)
 	for i := range pipes {
-		pipes[i] = dlrm.BuildHybrid(model, techs, core.Options{Seed: int64(30 + i)})
+		pipes[i] = dlrm.BuildHybrid(model, techs, core.Options{Seed: int64(30 + i), Obs: reg})
+		pipes[i].SetObserver(reg)
 	}
-	pool := serving.NewPool(pipes, 2*replicas)
+	pool := serving.NewPool(pipes, 2*replicas, serving.WithObserver(reg))
 	defer pool.Close()
 	fmt.Printf("serving mini-Kaggle DLRM: %d replicas, hybrid protection, %.2f MB/replica\n\n",
 		replicas, float64(pipes[0].NumBytes())/1e6)
@@ -78,6 +95,10 @@ func main() {
 	s := pool.Stats()
 	const sla = 20 * time.Millisecond
 	fmt.Printf("served %d requests at %.0f req/s\n", s.Served, s.Throughput)
-	fmt.Printf("latency p50 %v, p95 %v, max %v\n", s.P50, s.P95, s.Max)
+	fmt.Printf("latency p50 %v, p95 %v, p99 %v, max %v\n", s.P50, s.P95, s.P99, s.Max)
 	fmt.Printf("meets %v SLA: %v\n", sla, s.MeetsSLA(sla))
+	if *metrics {
+		fmt.Println("\n--- observability snapshot ---")
+		reg.WriteText(os.Stdout)
+	}
 }

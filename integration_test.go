@@ -43,11 +43,17 @@ func TestDLRMEndToEndStory(t *testing.T) {
 	}
 
 	b := ds.Sample(8, rand.New(rand.NewSource(6)))
-	ref := dlrm.Build(model, core.DHE, core.Options{}).Predict(b.Dense, b.Sparse)
+	ref, err := dlrm.Build(model, core.DHE, core.Options{}).Predict(b.Dense, b.Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Every secure deployment of the same trained model must agree.
 	for _, tech := range []core.Technique{core.LinearScan, core.PathORAM, core.CircuitORAM} {
-		got := dlrm.Build(model, tech, core.Options{Seed: 7}).Predict(b.Dense, b.Sparse)
+		got, err := dlrm.Build(model, tech, core.Options{Seed: 7}).Predict(b.Dense, b.Sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !tensor.AllClose(got, ref, 1e-5) {
 			t.Fatalf("%v deployment diverged by %v", tech, tensor.MaxAbsDiff(got, ref))
 		}
@@ -56,7 +62,11 @@ func TestDLRMEndToEndStory(t *testing.T) {
 	db := profile.BuildDB(cfg.EmbDim, profile.Varied, []int{8}, []int{1}, []int{16, 128, 1024}, 2, 8)
 	techs := db.Allocate(cards, profile.ExecConfig{Batch: 8, Threads: 1})
 	hyb := dlrm.BuildHybrid(model, techs, core.Options{Seed: 9})
-	if !tensor.AllClose(hyb.Predict(b.Dense, b.Sparse), ref, 1e-5) {
+	hybGot, err := hyb.Predict(b.Dense, b.Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(hybGot, ref, 1e-5) {
 		t.Fatal("hybrid deployment diverged")
 	}
 	for _, tech := range techs {
@@ -80,14 +90,20 @@ func TestLLMDualStory(t *testing.T) {
 	prompts := [][]int{{3, 4, 5, 6}}
 
 	pureDHE := llm.FromModel(model, core.NewDHE(d, cfg.Vocab, core.Options{}))
-	_, want := pureDHE.Generate(prompts, 5)
+	_, want, err := pureDHE.Generate(prompts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	tracer := memtrace.NewEnabled()
 	dual := core.NewDual(core.NewDHE(d, cfg.Vocab, core.Options{Tracer: tracer}), 1,
 		core.Options{Seed: 11, Tracer: tracer})
 	pDual := llm.FromModel(model, dual)
 	tracer.Reset()
-	_, got := pDual.Generate(prompts, 5)
+	_, got, err := pDual.Generate(prompts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i := range want[0] {
 		if got[0][i] != want[0][i] {
@@ -151,8 +167,14 @@ func TestCheckpointDeploymentStory(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := ds.Sample(5, rand.New(rand.NewSource(15)))
-	want := dlrm.Build(src, core.LinearScan, core.Options{}).Predict(b.Dense, b.Sparse)
-	got := dlrm.Build(dst, core.LinearScan, core.Options{}).Predict(b.Dense, b.Sparse)
+	want, err := dlrm.Build(src, core.LinearScan, core.Options{}).Predict(b.Dense, b.Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dlrm.Build(dst, core.LinearScan, core.Options{}).Predict(b.Dense, b.Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !tensor.AllClose(got, want, 0) {
 		t.Fatal("reloaded deployment differs from original")
 	}

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 
+	"secemb/internal/dhe"
 	"secemb/internal/memtrace"
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -58,16 +60,46 @@ func (t Technique) String() string {
 	return "unknown"
 }
 
+// Key is the short stable identifier used for CLI flags and metric labels
+// ("lookup", "scan", "path", "circuit", "dhe").
+func (t Technique) Key() string {
+	switch t {
+	case Lookup:
+		return "lookup"
+	case LinearScan:
+		return "scan"
+	case PathORAM:
+		return "path"
+	case CircuitORAM:
+		return "circuit"
+	case DHE:
+		return "dhe"
+	}
+	return "unknown"
+}
+
+// ParseTechnique resolves a Key back to its Technique.
+func ParseTechnique(key string) (Technique, error) {
+	for _, t := range []Technique{Lookup, LinearScan, PathORAM, CircuitORAM, DHE} {
+		if t.Key() == key {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown technique %q", key)
+}
+
 // Secure reports whether the technique hides the query index (Table II).
 func (t Technique) Secure() bool { return t != Lookup }
 
 // Generator produces embeddings for batches of categorical feature values.
 //
 // Generate returns a len(ids)×Dim() matrix whose r-th row is the embedding
-// of ids[r]. Implementations must keep their memory access pattern
+// of ids[r], or an error wrapping ErrIDOutOfRange when the batch contains
+// an id beyond the table cardinality — malformed requests are answerable,
+// never fatal. Implementations must keep their memory access pattern
 // independent of the id values (except Lookup, by design).
 type Generator interface {
-	Generate(ids []uint64) *tensor.Matrix
+	Generate(ids []uint64) (*tensor.Matrix, error)
 	// Rows is the table cardinality (for DHE: the virtual table size).
 	Rows() int
 	// Dim is the embedding dimension.
@@ -87,6 +119,23 @@ type Options struct {
 	Seed    int64
 	Tracer  *memtrace.Tracer
 	Region  string // trace region prefix; "" → technique-specific default
+
+	// Obs, when non-nil, wraps the constructed generator with Instrument
+	// so every Generate is counted and timed (per-technique families).
+	Obs *obs.Registry
+
+	// Table supplies the backing weights for the storage techniques
+	// (Lookup/LinearScan/PathORAM/CircuitORAM) when constructing through
+	// New. nil → a Gaussian table is initialized from Seed.
+	Table *tensor.Matrix
+
+	// DHE supplies a (possibly trained) network for the DHE technique when
+	// constructing through New. nil → an untrained network per DHEArch.
+	DHE *dhe.DHE
+
+	// DHEArch selects the architecture sizing when DHE is nil
+	// (default ArchVaried, Table IV's size-scaled design).
+	DHEArch DHEArch
 }
 
 func (o Options) region(def string) string {
@@ -94,14 +143,6 @@ func (o Options) region(def string) string {
 		return o.Region
 	}
 	return def
-}
-
-func checkIDs(ids []uint64, rows int) {
-	for _, id := range ids {
-		if id >= uint64(rows) {
-			panic(fmt.Sprintf("core: id %d out of table size %d", id, rows))
-		}
-	}
 }
 
 // FootprintRatio is a convenience for the memory tables: representation

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -10,6 +11,15 @@ import (
 
 func testTable(rows, dim int, seed int64) *tensor.Matrix {
 	return tensor.NewGaussian(rows, dim, 0.5, rand.New(rand.NewSource(seed)))
+}
+
+func mustGen(t *testing.T, g Generator, ids []uint64) *tensor.Matrix {
+	t.Helper()
+	out, err := g.Generate(ids)
+	if err != nil {
+		t.Fatalf("Generate(%v): %v", ids, err)
+	}
+	return out
 }
 
 // storageMakers builds every generator that *stores* the given table.
@@ -27,10 +37,10 @@ func TestStorageGeneratorsAgree(t *testing.T) {
 	tbl := testTable(200, 8, 1)
 	ref := NewLookup(tbl, Options{})
 	ids := []uint64{0, 7, 199, 7, 42}
-	want := ref.Generate(ids)
+	want := mustGen(t, ref, ids)
 	for _, m := range storageMakers[1:] {
 		g := m.mk(tbl, Options{Seed: 2})
-		got := g.Generate(ids)
+		got := mustGen(t, g, ids)
 		if !tensor.AllClose(got, want, 0) {
 			t.Fatalf("%s output differs from direct lookup", m.name)
 		}
@@ -71,23 +81,30 @@ func TestTechniqueStringsAndSecurity(t *testing.T) {
 	}
 }
 
-func TestOutOfRangePanics(t *testing.T) {
+func TestOutOfRangeErrors(t *testing.T) {
 	tbl := testTable(10, 2, 4)
 	for _, m := range storageMakers {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s: expected panic", m.name)
-				}
-			}()
-			m.mk(tbl, Options{}).Generate([]uint64{10})
-		}()
+		out, err := m.mk(tbl, Options{}).Generate([]uint64{3, 10})
+		if out != nil || err == nil {
+			t.Fatalf("%s: expected error for out-of-range id, got out=%v err=%v", m.name, out, err)
+		}
+		if !errors.Is(err, ErrIDOutOfRange) {
+			t.Fatalf("%s: error %v must wrap ErrIDOutOfRange", m.name, err)
+		}
+		var re *IDRangeError
+		if !errors.As(err, &re) || re.Index != 1 || re.ID != 10 || re.Rows != 10 {
+			t.Fatalf("%s: IDRangeError details wrong: %+v", m.name, re)
+		}
+	}
+	// DHE bounds the virtual table the same way.
+	if _, err := NewDHEVaried(100, 8, Options{}).Generate([]uint64{100}); !errors.Is(err, ErrIDOutOfRange) {
+		t.Fatalf("DHE: expected ErrIDOutOfRange, got %v", err)
 	}
 }
 
 func TestDHEGeneratorBasics(t *testing.T) {
 	g := NewDHEVaried(1000, 8, Options{Seed: 5})
-	out := g.Generate([]uint64{1, 2, 1})
+	out := mustGen(t, g, []uint64{1, 2, 1})
 	if out.Rows != 3 || out.Cols != 8 {
 		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
 	}
@@ -114,7 +131,7 @@ func TestDHEToTableRoundTrip(t *testing.T) {
 	gDHE := NewDHE(d, rows, Options{})
 	gScan := NewLinearScan(d.ToTable(rows), Options{})
 	ids := []uint64{0, 13, 49}
-	if !tensor.AllClose(gDHE.Generate(ids), gScan.Generate(ids), 0) {
+	if !tensor.AllClose(mustGen(t, gDHE, ids), mustGen(t, gScan, ids), 0) {
 		t.Fatal("DHE and its materialized table disagree")
 	}
 }
@@ -159,9 +176,9 @@ func TestThreadsSettable(t *testing.T) {
 	ids := []uint64{5, 6, 7, 8}
 	for _, m := range storageMakers {
 		g := m.mk(tbl, Options{Threads: 1})
-		a := g.Generate(ids)
+		a := mustGen(t, g, ids)
 		g.SetThreads(4)
-		b := g.Generate(ids)
+		b := mustGen(t, g, ids)
 		if !tensor.AllClose(a, b, 0) {
 			t.Fatalf("%s: thread count changed results", m.name)
 		}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/rand"
-
 	"secemb/internal/dhe"
 	"secemb/internal/memtrace"
 	"secemb/internal/tensor"
@@ -20,29 +18,42 @@ type dheGen struct {
 	region string
 }
 
-// NewDHE wraps a (possibly trained) DHE as a generator for a virtual table
-// of `rows` entries.
-func NewDHE(d *dhe.DHE, rows int, opts Options) Generator {
+func newDHEGen(d *dhe.DHE, rows int, opts Options) *dheGen {
 	d.Threads = opts.Threads
 	return &dheGen{d: d, rows: rows, tracer: opts.Tracer, region: opts.region("dhe")}
 }
 
+// NewDHE wraps a (possibly trained) DHE as a generator for a virtual table
+// of `rows` entries.
+//
+// Deprecated: use New(DHE, rows, d.Dim, Options{DHE: d}).
+func NewDHE(d *dhe.DHE, rows int, opts Options) Generator {
+	opts.DHE = d
+	return mustNew(DHE, rows, d.Dim, opts)
+}
+
 // NewDHEUniform builds an untrained Uniform-architecture DHE generator
 // (k=1024, 512-256-dim decoder) — the fixed architecture of Table IV.
+//
+// Deprecated: use New(DHE, rows, dim, Options{DHEArch: ArchUniform}).
 func NewDHEUniform(rows, dim int, opts Options) Generator {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	return NewDHE(dhe.New(dhe.UniformConfig(dim, opts.Seed), rng), rows, opts)
+	opts.DHE, opts.DHEArch = nil, ArchUniform
+	return mustNew(DHE, rows, dim, opts)
 }
 
 // NewDHEVaried builds an untrained Varied-architecture DHE generator,
 // scaled down with the table size per Table IV.
+//
+// Deprecated: use New(DHE, rows, dim, Options{DHEArch: ArchVaried}).
 func NewDHEVaried(rows, dim int, opts Options) Generator {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	return NewDHE(dhe.New(dhe.VariedConfig(dim, rows, opts.Seed), rng), rows, opts)
+	opts.DHE, opts.DHEArch = nil, ArchVaried
+	return mustNew(DHE, rows, dim, opts)
 }
 
-func (g *dheGen) Generate(ids []uint64) *tensor.Matrix {
-	checkIDs(ids, g.rows)
+func (g *dheGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if err := ValidateIDs(ids, g.rows); err != nil {
+		return nil, err
+	}
 	if g.tracer.Enabled() {
 		// One deterministic sweep over each decoder layer's weights per
 		// batch: the block sequence is a function of the architecture
@@ -52,7 +63,7 @@ func (g *dheGen) Generate(ids []uint64) *tensor.Matrix {
 			g.tracer.TouchRange(g.region, int64(li)<<32, int64(li)<<32+int64(blocks), memtrace.Read)
 		}
 	}
-	return g.d.Generate(ids)
+	return g.d.Generate(ids), nil
 }
 
 func (g *dheGen) Rows() int            { return g.rows }
@@ -62,9 +73,10 @@ func (g *dheGen) NumBytes() int64      { return g.d.NumBytes() }
 func (g *dheGen) SetThreads(n int)     { g.d.Threads = n }
 
 // Underlying returns the wrapped DHE (for training and DHE→table
-// conversion in the hybrid pipeline); ok is false for non-DHE generators.
+// conversion in the hybrid pipeline), looking through Instrument wrappers;
+// ok is false for non-DHE generators.
 func Underlying(g Generator) (*dhe.DHE, bool) {
-	if dg, isDHE := g.(*dheGen); isDHE {
+	if dg, isDHE := unwrapGenerator(g).(*dheGen); isDHE {
 		return dg.d, true
 	}
 	return nil, false

@@ -40,7 +40,7 @@ func NewDual(dheGen Generator, threshold int, opts Options) *Dual {
 }
 
 // Generate dispatches on the (public) batch size.
-func (g *Dual) Generate(ids []uint64) *tensor.Matrix {
+func (g *Dual) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if len(ids) > g.threshold {
 		return g.dhe.Generate(ids)
 	}

@@ -21,9 +21,9 @@ func TestDualRepresentationsAgree(t *testing.T) {
 	// The ORAM table is materialized from the DHE, so both dispatch
 	// targets must return identical embeddings.
 	g := testDual(t, 2, nil)
-	big := g.Generate([]uint64{5, 6, 7}) // batch 3 > threshold → DHE
+	big := mustGen(t, g, []uint64{5, 6, 7}) // batch 3 > threshold → DHE
 	for i, id := range []uint64{5, 6, 7} {
-		small := g.Generate([]uint64{id}) // batch 1 ≤ threshold → ORAM
+		small := mustGen(t, g, []uint64{id}) // batch 1 ≤ threshold → ORAM
 		if !tensor.AllClose(small, tensor.SliceRows(big, i, i+1), 0) {
 			t.Fatalf("dual representations disagree for id %d", id)
 		}
@@ -84,8 +84,8 @@ func TestDualRequiresDHE(t *testing.T) {
 func TestScanBatchedMatchesScan(t *testing.T) {
 	tbl := testTable(200, 8, 2)
 	ids := []uint64{0, 42, 199, 42}
-	a := NewLinearScan(tbl, Options{}).Generate(ids)
-	b := NewLinearScanBatched(tbl, Options{}).Generate(ids)
+	a := mustGen(t, NewLinearScan(tbl, Options{}), ids)
+	b := mustGen(t, NewLinearScanBatched(tbl, Options{}), ids)
 	if !tensor.AllClose(a, b, 0) {
 		t.Fatal("batched scan must match per-query scan exactly")
 	}
@@ -118,7 +118,7 @@ func TestScanBatchedMetadata(t *testing.T) {
 		t.Fatal("metadata wrong")
 	}
 	g.SetThreads(2)
-	out := g.Generate([]uint64{1, 2, 3})
+	out := mustGen(t, g, []uint64{1, 2, 3})
 	if out.Rows != 3 {
 		t.Fatal("threaded generate wrong shape")
 	}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIDOutOfRange is the sentinel every id-validation failure wraps, so
+// servers can classify malformed requests with errors.Is without matching
+// message text.
+var ErrIDOutOfRange = errors.New("core: id out of table range")
+
+// IDRangeError reports the first out-of-range id in a batch. It wraps
+// ErrIDOutOfRange.
+type IDRangeError struct {
+	Index int    // position in the ids batch
+	ID    uint64 // offending value
+	Rows  int    // table cardinality
+}
+
+func (e *IDRangeError) Error() string {
+	return fmt.Sprintf("core: ids[%d] = %d out of table size %d", e.Index, e.ID, e.Rows)
+}
+
+func (e *IDRangeError) Unwrap() error { return ErrIDOutOfRange }
+
+// ValidateIDs checks every id against the table cardinality, returning a
+// *IDRangeError for the first violation. This replaces the panic-based
+// checkIDs: a malformed request must surface as an error a serving pool
+// can answer, never as a crashed replica.
+func ValidateIDs(ids []uint64, rows int) error {
+	for i, id := range ids {
+		if id >= uint64(rows) {
+			return &IDRangeError{Index: i, ID: id, Rows: rows}
+		}
+	}
+	return nil
+}

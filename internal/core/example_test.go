@@ -14,9 +14,23 @@ import (
 func Example() {
 	table := tensor.NewGaussian(1000, 16, 0.1, rand.New(rand.NewSource(1)))
 	gen := core.NewLinearScan(table, core.Options{})
-	emb := gen.Generate([]uint64{42, 7})
-	fmt.Println(emb.Rows, emb.Cols, gen.Technique().Secure())
-	// Output: 2 16 true
+	emb, err := gen.Generate([]uint64{42, 7})
+	fmt.Println(emb.Rows, emb.Cols, gen.Technique().Secure(), err)
+	// Output: 2 16 true <nil>
+}
+
+// ExampleNew shows the unified constructor: pick a technique by value (or
+// parse one from a CLI string) and let Options supply the representation.
+func ExampleNew() {
+	table := tensor.NewGaussian(100, 8, 0.1, rand.New(rand.NewSource(4)))
+	tech, _ := core.ParseTechnique("scan")
+	gen, err := core.New(tech, 100, 8, core.Options{Table: table})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(gen.Technique(), gen.Rows(), gen.Dim())
+	// Output: Linear Scan 100 8
 }
 
 // ExampleNewDHE builds a compute-based generator: constant memory
@@ -25,7 +39,7 @@ func ExampleNewDHE() {
 	d := dhe.New(dhe.Config{K: 64, Hidden: []int{32}, Dim: 16, Seed: 1},
 		rand.New(rand.NewSource(1)))
 	gen := core.NewDHE(d, 10_000_000, core.Options{})
-	emb := gen.Generate([]uint64{9_999_999})
+	emb, _ := gen.Generate([]uint64{9_999_999})
 	fmt.Println(emb.Rows, emb.Cols, gen.NumBytes() < 1<<20)
 	// Output: 1 16 true
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"time"
+
+	"secemb/internal/enclave"
+	"secemb/internal/obs"
+	"secemb/internal/oram"
+	"secemb/internal/tensor"
+)
+
+// Unwrapper is implemented by decorating generators (Instrument) so
+// type-probing helpers (Underlying, ORAMStats) can reach the concrete
+// implementation.
+type Unwrapper interface {
+	Unwrap() Generator
+}
+
+// unwrapGenerator strips decoration layers down to the concrete generator.
+func unwrapGenerator(g Generator) Generator {
+	for {
+		u, ok := g.(Unwrapper)
+		if !ok {
+			return g
+		}
+		g = u.Unwrap()
+	}
+}
+
+// instrumentedGen decorates a Generator with per-technique observability:
+//
+//	core_generate_total{tech}         batches generated
+//	core_generate_errors_total{tech}  rejected batches (bad ids)
+//	core_generate_ids_total{tech}     ids embedded
+//	core_generate_ns{tech}            per-batch latency histogram
+//
+// ORAM-backed generators additionally account enclave-boundary work
+// (ocalls, EPC bucket traffic, modeled nanoseconds) through an
+// enclave.Meter, reproducing the per-window accounting the paper uses to
+// compare the ZeroTrace deployment variants (Figure 10).
+type instrumentedGen struct {
+	g     Generator
+	gens  *obs.Counter
+	errs  *obs.Counter
+	ids   *obs.Counter
+	lat   *obs.Histogram
+	stats *oram.Stats // live controller counters; nil when not ORAM-backed
+	meter *enclave.Meter
+}
+
+// Instrument wraps g so every Generate call is counted and timed in reg.
+// Construction through New with Options.Obs set applies this
+// automatically. A nil registry returns g unchanged.
+func Instrument(g Generator, reg *obs.Registry) Generator {
+	if reg == nil {
+		return g
+	}
+	tech := g.Technique().Key()
+	ig := &instrumentedGen{
+		g:    g,
+		gens: reg.Counter("core_generate_total", "tech", tech),
+		errs: reg.Counter("core_generate_errors_total", "tech", tech),
+		ids:  reg.Counter("core_generate_ids_total", "tech", tech),
+		lat:  reg.Histogram("core_generate_ns", "tech", tech),
+	}
+	if s, ok := ORAMStats(g); ok {
+		ig.stats = s
+		ig.meter = enclave.NewMeter(enclave.ZTGramineOpt, reg)
+	}
+	return ig
+}
+
+func (i *instrumentedGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	var before oram.Stats
+	if i.stats != nil {
+		before = *i.stats
+	}
+	start := time.Now()
+	out, err := i.g.Generate(ids)
+	i.lat.ObserveDuration(time.Since(start))
+	i.gens.Inc()
+	if err != nil {
+		i.errs.Inc()
+		return nil, err
+	}
+	i.ids.Add(int64(len(ids)))
+	if i.stats != nil {
+		i.meter.Record(enclave.Delta(*i.stats, before))
+	}
+	return out, nil
+}
+
+func (i *instrumentedGen) Rows() int            { return i.g.Rows() }
+func (i *instrumentedGen) Dim() int             { return i.g.Dim() }
+func (i *instrumentedGen) Technique() Technique { return i.g.Technique() }
+func (i *instrumentedGen) NumBytes() int64      { return i.g.NumBytes() }
+func (i *instrumentedGen) SetThreads(n int)     { i.g.SetThreads(n) }
+func (i *instrumentedGen) Unwrap() Generator    { return i.g }

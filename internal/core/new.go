@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secemb/internal/dhe"
+	"secemb/internal/tensor"
+)
+
+// DHEArch selects the architecture-sizing policy when New builds an
+// untrained DHE (Options.DHE == nil).
+type DHEArch int
+
+const (
+	// ArchVaried scales the network with the virtual table size (Table IV).
+	ArchVaried DHEArch = iota
+	// ArchUniform is the fixed k=1024, 512-256-dim decoder of Table IV.
+	ArchUniform
+	// ArchLLM is the token-embedding architecture used for the LLM studies.
+	ArchLLM
+)
+
+// New is the single construction entry point for every technique: it
+// validates shape inputs, materializes defaults (a Gaussian table, an
+// untrained DHE) when Options doesn't supply representations, and — when
+// Options.Obs is set — returns the generator pre-wrapped with Instrument.
+//
+// The per-technique constructors (NewLookup, NewLinearScan, NewPathORAM,
+// NewCircuitORAM, NewDHE, NewDHEUniform, NewDHEVaried) remain as thin
+// deprecated wrappers over this function.
+func New(tech Technique, rows, dim int, opts Options) (Generator, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("core: invalid shape %dx%d for %v", rows, dim, tech)
+	}
+	var g Generator
+	switch tech {
+	case DHE:
+		d := opts.DHE
+		if d == nil {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			switch opts.DHEArch {
+			case ArchUniform:
+				d = dhe.New(dhe.UniformConfig(dim, opts.Seed), rng)
+			case ArchLLM:
+				d = dhe.New(dhe.LLMConfig(dim, opts.Seed), rng)
+			default:
+				d = dhe.New(dhe.VariedConfig(dim, rows, opts.Seed), rng)
+			}
+		}
+		if d.Dim != dim {
+			return nil, fmt.Errorf("core: DHE dim %d != requested dim %d", d.Dim, dim)
+		}
+		g = newDHEGen(d, rows, opts)
+	case Lookup, LinearScan, PathORAM, CircuitORAM:
+		table := opts.Table
+		if table == nil {
+			table = tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(opts.Seed)))
+		}
+		if table.Rows != rows || table.Cols != dim {
+			return nil, fmt.Errorf("core: table shape %dx%d != requested %dx%d",
+				table.Rows, table.Cols, rows, dim)
+		}
+		switch tech {
+		case Lookup:
+			g = newLookupGen(table, opts)
+		case LinearScan:
+			g = newScanGen(table, opts)
+		case PathORAM:
+			g = newORAMGen(table, PathORAM, opts)
+		case CircuitORAM:
+			g = newORAMGen(table, CircuitORAM, opts)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown technique %v", tech)
+	}
+	if opts.Obs != nil {
+		g = Instrument(g, opts.Obs)
+	}
+	return g, nil
+}
+
+// mustNew backs the deprecated wrappers: their inputs are
+// programmer-supplied shapes, so a construction failure is a config bug,
+// not request data.
+func mustNew(tech Technique, rows, dim int, opts Options) Generator {
+	g, err := New(tech, rows, dim, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

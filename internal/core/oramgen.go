@@ -19,40 +19,40 @@ type oramGen struct {
 	tech Technique
 }
 
-// NewPathORAM stores table in a Path ORAM (paper config: Z=4, stash 150,
-// recursion beyond 2^16 blocks).
-func NewPathORAM(table *tensor.Matrix, opts Options) Generator {
+func newORAMGen(table *tensor.Matrix, tech Technique, opts Options) *oramGen {
 	cfg := oram.Config{
 		NumBlocks:  table.Rows,
 		BlockWords: table.Cols,
 		Seed:       opts.Seed,
 		Tracer:     opts.Tracer,
-		Region:     opts.region("path"),
 	}
-	return &oramGen{
-		o:    oram.NewPathInit(cfg, tableToBlocks(table)),
-		rows: table.Rows,
-		dim:  table.Cols,
-		tech: PathORAM,
+	var o oram.ORAM
+	if tech == PathORAM {
+		cfg.Region = opts.region("path")
+		o = oram.NewPathInit(cfg, tableToBlocks(table))
+	} else {
+		cfg.Region = opts.region("circuit")
+		o = oram.NewCircuitInit(cfg, tableToBlocks(table))
 	}
+	return &oramGen{o: o, rows: table.Rows, dim: table.Cols, tech: tech}
+}
+
+// NewPathORAM stores table in a Path ORAM (paper config: Z=4, stash 150,
+// recursion beyond 2^16 blocks).
+//
+// Deprecated: use New(PathORAM, table.Rows, table.Cols, Options{Table: table}).
+func NewPathORAM(table *tensor.Matrix, opts Options) Generator {
+	opts.Table = table
+	return mustNew(PathORAM, table.Rows, table.Cols, opts)
 }
 
 // NewCircuitORAM stores table in a Circuit ORAM (paper config: Z=4, stash
 // 10, recursion beyond 2^12 blocks).
+//
+// Deprecated: use New(CircuitORAM, table.Rows, table.Cols, Options{Table: table}).
 func NewCircuitORAM(table *tensor.Matrix, opts Options) Generator {
-	cfg := oram.Config{
-		NumBlocks:  table.Rows,
-		BlockWords: table.Cols,
-		Seed:       opts.Seed,
-		Tracer:     opts.Tracer,
-		Region:     opts.region("circuit"),
-	}
-	return &oramGen{
-		o:    oram.NewCircuitInit(cfg, tableToBlocks(table)),
-		rows: table.Rows,
-		dim:  table.Cols,
-		tech: CircuitORAM,
-	}
+	opts.Table = table
+	return mustNew(CircuitORAM, table.Rows, table.Cols, opts)
 }
 
 // tableToBlocks reinterprets each float32 row as an ORAM payload of raw
@@ -70,8 +70,10 @@ func tableToBlocks(table *tensor.Matrix) [][]uint32 {
 	return blocks
 }
 
-func (g *oramGen) Generate(ids []uint64) *tensor.Matrix {
-	checkIDs(ids, g.rows)
+func (g *oramGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if err := ValidateIDs(ids, g.rows); err != nil {
+		return nil, err
+	}
 	out := tensor.New(len(ids), g.dim)
 	for r, id := range ids {
 		words := g.o.Read(id)
@@ -80,7 +82,7 @@ func (g *oramGen) Generate(ids []uint64) *tensor.Matrix {
 			dst[c] = math.Float32frombits(w)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (g *oramGen) Rows() int            { return g.rows }
@@ -91,10 +93,11 @@ func (g *oramGen) NumBytes() int64      { return g.o.NumBytes() }
 // SetThreads is a no-op: ORAM accesses are inherently sequential (§V-A1).
 func (g *oramGen) SetThreads(int) {}
 
-// ORAMStats exposes the controller counters when g is ORAM-backed, for the
-// enclave cost model; ok is false otherwise.
+// ORAMStats exposes the controller counters when g is ORAM-backed (looking
+// through Instrument wrappers), for the enclave cost model; ok is false
+// otherwise.
 func ORAMStats(g Generator) (s *oram.Stats, ok bool) {
-	if og, isORAM := g.(*oramGen); isORAM {
+	if og, isORAM := unwrapGenerator(g).(*oramGen); isORAM {
 		return og.o.Stats(), true
 	}
 	return nil, false

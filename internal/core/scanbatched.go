@@ -27,16 +27,19 @@ type scanBatchedGen struct {
 // NewLinearScanBatched wraps table as a batch-amortized linear-scan
 // generator.
 func NewLinearScanBatched(table *tensor.Matrix, opts Options) Generator {
-	return &scanBatchedGen{
+	g := &scanBatchedGen{
 		table:   table,
 		tracer:  opts.Tracer,
 		region:  opts.region("scanb"),
 		threads: opts.Threads,
 	}
+	return Instrument(g, opts.Obs)
 }
 
-func (g *scanBatchedGen) Generate(ids []uint64) *tensor.Matrix {
-	checkIDs(ids, g.table.Rows)
+func (g *scanBatchedGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if err := ValidateIDs(ids, g.table.Rows); err != nil {
+		return nil, err
+	}
 	out := tensor.New(len(ids), g.table.Cols)
 	rows, width := g.table.Rows, g.table.Cols
 	// Partition the *batch* across workers; each worker makes one pass
@@ -54,7 +57,7 @@ func (g *scanBatchedGen) Generate(ids []uint64) *tensor.Matrix {
 			}
 		}
 	})
-	return out
+	return out, nil
 }
 
 func (g *scanBatchedGen) Rows() int            { return g.table.Rows }

@@ -15,8 +15,7 @@ type lookupGen struct {
 	threads int
 }
 
-// NewLookup wraps table (rows×dim) as a direct-lookup generator.
-func NewLookup(table *tensor.Matrix, opts Options) Generator {
+func newLookupGen(table *tensor.Matrix, opts Options) *lookupGen {
 	return &lookupGen{
 		table:   table,
 		tracer:  opts.Tracer,
@@ -25,8 +24,18 @@ func NewLookup(table *tensor.Matrix, opts Options) Generator {
 	}
 }
 
-func (g *lookupGen) Generate(ids []uint64) *tensor.Matrix {
-	checkIDs(ids, g.table.Rows)
+// NewLookup wraps table (rows×dim) as a direct-lookup generator.
+//
+// Deprecated: use New(Lookup, table.Rows, table.Cols, Options{Table: table}).
+func NewLookup(table *tensor.Matrix, opts Options) Generator {
+	opts.Table = table
+	return mustNew(Lookup, table.Rows, table.Cols, opts)
+}
+
+func (g *lookupGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if err := ValidateIDs(ids, g.table.Rows); err != nil {
+		return nil, err
+	}
 	out := tensor.New(len(ids), g.table.Cols)
 	tensor.ParallelRows(len(ids), g.threads, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
@@ -34,7 +43,7 @@ func (g *lookupGen) Generate(ids []uint64) *tensor.Matrix {
 			copy(out.Row(r), g.table.Row(int(ids[r])))
 		}
 	})
-	return out
+	return out, nil
 }
 
 func (g *lookupGen) Rows() int            { return g.table.Rows }
@@ -55,8 +64,7 @@ type scanGen struct {
 	threads int
 }
 
-// NewLinearScan wraps table (rows×dim) as a linear-scan generator.
-func NewLinearScan(table *tensor.Matrix, opts Options) Generator {
+func newScanGen(table *tensor.Matrix, opts Options) *scanGen {
 	return &scanGen{
 		table:   table,
 		tracer:  opts.Tracer,
@@ -65,8 +73,18 @@ func NewLinearScan(table *tensor.Matrix, opts Options) Generator {
 	}
 }
 
-func (g *scanGen) Generate(ids []uint64) *tensor.Matrix {
-	checkIDs(ids, g.table.Rows)
+// NewLinearScan wraps table (rows×dim) as a linear-scan generator.
+//
+// Deprecated: use New(LinearScan, table.Rows, table.Cols, Options{Table: table}).
+func NewLinearScan(table *tensor.Matrix, opts Options) Generator {
+	opts.Table = table
+	return mustNew(LinearScan, table.Rows, table.Cols, opts)
+}
+
+func (g *scanGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if err := ValidateIDs(ids, g.table.Rows); err != nil {
+		return nil, err
+	}
 	out := tensor.New(len(ids), g.table.Cols)
 	rows, width := g.table.Rows, g.table.Cols
 	// The batch is partitioned across threads; every worker scans the
@@ -82,7 +100,7 @@ func (g *scanGen) Generate(ids []uint64) *tensor.Matrix {
 			oblivious.LookupScan(g.table.Data, rows, width, ids[r], out.Row(r))
 		}
 	})
-	return out
+	return out, nil
 }
 
 func (g *scanGen) Rows() int            { return g.table.Rows }

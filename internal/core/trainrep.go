@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 
 	"secemb/internal/dhe"
@@ -80,7 +79,8 @@ func BuildGenerator(rep TrainableRep, rows int, tech Technique, opts Options) Ge
 		if !ok {
 			panic("core: DHE technique requires a DHE-trained representation")
 		}
-		return NewDHE(d, rows, opts)
+		opts.DHE = d
+		return mustNew(DHE, rows, d.Dim, opts)
 	}
 	var table *tensor.Matrix
 	if w, ok := TableWeights(rep); ok {
@@ -90,17 +90,8 @@ func BuildGenerator(rep TrainableRep, rows int, tech Technique, opts Options) Ge
 	} else {
 		panic("core: unknown trainable representation")
 	}
-	switch tech {
-	case Lookup:
-		return NewLookup(table, opts)
-	case LinearScan:
-		return NewLinearScan(table, opts)
-	case PathORAM:
-		return NewPathORAM(table, opts)
-	case CircuitORAM:
-		return NewCircuitORAM(table, opts)
-	}
-	panic(fmt.Sprintf("core: unknown technique %v", tech))
+	opts.Table = table
+	return mustNew(tech, table.Rows, table.Cols, opts)
 }
 
 func toInts(ids []uint64) []int {

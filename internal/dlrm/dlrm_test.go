@@ -174,7 +174,10 @@ func TestPipelineMatchesTrainableModel(t *testing.T) {
 	want := m.Forward(dense, sparse)
 	for _, tech := range []core.Technique{core.Lookup, core.LinearScan, core.PathORAM, core.CircuitORAM} {
 		p := Build(m, tech, core.Options{Seed: 13})
-		got := p.Logits(dense, sparse)
+		got, err := p.Logits(dense, sparse)
+		if err != nil {
+			t.Fatalf("%v logits: %v", tech, err)
+		}
 		if !tensor.AllClose(got, want, 1e-5) {
 			t.Fatalf("%v pipeline differs from model by %v", tech, tensor.MaxAbsDiff(got, want))
 		}
@@ -188,12 +191,20 @@ func TestDHEModelPipelines(t *testing.T) {
 	want := m.Forward(dense, sparse)
 	// DHE pipeline serves the DHE directly.
 	pDHE := Build(m, core.DHE, core.Options{})
-	if !tensor.AllClose(pDHE.Logits(dense, sparse), want, 1e-5) {
+	gotDHE, err := pDHE.Logits(dense, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(gotDHE, want, 1e-5) {
 		t.Fatal("DHE pipeline differs from trained model")
 	}
 	// Storage pipelines serve materialized tables — same outputs.
 	pScan := Build(m, core.LinearScan, core.Options{})
-	if !tensor.AllClose(pScan.Logits(dense, sparse), want, 1e-5) {
+	gotScan, err := pScan.Logits(dense, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(gotScan, want, 1e-5) {
 		t.Fatal("materialized-table pipeline differs from DHE model")
 	}
 }
@@ -207,7 +218,11 @@ func TestBuildHybridMixedTechniques(t *testing.T) {
 	if p.Gens[0].Technique() != core.LinearScan || p.Gens[1].Technique() != core.DHE {
 		t.Fatal("hybrid assignment not honored")
 	}
-	if !tensor.AllClose(p.Logits(dense, sparse), want, 1e-5) {
+	got, err := p.Logits(dense, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, want, 1e-5) {
 		t.Fatal("hybrid pipeline output differs")
 	}
 }

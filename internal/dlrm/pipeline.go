@@ -2,9 +2,11 @@ package dlrm
 
 import (
 	"fmt"
+	"time"
 
 	"secemb/internal/core"
 	"secemb/internal/nn"
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -17,6 +19,10 @@ type Pipeline struct {
 	Bottom *nn.Sequential
 	Top    *nn.Sequential
 	Gens   []core.Generator
+
+	// Per-stage latency histograms (dlrm_stage_ns{stage=...}); all nil
+	// until SetObserver, and nil histograms observe as no-ops.
+	stBottom, stEmbed, stInteract, stTop *obs.Histogram
 }
 
 // NewPipeline assembles an inference pipeline from a trained model's MLPs
@@ -67,26 +73,58 @@ func BuildHybrid(m *Model, techs []core.Technique, opts core.Options) *Pipeline 
 	return NewPipeline(m, gens)
 }
 
+// SetObserver registers per-stage latency histograms
+// (dlrm_stage_ns{stage=bottom|embed|interact|top}) in reg. A nil registry
+// (or never calling this) leaves the pipeline uninstrumented.
+func (p *Pipeline) SetObserver(reg *obs.Registry) {
+	p.stBottom = reg.Histogram("dlrm_stage_ns", "stage", "bottom")
+	p.stEmbed = reg.Histogram("dlrm_stage_ns", "stage", "embed")
+	p.stInteract = reg.Histogram("dlrm_stage_ns", "stage", "interact")
+	p.stTop = reg.Histogram("dlrm_stage_ns", "stage", "top")
+}
+
 // Predict runs inference, returning CTR probabilities (batch×1).
 // Sequential sparse-feature processing, as in the paper's experiments
 // (§IV-C1).
-func (p *Pipeline) Predict(dense *tensor.Matrix, sparse [][]uint64) *tensor.Matrix {
-	logits := p.Logits(dense, sparse)
+func (p *Pipeline) Predict(dense *tensor.Matrix, sparse [][]uint64) (*tensor.Matrix, error) {
+	logits, err := p.Logits(dense, sparse)
+	if err != nil {
+		return nil, err
+	}
 	s := &nn.Sigmoid{}
-	return s.Forward(logits)
+	return s.Forward(logits), nil
 }
 
-// Logits runs inference up to the CTR logit.
-func (p *Pipeline) Logits(dense *tensor.Matrix, sparse [][]uint64) *tensor.Matrix {
+// Logits runs inference up to the CTR logit. Errors from the generators
+// (out-of-range ids) are returned annotated with the sparse-feature index.
+func (p *Pipeline) Logits(dense *tensor.Matrix, sparse [][]uint64) (*tensor.Matrix, error) {
 	if len(sparse) != len(p.Gens) {
-		panic(fmt.Sprintf("dlrm: %d sparse features, pipeline has %d", len(sparse), len(p.Gens)))
+		return nil, fmt.Errorf("dlrm: %d sparse features, pipeline has %d", len(sparse), len(p.Gens))
 	}
+	start := time.Now()
 	z := []*tensor.Matrix{p.Bottom.Forward(dense)}
+	start = stamp(p.stBottom, start)
 	for f, g := range p.Gens {
-		z = append(z, g.Generate(sparse[f]))
+		emb, err := g.Generate(sparse[f])
+		if err != nil {
+			return nil, fmt.Errorf("dlrm: feature %d: %w", f, err)
+		}
+		z = append(z, emb)
 	}
+	start = stamp(p.stEmbed, start)
 	inter := interact(z)
-	return p.Top.Forward(tensor.Concat(append([]*tensor.Matrix{z[0]}, inter)...))
+	start = stamp(p.stInteract, start)
+	out := p.Top.Forward(tensor.Concat(append([]*tensor.Matrix{z[0]}, inter)...))
+	stamp(p.stTop, start)
+	return out, nil
+}
+
+// stamp observes the elapsed time since start into h (no-op when h is nil)
+// and returns the new stage start.
+func stamp(h *obs.Histogram, start time.Time) time.Time {
+	now := time.Now()
+	h.ObserveDuration(now.Sub(start))
+	return now
 }
 
 // NumBytes is the deployed footprint: MLPs + all generator

@@ -16,6 +16,24 @@ func tinyModel(kind TokKind, seed int64) *Model {
 	return New(Tiny(97, seed), kind)
 }
 
+func mustPrefill(t *testing.T, s *Session, prompts [][]int) *tensor.Matrix {
+	t.Helper()
+	out, err := s.Prefill(prompts)
+	if err != nil {
+		t.Fatalf("Prefill: %v", err)
+	}
+	return out
+}
+
+func mustDecode(t *testing.T, s *Session, tokens []int) *tensor.Matrix {
+	t.Helper()
+	out, err := s.Decode(tokens)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return out
+}
+
 func TestForwardSeqShape(t *testing.T) {
 	for _, kind := range []TokKind{TableTok, DHETok} {
 		m := tinyModel(kind, 1)
@@ -142,7 +160,7 @@ func TestPipelineMatchesModel(t *testing.T) {
 	p := FromModel(m, core.NewLookup(w, core.Options{}))
 	prompt := []int{3, 14, 15, 9, 2}
 	s := p.NewSession(1)
-	got := s.Prefill([][]int{prompt})
+	got := mustPrefill(t, s, [][]int{prompt})
 	hidden := m.forwardSeq(prompt)
 	want := m.Logits(tensor.SliceRows(hidden, len(prompt)-1, len(prompt)))
 	if !tensor.AllClose(got, want, 1e-3) {
@@ -160,7 +178,7 @@ func TestDecodeMatchesFullForward(t *testing.T) {
 	s := p.NewSession(1)
 	s.Prefill([][]int{prompt})
 	next := []int{20}
-	got := s.Decode(next)
+	got := mustDecode(t, s, next)
 
 	full := append(append([]int{}, prompt...), next...)
 	hidden := m.forwardSeq(full)
@@ -183,7 +201,10 @@ func TestGenerateDeterministicAcrossGenerators(t *testing.T) {
 		core.NewCircuitORAM(w, core.Options{Seed: 14}),
 	} {
 		p := FromModel(m, gen)
-		_, out := p.Generate(prompts, 6)
+		_, out, err := p.Generate(prompts, 6)
+		if err != nil {
+			t.Fatalf("generator %d: %v", i, err)
+		}
 		if i == 0 {
 			ref = out
 			continue
@@ -202,7 +223,10 @@ func TestSessionTimingRecorded(t *testing.T) {
 	m := tinyModel(TableTok, 15)
 	w, _ := core.TableWeights(m.Tok)
 	p := FromModel(m, core.NewLookup(w, core.Options{}))
-	s, outs := p.Generate([][]int{{1, 2, 3, 4}}, 5)
+	s, outs, err := p.Generate([][]int{{1, 2, 3, 4}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.PrefillTime <= 0 {
 		t.Fatal("prefill time not recorded")
 	}
@@ -222,18 +246,23 @@ func TestGreedyNextUsesArgmax(t *testing.T) {
 	}
 }
 
-func TestPrefillPanics(t *testing.T) {
+func TestPrefillErrors(t *testing.T) {
 	m := tinyModel(TableTok, 16)
 	w, _ := core.TableWeights(m.Tok)
 	p := FromModel(m, core.NewLookup(w, core.Options{}))
 	s := p.NewSession(1)
-	s.Prefill([][]int{{1}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double prefill must panic")
-		}
-	}()
-	s.Prefill([][]int{{2}})
+	mustPrefill(t, s, [][]int{{1}})
+	if _, err := s.Prefill([][]int{{2}}); err == nil {
+		t.Fatal("double prefill must error")
+	}
+	// Wrong batch and over-long prompts are rejected too.
+	if _, err := p.NewSession(1).Prefill([][]int{{1}, {2}}); err == nil {
+		t.Fatal("batch mismatch must error")
+	}
+	long := make([]int, m.Cfg.MaxSeq+1)
+	if _, err := p.NewSession(1).Prefill([][]int{long}); err == nil {
+		t.Fatal("over-long prompt must error")
+	}
 }
 
 func TestNumBytesTiedVsUntied(t *testing.T) {
@@ -255,7 +284,10 @@ func TestRandomPipelineRuns(t *testing.T) {
 	cfg := Config{Vocab: 300, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 16, Seed: 18}
 	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(1)))
 	p := NewRandomPipeline(cfg, core.NewLookup(tbl, core.Options{}))
-	s, outs := p.Generate([][]int{{1, 2}}, 3)
+	s, outs, err := p.Generate([][]int{{1, 2}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(outs[0]) != 3 || s.PrefillTime <= 0 {
 		t.Fatal("random pipeline generation failed")
 	}
@@ -289,7 +321,10 @@ func TestGenerateSampled(t *testing.T) {
 	p := FromModel(m, core.NewLookup(w, core.Options{}))
 	prompts := [][]int{{3, 4, 5}}
 	rng := rand.New(rand.NewSource(51))
-	s, outs := p.GenerateSampled(prompts, 6, 5, 1.0, rng)
+	s, outs, err := p.GenerateSampled(prompts, 6, 5, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(outs[0]) != 6 || s.PrefillTime <= 0 {
 		t.Fatalf("sampled generation broken: %v", outs)
 	}
@@ -299,8 +334,8 @@ func TestGenerateSampled(t *testing.T) {
 		}
 	}
 	// Temperature 0 equals greedy decoding.
-	_, greedy := p.Generate(prompts, 6)
-	_, cold := p.GenerateSampled(prompts, 6, 5, 0, rng)
+	_, greedy, _ := p.Generate(prompts, 6)
+	_, cold, _ := p.GenerateSampled(prompts, 6, 5, 0, rng)
 	for i := range greedy[0] {
 		if greedy[0][i] != cold[0][i] {
 			t.Fatal("temperature-0 sampling must equal greedy")
@@ -320,7 +355,7 @@ func TestMultiStepDecodeMatchesFullForward(t *testing.T) {
 	seq := append([]int{}, prompt...)
 	next := 11
 	for step := 0; step < 4; step++ {
-		got := s.Decode([]int{next})
+		got := mustDecode(t, s, []int{next})
 		seq = append(seq, next)
 		hidden := m.forwardSeq(seq)
 		want := m.Logits(tensor.SliceRows(hidden, len(seq)-1, len(seq)))
@@ -339,10 +374,10 @@ func TestBatchedPrefillPerSequenceConsistency(t *testing.T) {
 	p := FromModel(m, core.NewLookup(w, core.Options{}))
 	prompts := [][]int{{1, 2}, {30, 31, 32}, {60}}
 	s := p.NewSession(3)
-	batched := s.Prefill(prompts)
+	batched := mustPrefill(t, s, prompts)
 	for b, prompt := range prompts {
 		solo := p.NewSession(1)
-		want := solo.Prefill([][]int{prompt})
+		want := mustPrefill(t, solo, [][]int{prompt})
 		if !tensor.AllClose(tensor.SliceRows(batched, b, b+1), want, 1e-4) {
 			t.Fatalf("sequence %d differs between batched and solo prefill", b)
 		}

@@ -96,25 +96,28 @@ func (p *Pipeline) NewSession(batch int) *Session {
 // each sequence's final position (batch×Vocab). The token embeddings of
 // *all* prompts are generated in a single Generate call, so the embedding
 // batch is Σ prompt lengths (e.g. 256×B for the paper's setup).
-func (s *Session) Prefill(prompts [][]int) *tensor.Matrix {
+func (s *Session) Prefill(prompts [][]int) (*tensor.Matrix, error) {
 	start := time.Now()
 	p := s.p
 	if len(prompts) != len(s.lens) {
-		panic(fmt.Sprintf("llm: %d prompts for %d-sequence session", len(prompts), len(s.lens)))
+		return nil, fmt.Errorf("llm: %d prompts for %d-sequence session", len(prompts), len(s.lens))
 	}
 	var ids []uint64
 	for b, toks := range prompts {
 		if s.lens[b] != 0 {
-			panic("llm: Prefill on an already-prefilled session")
+			return nil, fmt.Errorf("llm: Prefill on an already-prefilled session")
 		}
 		if len(toks) == 0 || len(toks) > p.Cfg.MaxSeq {
-			panic(fmt.Sprintf("llm: prompt length %d out of (0, %d]", len(toks), p.Cfg.MaxSeq))
+			return nil, fmt.Errorf("llm: prompt length %d out of (0, %d]", len(toks), p.Cfg.MaxSeq)
 		}
 		for _, t := range toks {
 			ids = append(ids, uint64(t))
 		}
 	}
-	emb := p.Gen.Generate(ids) // ONE batched secure embedding generation
+	emb, err := p.Gen.Generate(ids) // ONE batched secure embedding generation
+	if err != nil {
+		return nil, fmt.Errorf("llm: prefill embedding: %w", err)
+	}
 	out := tensor.New(len(prompts), p.Cfg.Vocab)
 	off := 0
 	for b, toks := range prompts {
@@ -135,26 +138,29 @@ func (s *Session) Prefill(prompts [][]int) *tensor.Matrix {
 		s.lens[b] = T
 	}
 	s.PrefillTime = time.Since(start)
-	return out
+	return out, nil
 }
 
 // Decode appends one token per sequence and returns next-token logits
 // (batch×Vocab). The embedding-generation batch equals the request batch.
-func (s *Session) Decode(tokens []int) *tensor.Matrix {
+func (s *Session) Decode(tokens []int) (*tensor.Matrix, error) {
 	start := time.Now()
 	p := s.p
 	if len(tokens) != len(s.lens) {
-		panic(fmt.Sprintf("llm: %d tokens for %d-sequence session", len(tokens), len(s.lens)))
+		return nil, fmt.Errorf("llm: %d tokens for %d-sequence session", len(tokens), len(s.lens))
 	}
 	ids := make([]uint64, len(tokens))
 	for i, t := range tokens {
 		ids[i] = uint64(t)
 	}
-	emb := p.Gen.Generate(ids)
+	emb, err := p.Gen.Generate(ids)
+	if err != nil {
+		return nil, fmt.Errorf("llm: decode embedding: %w", err)
+	}
 	out := tensor.New(len(tokens), p.Cfg.Vocab)
 	for b := range tokens {
 		if s.lens[b] >= p.Cfg.MaxSeq {
-			panic("llm: sequence exceeded MaxSeq")
+			return nil, fmt.Errorf("llm: sequence %d exceeded MaxSeq %d", b, p.Cfg.MaxSeq)
 		}
 		x := tensor.SliceRows(emb, b, b+1)
 		row := x.Row(0)
@@ -169,7 +175,7 @@ func (s *Session) Decode(tokens []int) *tensor.Matrix {
 	}
 	d := time.Since(start)
 	s.DecodeTimes = append(s.DecodeTimes, d)
-	return out
+	return out, nil
 }
 
 // forwardChunk runs Tnew new embedded tokens of sequence b through the
@@ -267,44 +273,56 @@ func SampleNext(logits *tensor.Matrix, k int, temperature float64, rng *rand.Ran
 
 // GenerateSampled is Generate with top-k/temperature sampling instead of
 // greedy decoding.
-func (p *Pipeline) GenerateSampled(prompts [][]int, steps, k int, temperature float64, rng *rand.Rand) (*Session, [][]int) {
+func (p *Pipeline) GenerateSampled(prompts [][]int, steps, k int, temperature float64, rng *rand.Rand) (*Session, [][]int, error) {
 	s := p.NewSession(len(prompts))
-	logits := s.Prefill(prompts)
+	logits, err := s.Prefill(prompts)
+	if err != nil {
+		return nil, nil, err
+	}
 	outs := make([][]int, len(prompts))
 	next := SampleNext(logits, k, temperature, rng)
 	for i, t := range next {
 		outs[i] = append(outs[i], t)
 	}
 	for step := 1; step < steps; step++ {
-		logits = s.Decode(next)
+		logits, err = s.Decode(next)
+		if err != nil {
+			return nil, nil, err
+		}
 		next = SampleNext(logits, k, temperature, rng)
 		for i, t := range next {
 			outs[i] = append(outs[i], t)
 		}
 	}
-	return s, outs
+	return s, outs, nil
 }
 
 // Generate runs prefill plus `steps` greedy decode steps and returns the
 // generated tokens per sequence. Timing lands in the session fields
 // (TTFT = PrefillTime; TBT = mean of DecodeTimes), matching the metrics of
 // §VI-A3.
-func (p *Pipeline) Generate(prompts [][]int, steps int) (*Session, [][]int) {
+func (p *Pipeline) Generate(prompts [][]int, steps int) (*Session, [][]int, error) {
 	s := p.NewSession(len(prompts))
-	logits := s.Prefill(prompts)
+	logits, err := s.Prefill(prompts)
+	if err != nil {
+		return nil, nil, err
+	}
 	outs := make([][]int, len(prompts))
 	next := GreedyNext(logits)
 	for i, t := range next {
 		outs[i] = append(outs[i], t)
 	}
 	for step := 1; step < steps; step++ {
-		logits = s.Decode(next)
+		logits, err = s.Decode(next)
+		if err != nil {
+			return nil, nil, err
+		}
 		next = GreedyNext(logits)
 		for i, t := range next {
 			outs[i] = append(outs[i], t)
 		}
 	}
-	return s, outs
+	return s, outs, nil
 }
 
 // MeanDecodeTime is the paper's TBT (time between tokens).

@@ -1,0 +1,23 @@
+package memtrace
+
+import "secemb/internal/obs"
+
+// PublishTo sets `memtrace_events{region,op}` gauges in reg to the
+// per-region read/write counts of the trace accumulated so far, so a trace
+// taken during a benchmark window shows up alongside the latency and
+// enclave metrics in one snapshot. Gauges (not counters) because the
+// tracer can be Reset between windows; each call overwrites the previous
+// publication for the regions present in the current trace. Nil-safe on
+// both sides.
+func (t *Tracer) PublishTo(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	counts := map[[2]string]int64{}
+	for _, a := range t.trace {
+		counts[[2]string{a.Region, a.Op.String()}]++
+	}
+	for key, n := range counts {
+		reg.Gauge("memtrace_events", "op", key[1], "region", key[0]).Set(n)
+	}
+}

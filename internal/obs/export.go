@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CounterSnap / GaugeSnap are one rendered scalar metric.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap mirrors CounterSnap for gauges.
+type GaugeSnap = CounterSnap
+
+// HistSnap summarizes one histogram: exact count/sum/max plus
+// bucket-interpolated percentiles.
+type HistSnap struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+	Max   int64  `json:"max"`
+}
+
+// Snapshot is a deterministic point-in-time view of a registry: every
+// slice is sorted by metric name, so equal metric states marshal to equal
+// bytes.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// Snapshot captures the current state. Nil-safe (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: k, Value: c.Value()})
+	}
+	for k, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: k, Value: g.Value()})
+	}
+	for k, h := range hists {
+		s.Histograms = append(s.Histograms, HistSnap{
+			Name: k, Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			Max: h.Max(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteText renders the snapshot in a line-oriented expvar-style format:
+//
+//	counter core_generate_total{tech="dhe"} 42
+//	gauge   serving_queue_depth 0
+//	hist    core_generate_ns{tech="dhe"} count=42 sum=… p50=… p95=… p99=… max=…
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "hist %s count=%d sum=%d p50=%d p95=%d p99=%d max=%d\n",
+			h.Name, h.Count, h.Sum, h.P50, h.P95, h.P99, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText snapshots the registry and renders it. Nil-safe.
+func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
+
+// WriteJSON snapshots the registry and renders it as JSON. Nil-safe.
+func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }

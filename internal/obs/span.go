@@ -1,0 +1,89 @@
+package obs
+
+import "time"
+
+// spanLogSize bounds the in-memory trace of completed spans.
+const spanLogSize = 256
+
+// Span is a lightweight tracing primitive: StartSpan marks the beginning
+// of a named unit of work, End records its duration into the registry
+// (histogram family "span_ns", label span=<path>) and appends it to a
+// bounded in-memory trace readable via RecentSpans. Child spans extend the
+// path with '/', so a request through the stack reads as
+// serving.predict → serving.predict/dlrm → serving.predict/dlrm/embed.
+//
+// Spans are nil-safe end to end: StartSpan on a nil registry returns a nil
+// span whose Child/End are no-ops, keeping un-instrumented paths free.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// SpanRecord is one completed span in the trace ring.
+type SpanRecord struct {
+	Seq   uint64        `json:"seq"`
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+}
+
+// StartSpan begins a span. Nil-safe.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: name, start: time.Now()}
+}
+
+// Child begins a sub-span whose path extends the parent's. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+}
+
+// Path returns the span's full path. Nil-safe ("").
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End completes the span, recording its duration. Returns the duration.
+// Nil-safe (0).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.Histogram("span_ns", "span", s.path).ObserveDuration(d)
+	s.reg.spanMu.Lock()
+	s.reg.spanSeen++
+	s.reg.spanLog[s.reg.spanNext] = SpanRecord{
+		Seq: s.reg.spanSeen, Name: s.path, Start: s.start, Dur: d,
+	}
+	s.reg.spanNext = (s.reg.spanNext + 1) % len(s.reg.spanLog)
+	s.reg.spanMu.Unlock()
+	return d
+}
+
+// RecentSpans returns the most recently completed spans, oldest first (at
+// most the ring size). Nil-safe.
+func (r *Registry) RecentSpans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]SpanRecord, 0, len(r.spanLog))
+	for i := 0; i < len(r.spanLog); i++ {
+		rec := r.spanLog[(r.spanNext+i)%len(r.spanLog)]
+		if rec.Seq != 0 {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"secemb/internal/dlrm"
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -21,7 +22,9 @@ type Request struct {
 	Dense  *tensor.Matrix
 	Sparse [][]uint64
 
-	resp chan Response
+	ctx      context.Context
+	enqueued time.Time
+	resp     chan Response
 }
 
 // Response carries the prediction or an error.
@@ -37,9 +40,10 @@ type Response struct {
 type Pool struct {
 	queue chan *Request
 
-	mu        sync.Mutex // guards latencies/served
+	mu        sync.Mutex // guards latencies/served/errored
 	latencies []time.Duration
 	served    int
+	errored   int
 
 	lifecycle sync.RWMutex // guards closed + queue sends vs Close
 	closed    bool
@@ -47,14 +51,51 @@ type Pool struct {
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
 	started time.Time
+
+	// Metrics; all nil without WithObserver, and nil metrics are no-ops.
+	mQueueDepth *obs.Gauge
+	mQueueWait  *obs.Histogram
+	mLatency    *obs.Histogram
+	mServed     *obs.Counter
+	mErrors     *obs.Counter
+	mRejected   *obs.Counter
+	mCanceled   *obs.Counter
 }
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serving: pool closed")
 
+// ErrQueueFull is returned by TryPredict when the admission queue is at
+// capacity — the backpressure signal callers shed load on.
+var ErrQueueFull = errors.New("serving: queue full")
+
+// Option configures a Pool at construction.
+type Option func(*Pool)
+
+// WithObserver registers the pool's metrics in reg:
+//
+//	serving_queue_depth            requests waiting for a replica (gauge)
+//	serving_queue_wait_ns          admission-to-dispatch wait (histogram)
+//	serving_latency_ns             pipeline execution latency (histogram)
+//	serving_served_total           successful responses
+//	serving_errors_total           responses carrying a pipeline error
+//	serving_rejected_total         TryPredict backpressure rejections
+//	serving_canceled_total         requests canceled before execution
+func WithObserver(reg *obs.Registry) Option {
+	return func(p *Pool) {
+		p.mQueueDepth = reg.Gauge("serving_queue_depth")
+		p.mQueueWait = reg.Histogram("serving_queue_wait_ns")
+		p.mLatency = reg.Histogram("serving_latency_ns")
+		p.mServed = reg.Counter("serving_served_total")
+		p.mErrors = reg.Counter("serving_errors_total")
+		p.mRejected = reg.Counter("serving_rejected_total")
+		p.mCanceled = reg.Counter("serving_canceled_total")
+	}
+}
+
 // NewPool starts one worker goroutine per pipeline replica. queueDepth
 // bounds the admission queue (back-pressure beyond it).
-func NewPool(replicas []*dlrm.Pipeline, queueDepth int) *Pool {
+func NewPool(replicas []*dlrm.Pipeline, queueDepth int, opts ...Option) *Pool {
 	if len(replicas) == 0 {
 		panic("serving: need at least one replica")
 	}
@@ -66,6 +107,9 @@ func NewPool(replicas []*dlrm.Pipeline, queueDepth int) *Pool {
 		queue:   make(chan *Request, queueDepth),
 		cancel:  cancel,
 		started: time.Now(),
+	}
+	for _, o := range opts {
+		o(p)
 	}
 	for _, rep := range replicas {
 		p.wg.Add(1)
@@ -84,21 +128,42 @@ func (p *Pool) worker(ctx context.Context, pipe *dlrm.Pipeline) {
 			if !ok {
 				return
 			}
+			p.mQueueDepth.Add(-1)
+			p.mQueueWait.ObserveDuration(time.Since(req.enqueued))
+			// Skip work for callers that gave up while queued; they are
+			// no longer listening for the response.
+			if req.ctx != nil && req.ctx.Err() != nil {
+				p.mCanceled.Inc()
+				continue
+			}
 			start := time.Now()
-			probs := pipe.Predict(req.Dense, req.Sparse)
+			probs, err := pipe.Predict(req.Dense, req.Sparse)
 			lat := time.Since(start)
+			p.mLatency.ObserveDuration(lat)
 			p.mu.Lock()
-			p.latencies = append(p.latencies, lat)
-			p.served++
+			if err != nil {
+				p.errored++
+			} else {
+				p.latencies = append(p.latencies, lat)
+				p.served++
+			}
 			p.mu.Unlock()
+			if err != nil {
+				p.mErrors.Inc()
+				req.resp <- Response{Err: err, Latency: lat}
+				continue
+			}
+			p.mServed.Inc()
 			req.resp <- Response{Probs: probs, Latency: lat}
 		}
 	}
 }
 
-// Predict submits a request and waits for its response.
+// Predict submits a request and waits for its response, blocking for queue
+// space. ctx cancellation abandons the wait (and a queued-but-canceled
+// request is skipped by the workers).
 func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
-	req := &Request{Dense: dense, Sparse: sparse, resp: make(chan Response, 1)}
+	req := &Request{Dense: dense, Sparse: sparse, ctx: ctx, resp: make(chan Response, 1)}
 	// Hold the lifecycle read-lock across the enqueue so Close cannot
 	// close the queue mid-send.
 	p.lifecycle.RLock()
@@ -106,12 +171,42 @@ func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uin
 		p.lifecycle.RUnlock()
 		return Response{Err: ErrClosed}
 	}
+	req.enqueued = time.Now()
 	select {
 	case <-ctx.Done():
 		p.lifecycle.RUnlock()
 		return Response{Err: ctx.Err()}
 	case p.queue <- req:
+		p.mQueueDepth.Add(1)
 		p.lifecycle.RUnlock()
+	}
+	select {
+	case <-ctx.Done():
+		return Response{Err: ctx.Err()}
+	case r := <-req.resp:
+		return r
+	}
+}
+
+// TryPredict is the non-blocking variant: when the admission queue is
+// full it returns ErrQueueFull immediately instead of waiting, so callers
+// can shed load.
+func (p *Pool) TryPredict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
+	req := &Request{Dense: dense, Sparse: sparse, ctx: ctx, resp: make(chan Response, 1)}
+	p.lifecycle.RLock()
+	if p.closed {
+		p.lifecycle.RUnlock()
+		return Response{Err: ErrClosed}
+	}
+	req.enqueued = time.Now()
+	select {
+	case p.queue <- req:
+		p.mQueueDepth.Add(1)
+		p.lifecycle.RUnlock()
+	default:
+		p.lifecycle.RUnlock()
+		p.mRejected.Inc()
+		return Response{Err: ErrQueueFull}
 	}
 	select {
 	case <-ctx.Done():
@@ -123,10 +218,11 @@ func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uin
 
 // Stats summarizes the pool's service so far.
 type Stats struct {
-	Served     int
-	Throughput float64 // requests/second since pool start
-	P50, P95   time.Duration
-	Max        time.Duration
+	Served        int
+	Errors        int
+	Throughput    float64 // requests/second since pool start
+	P50, P95, P99 time.Duration
+	Max           time.Duration
 }
 
 // Stats computes latency percentiles over everything served so far.
@@ -134,8 +230,9 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	lats := append([]time.Duration(nil), p.latencies...)
 	served := p.served
+	errored := p.errored
 	p.mu.Unlock()
-	s := Stats{Served: served}
+	s := Stats{Served: served, Errors: errored}
 	if served == 0 {
 		return s
 	}
@@ -143,6 +240,7 @@ func (p *Pool) Stats() Stats {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	s.P50 = lats[len(lats)/2]
 	s.P95 = lats[len(lats)*95/100]
+	s.P99 = lats[len(lats)*99/100]
 	s.Max = lats[len(lats)-1]
 	return s
 }

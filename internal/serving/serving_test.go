@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"secemb/internal/core"
 	"secemb/internal/dlrm"
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -47,7 +49,10 @@ func TestPoolServesCorrectly(t *testing.T) {
 	pool := NewPool(reps, 4)
 	defer pool.Close()
 	dense, sparse := sampleRequest(cfg, 3)
-	want := reps[0].Predict(dense, sparse)
+	want, err := reps[0].Predict(dense, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	resp := pool.Predict(context.Background(), dense, sparse)
 	if resp.Err != nil {
@@ -144,6 +149,135 @@ func TestEmptyPoolPanics(t *testing.T) {
 		}
 	}()
 	NewPool(nil, 1)
+}
+
+func TestPoolSurvivesOutOfRangeIDs(t *testing.T) {
+	reps, cfg := newReplicas(t, 1, core.LinearScan)
+	pool := NewPool(reps, 2)
+	defer pool.Close()
+
+	dense, sparse := sampleRequest(cfg, 9)
+	sparse[1][0] = 99999 // far beyond the 70-row table
+	resp := pool.Predict(context.Background(), dense, sparse)
+	if resp.Err == nil {
+		t.Fatal("out-of-range id must produce an error response, not a crash")
+	}
+	if !errors.Is(resp.Err, core.ErrIDOutOfRange) {
+		t.Fatalf("error = %v, want ErrIDOutOfRange in the chain", resp.Err)
+	}
+
+	// The pool must keep serving after a bad request.
+	dense2, sparse2 := sampleRequest(cfg, 10)
+	if r := pool.Predict(context.Background(), dense2, sparse2); r.Err != nil {
+		t.Fatalf("valid request after bad one failed: %v", r.Err)
+	}
+	s := pool.Stats()
+	if s.Errors != 1 || s.Served != 1 {
+		t.Fatalf("stats after mixed traffic: %+v", s)
+	}
+}
+
+func TestPoolMetricsPopulatedUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	reps, cfg := newReplicas(t, 2, core.LinearScan)
+	pool := NewPool(reps, 4, WithObserver(reg))
+	const requests = 30
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			dense, sparse := sampleRequest(cfg, seed)
+			if r := pool.Predict(context.Background(), dense, sparse); r.Err != nil {
+				t.Error(r.Err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	pool.Close()
+
+	if got := reg.Counter("serving_served_total").Value(); got != requests {
+		t.Fatalf("serving_served_total=%d, want %d", got, requests)
+	}
+	// All requests drained, so the depth gauge must be registered and back
+	// to zero.
+	snap := reg.Snapshot()
+	foundDepth := false
+	for _, g := range snap.Gauges {
+		if g.Name == "serving_queue_depth" {
+			foundDepth = true
+			if g.Value != 0 {
+				t.Fatalf("queue depth after drain = %d", g.Value)
+			}
+		}
+	}
+	if !foundDepth {
+		t.Fatal("serving_queue_depth gauge missing from snapshot")
+	}
+	lat := reg.Histogram("serving_latency_ns")
+	if lat.Count() != requests {
+		t.Fatalf("latency histogram count=%d, want %d", lat.Count(), requests)
+	}
+	p50, p99 := lat.Quantile(0.50), lat.Quantile(0.99)
+	if p50 <= 0 || p99 < p50 || p99 > lat.Max() {
+		t.Fatalf("latency percentiles inconsistent: p50=%d p99=%d max=%d", p50, p99, lat.Max())
+	}
+	if reg.Histogram("serving_queue_wait_ns").Count() != requests {
+		t.Fatal("queue wait histogram not populated")
+	}
+}
+
+func TestTryPredictShedsLoadWhenFull(t *testing.T) {
+	reg := obs.NewRegistry()
+	// One replica, one queue slot. Wedge the worker on one large
+	// CircuitORAM batch, then burst: the slot holds at most one request, so
+	// the rest of the burst must be shed with ErrQueueFull.
+	reps, cfg := newReplicas(t, 1, core.CircuitORAM)
+	pool := NewPool(reps, 1, WithObserver(reg))
+	defer pool.Close()
+
+	// Two slow requests: the worker dequeues one (~80ms of CircuitORAM
+	// work) while the other parks in the single queue slot, so
+	// queue-is-full is a *stable* state we can observe before asserting —
+	// not a transient pulse a 1-CPU scheduler can hide.
+	const slowBatch = 16384
+	rng := rand.New(rand.NewSource(1))
+	slowDense := tensor.NewUniform(slowBatch, cfg.DenseDim, 1, rng)
+	slowSparse := make([][]uint64, len(cfg.Cardinalities))
+	for f, n := range cfg.Cardinalities {
+		slowSparse[f] = make([]uint64, slowBatch)
+		for r := range slowSparse[f] {
+			slowSparse[f][r] = uint64(rng.Intn(n))
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r := pool.Predict(context.Background(), slowDense, slowSparse); r.Err != nil {
+				t.Error(r.Err)
+			}
+		}()
+	}
+	// Queue-wait records at dequeue: count>=1 means the worker is inside a
+	// slow Predict, and depth==1 means the other request holds the slot.
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Histogram("serving_queue_wait_ns").Count() < 1 ||
+		reg.Gauge("serving_queue_depth").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the worker to wedge with a full queue")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	dense, sparse := sampleRequest(cfg, 3)
+	if r := pool.TryPredict(context.Background(), dense, sparse); !errors.Is(r.Err, ErrQueueFull) {
+		t.Fatalf("error = %v, want ErrQueueFull", r.Err)
+	}
+	if got := reg.Counter("serving_rejected_total").Value(); got != 1 {
+		t.Fatalf("serving_rejected_total=%d, want 1", got)
+	}
+	wg.Wait()
 }
 
 func TestStatsEmpty(t *testing.T) {
