@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-baseline bench-all
 
 check: vet build test race
 
@@ -14,7 +14,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs ./internal/serving
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/obs ./internal/serving
+
+# bench refreshes the "current" section of BENCH_hotpath.json from the
+# hot-path benchmarks (best of -count=3 per benchmark). bench-baseline
+# records the same run under the "baseline" label — run it once before an
+# optimization so before/after land in the same committed artifact.
+BENCH_PKGS = ./internal/tensor ./internal/dhe ./internal/core
+BENCH_FLAGS = -bench=. -benchmem -run='^$$' -count=3
 
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchfmt -out BENCH_hotpath.json -label current
+
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchfmt -out BENCH_hotpath.json -label baseline
+
+bench-all:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,133 @@
+// Command benchfmt turns `go test -bench` output into the committed
+// BENCH_hotpath.json artifact. It reads benchmark lines from stdin, keeps
+// the best (minimum ns/op) result per benchmark across -count repetitions,
+// and merges them into the JSON file under the given -label, preserving
+// any other labels already present (so a "baseline" section recorded
+// before an optimization survives "current" refreshes). The raw text is
+// passed through to stdout so the tool composes with a pipe without
+// hiding test failures.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' -count=3 ./... | benchfmt -out BENCH_hotpath.json -label current
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's best observation.
+type Result struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`               // iterations of the best rep
+	NsPerOp  float64 `json:"ns_per_op"`          // minimum across reps
+	BytesOp  int64   `json:"bytes_per_op"`       // from the min-ns rep
+	AllocsOp int64   `json:"allocs_per_op"`      // from the min-ns rep
+	Pkg      string  `json:"package,omitempty"`  // pkg: header, if seen
+	CPU      string  `json:"cpu,omitempty"`      // cpu: header, if seen
+	Parallel string  `json:"parallel,omitempty"` // -P suffix (GOMAXPROCS)
+}
+
+// benchLine matches `BenchmarkName[-P] N ns/op [B/op] [allocs/op]`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var headerLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s*(.+)$`)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "JSON file to create or update")
+	label := flag.String("label", "current", "section to (re)write in the JSON file")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark lines on stdin; not touching", *out)
+		os.Exit(1)
+	}
+	if err := merge(*out, *label, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: wrote %d benchmarks to %s[%q]\n", len(results), *out, *label)
+}
+
+// parse scans bench output, echoing every line to stdout and folding
+// repeated runs of the same benchmark to the minimum ns/op.
+func parse(f *os.File) ([]Result, error) {
+	best := map[string]Result{}
+	var pkg, cpu string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if h := headerLine.FindStringSubmatch(line); h != nil {
+			switch h[1] {
+			case "pkg":
+				pkg = h[2]
+			case "cpu":
+				cpu = h[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1], Parallel: m[2], Pkg: pkg, CPU: cpu}
+		r.Runs, _ = strconv.Atoi(m[3])
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			r.BytesOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			r.AllocsOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		key := pkg + "." + r.Name
+		if prev, seen := best[key]; !seen || r.NsPerOp < prev.NsPerOp {
+			best[key] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	results := make([]Result, 0, len(keys))
+	for _, k := range keys {
+		results = append(results, best[k])
+	}
+	return results, nil
+}
+
+// merge rewrites only the given label's section of the JSON file.
+func merge(path, label string, results []Result) error {
+	doc := map[string][]Result{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a benchfmt document: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc[label] = results
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}

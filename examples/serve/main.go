@@ -31,6 +31,7 @@ func main() {
 	const replicas, requests, batch = 3, 60, 8
 
 	reg := obs.NewRegistry()
+	tensor.SetObserver(reg) // tensor_pool_* gauges: matmul worker-pool utilization
 	if *metricsAddr != "" {
 		addr, _, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {

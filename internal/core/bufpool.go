@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed scratch buffers for generator outputs. Serving traffic
+// arrives in a small set of batch sizes, so pooling by power-of-two class
+// lets every generator in the process recycle the same few slabs instead
+// of allocating a fresh output matrix per request — the steady-state GC
+// pressure the hot-path PR eliminates.
+//
+// Protocol: a generator grabs a buffer for the result it returns and
+// releases the *previous* result's buffer at the start of its next
+// Generate (double-buffering). That matches the output-validity contract —
+// a generator's output is valid until its next Generate — without
+// requiring callers to hand buffers back.
+
+// bufClasses covers 2^0 .. 2^30 floats (4 GiB of float32 at the top).
+const bufClasses = 31
+
+var bufPools [bufClasses]sync.Pool
+
+// bufClass returns the pool index for n floats: the smallest power of two
+// ≥ n.
+func bufClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// grabBuf returns a zeroed []float32 of length n from the size-class pool.
+func grabBuf(n int) []float32 {
+	c := bufClass(n)
+	if c >= bufClasses {
+		return make([]float32, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		b := v.([]float32)[:n]
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// releaseBuf returns a buffer obtained from grabBuf to its class pool.
+func releaseBuf(b []float32) {
+	if b == nil {
+		return
+	}
+	c := bufClass(cap(b))
+	if 1<<c != cap(b) || c >= bufClasses {
+		// Not a pooled slab (or oversized); let the GC have it.
+		return
+	}
+	bufPools[c].Put(b[:cap(b)])
+}

@@ -98,6 +98,11 @@ func (t Technique) Secure() bool { return t != Lookup }
 // an id beyond the table cardinality — malformed requests are answerable,
 // never fatal. Implementations must keep their memory access pattern
 // independent of the id values (except Lookup, by design).
+//
+// Hot-path implementations (DHE, batched scan) reuse their output storage:
+// the returned matrix is valid until the generator's next Generate call,
+// and callers that retain results across calls must copy them. A generator
+// serves one Generate at a time; concurrent callers need replicas.
 type Generator interface {
 	Generate(ids []uint64) (*tensor.Matrix, error)
 	// Rows is the table cardinality (for DHE: the virtual table size).

@@ -12,7 +12,13 @@ import (
 // granularity so trace-equality tests cover DHE alongside the storage
 // techniques.
 type dheGen struct {
-	d      *dhe.DHE
+	d *dhe.DHE // original, training-capable instance (Underlying)
+	// inf is a private inference clone: shared weights, private workspace
+	// and caches. Generators built from one trained DHE (e.g. replica
+	// pipelines of the same model) therefore never share mutable forward
+	// state, and steady-state Generate is allocation-free. Its output
+	// aliases the workspace — valid until this generator's next Generate.
+	inf    *dhe.DHE
 	rows   int
 	tracer *memtrace.Tracer
 	region string
@@ -20,7 +26,9 @@ type dheGen struct {
 
 func newDHEGen(d *dhe.DHE, rows int, opts Options) *dheGen {
 	d.Threads = opts.Threads
-	return &dheGen{d: d, rows: rows, tracer: opts.Tracer, region: opts.region("dhe")}
+	inf := d.InferenceClone()
+	inf.Threads = opts.Threads
+	return &dheGen{d: d, inf: inf, rows: rows, tracer: opts.Tracer, region: opts.region("dhe")}
 }
 
 // NewDHE wraps a (possibly trained) DHE as a generator for a virtual table
@@ -63,14 +71,14 @@ func (g *dheGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 			g.tracer.TouchRange(g.region, int64(li)<<32, int64(li)<<32+int64(blocks), memtrace.Read)
 		}
 	}
-	return g.d.Generate(ids), nil
+	return g.inf.Generate(ids), nil
 }
 
 func (g *dheGen) Rows() int            { return g.rows }
 func (g *dheGen) Dim() int             { return g.d.Dim }
 func (g *dheGen) Technique() Technique { return DHE }
 func (g *dheGen) NumBytes() int64      { return g.d.NumBytes() }
-func (g *dheGen) SetThreads(n int)     { g.d.Threads = n }
+func (g *dheGen) SetThreads(n int)     { g.d.Threads = n; g.inf.Threads = n }
 
 // Underlying returns the wrapped DHE (for training and DHE→table
 // conversion in the hybrid pipeline), looking through Instrument wrappers;

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secemb/internal/dhe"
+	"secemb/internal/tensor"
+)
+
+func smallCoreDHE(seed int64) *dhe.DHE {
+	rng := rand.New(rand.NewSource(seed))
+	return dhe.New(dhe.Config{K: 32, Hidden: []int{24}, Dim: 8, Seed: seed}, rng)
+}
+
+// TestScanBatchedReusesBuffersCorrectly cycles one batched-scan generator
+// through growing and shrinking batch sizes: outputs must match the direct
+// lookup even though the output slab is recycled through the size-class
+// pool and may carry stale contents from a previous (larger) batch.
+func TestScanBatchedReusesBuffersCorrectly(t *testing.T) {
+	tbl := testTable(128, 8, 21)
+	ref := NewLookup(tbl, Options{})
+	g := NewLinearScanBatched(tbl, Options{})
+	for _, n := range []int{5, 64, 1, 17, 64} {
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = uint64((i * 37) % 128)
+		}
+		want := mustGen(t, ref, ids)
+		got := mustGen(t, g, ids)
+		if !tensor.AllClose(got, want, 0) {
+			t.Fatalf("batch %d: batched scan diverges after buffer reuse", n)
+		}
+	}
+}
+
+// TestScanBatchedOutputValidUntilNextGenerate pins down the Generator
+// contract: the previous output is released (and its slab may be rewritten)
+// by the next Generate on the same instance.
+func TestScanBatchedOutputValidUntilNextGenerate(t *testing.T) {
+	tbl := testTable(64, 4, 22)
+	g := NewLinearScanBatched(tbl, Options{})
+	first := mustGen(t, g, []uint64{3, 9}).Clone() // copy: retained past next call
+	mustGen(t, g, []uint64{50, 60})
+	again := mustGen(t, g, []uint64{3, 9})
+	if !tensor.AllClose(again, first, 0) {
+		t.Fatal("regenerated batch differs from the retained copy")
+	}
+}
+
+func TestScanBatchedSteadyStateAllocs(t *testing.T) {
+	tbl := testTable(256, 16, 23)
+	g := NewLinearScanBatched(tbl, Options{})
+	ids := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	mustGen(t, g, ids) // prime the size-class pool
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := g.Generate(ids); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state recycles the output slab through bufpool; only pool
+	// bookkeeping and the occasional GC-emptied class may allocate.
+	if allocs > 4 {
+		t.Fatalf("steady-state batched scan allocates %.0f objects per call", allocs)
+	}
+}
+
+// TestDHEGenSteadyStateAllocs covers the core-layer half of the
+// zero-allocation acceptance: dheGen routes Generate through a private
+// inference clone, so repeated calls must not allocate fresh layer outputs.
+func TestDHEGenSteadyStateAllocs(t *testing.T) {
+	d := smallCoreDHE(24)
+	g := NewDHE(d, 1000, Options{})
+	ids := []uint64{5, 10, 15, 20}
+	mustGen(t, g, ids) // size the inference workspace
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := g.Generate(ids); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("steady-state dheGen allocates %.0f objects per call", allocs)
+	}
+}
+
+// TestDHEGenDoesNotDisturbTraining ensures the generator's inference clone
+// leaves the wrapped (trainable) DHE in training mode with shared weights:
+// Underlying must still expose the original instance.
+func TestDHEGenDoesNotDisturbTraining(t *testing.T) {
+	d := smallCoreDHE(25)
+	g := NewDHE(d, 1000, Options{})
+	ids := []uint64{1, 2, 3}
+	want, err := g.Generate(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := d.Generate(ids)
+	if !tensor.AllClose(want, direct, 0) {
+		t.Fatal("generator and wrapped DHE disagree")
+	}
+	u, ok := Underlying(g)
+	if !ok {
+		t.Fatal("DHE generator lost its Underlying accessor")
+	}
+	if u != d {
+		t.Fatal("Underlying no longer returns the wrapped trainable DHE")
+	}
+}
+
+func TestBufPoolClassesAndRecycling(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 64, 65, 1 << 12} {
+		b := grabBuf(n)
+		if len(b) != n {
+			t.Fatalf("grabBuf(%d) len=%d", n, len(b))
+		}
+		if cap(b) != 1<<bufClass(n) {
+			t.Fatalf("grabBuf(%d) cap=%d, want size-class %d", n, cap(b), 1<<bufClass(n))
+		}
+		for i := range b {
+			if b[i] != 0 {
+				t.Fatalf("grabBuf(%d) returned dirty memory at %d", n, i)
+			}
+		}
+		b[0] = 42
+		releaseBuf(b)
+		// The recycled slab must come back zeroed for any size in its class.
+		if c := grabBuf(n); c[0] != 0 {
+			t.Fatalf("recycled buffer not zeroed for n=%d", n)
+		}
+	}
+	releaseBuf(nil) // must be a no-op
+	// Foreign capacities (not produced by grabBuf) are rejected, not pooled.
+	releaseBuf(make([]float32, 3, 7))
+	if b := grabBuf(3); cap(b) != 4 {
+		t.Fatalf("foreign slab entered the pool: cap=%d", cap(b))
+	}
+}
+
+func BenchmarkScanBatchedGenerate(b *testing.B) {
+	tbl := testTable(4096, 16, 31)
+	g := NewLinearScanBatched(tbl, Options{})
+	ids := make([]uint64, 64)
+	for i := range ids {
+		ids[i] = uint64((i * 61) % 4096)
+	}
+	if _, err := g.Generate(ids); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDHEGenGenerate(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			d := smallCoreDHE(32)
+			g := NewDHE(d, 100000, Options{})
+			ids := make([]uint64, batch)
+			for i := range ids {
+				ids[i] = uint64(i * 17)
+			}
+			if _, err := g.Generate(ids); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Generate(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,11 @@ type scanBatchedGen struct {
 	tracer  *memtrace.Tracer
 	region  string
 	threads int
+
+	// out is the reusable output header; its Data slab cycles through the
+	// size-class buffer pool (see bufpool.go). The returned matrix is
+	// valid until this generator's next Generate.
+	out tensor.Matrix
 }
 
 // NewLinearScanBatched wraps table as a batch-amortized linear-scan
@@ -40,8 +45,10 @@ func (g *scanBatchedGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if err := ValidateIDs(ids, g.table.Rows); err != nil {
 		return nil, err
 	}
-	out := tensor.New(len(ids), g.table.Cols)
 	rows, width := g.table.Rows, g.table.Cols
+	releaseBuf(g.out.Data)
+	g.out = tensor.Matrix{Rows: len(ids), Cols: width, Data: grabBuf(len(ids) * width)}
+	out := &g.out
 	// Partition the *batch* across workers; each worker makes one pass
 	// over the table for its queries (so with one worker, the whole batch
 	// shares a single pass).

@@ -40,6 +40,15 @@ type DHE struct {
 	Decoder *nn.Sequential
 	K, Dim  int
 	Threads int
+
+	// Inference-mode state (SetInference): a reusable encoder buffer and a
+	// decoder workspace make steady-state Generate allocation-free, which
+	// keeps batch generation compute-bound — not GC-bound — as the paper's
+	// latency crossover (Figures 4–5) requires.
+	inference bool
+	ws        *nn.Workspace
+	encBuf    []float32
+	encMat    *tensor.Matrix
 }
 
 // New builds a DHE with Xavier-initialized decoder weights.
@@ -72,9 +81,73 @@ func (d *DHE) EncodeBatch(ids []uint64) *tensor.Matrix {
 // Generate computes embeddings for a batch of ids: encode, then decode
 // through the FC stack. O(k²) per id regardless of the (virtual) table
 // size — the flat curves of Figures 4 and 5.
+//
+// In inference mode (SetInference/InferenceClone) the returned matrix
+// aliases the generator's workspace: it is valid until the next Generate
+// on this instance, and callers that retain it must copy. Training-mode
+// Generate returns a fresh matrix, as Backward requires.
 func (d *DHE) Generate(ids []uint64) *tensor.Matrix {
 	d.Decoder.SetThreads(d.Threads)
+	if d.inference {
+		return d.Decoder.ForwardInto(d.ws, d.encodeReuse(ids))
+	}
 	return d.Decoder.Forward(d.EncodeBatch(ids))
+}
+
+// SetInference toggles the allocation-free generation path: decoder layers
+// stop retaining Backward caches and Generate reuses the encoder buffer
+// and per-layer workspace across calls. Backward is unsupported while
+// inference mode is on; switching it off restores training behavior.
+func (d *DHE) SetInference(on bool) {
+	d.inference = on
+	for _, l := range d.Decoder.Layers {
+		if lin, ok := l.(*nn.Linear); ok {
+			lin.Inference = on
+		}
+	}
+	if on {
+		if d.ws == nil {
+			d.ws = &nn.Workspace{}
+			d.encMat = &tensor.Matrix{}
+		}
+	} else {
+		d.ws, d.encMat, d.encBuf = nil, nil, nil
+	}
+}
+
+// InferenceClone returns a DHE sharing this one's hash parameters and
+// decoder weights but owning private forward state (workspace, encoder
+// buffer, activation caches), already in inference mode. Concurrent
+// serving replicas must each hold their own clone — forward state is
+// mutated per call and must never be shared across goroutines.
+func (d *DHE) InferenceClone() *DHE {
+	c := &DHE{
+		Enc:     d.Enc,
+		GEnc:    d.GEnc,
+		Decoder: d.Decoder.CloneForInference(),
+		K:       d.K,
+		Dim:     d.Dim,
+		Threads: d.Threads,
+	}
+	c.SetInference(true)
+	return c
+}
+
+// encodeReuse encodes ids into the reusable inference buffer, growing it
+// only when a larger batch arrives.
+func (d *DHE) encodeReuse(ids []uint64) *tensor.Matrix {
+	need := len(ids) * d.K
+	if cap(d.encBuf) < need {
+		d.encBuf = make([]float32, need)
+	}
+	buf := d.encBuf[:need]
+	if d.GEnc != nil {
+		d.GEnc.EncodeBatchInto(ids, buf)
+	} else {
+		d.Enc.EncodeBatchInto(ids, buf)
+	}
+	d.encMat.Rows, d.encMat.Cols, d.encMat.Data = len(ids), d.K, buf
+	return d.encMat
 }
 
 // Backward propagates a batch gradient through the decoder (the encoder
@@ -130,6 +203,14 @@ func (d *DHE) Quantize() *DHE {
 // preparation ("use the trained DHEs to create table representations
 // which store the DHEs' outputs for all valid inputs", §IV-C1).
 func (d *DHE) ToTable(rows int) *tensor.Matrix {
+	// Materialization is a tight Generate loop; run it through a private
+	// inference clone so every chunk reuses one workspace instead of
+	// allocating rows/chunk fresh matrices. The clone shares weights, so
+	// the numbers are identical and d's training state is untouched.
+	gen := d
+	if !d.inference {
+		gen = d.InferenceClone()
+	}
 	out := tensor.New(rows, d.Dim)
 	const chunk = 4096
 	ids := make([]uint64, 0, chunk)
@@ -142,7 +223,7 @@ func (d *DHE) ToTable(rows int) *tensor.Matrix {
 		for i := lo; i < hi; i++ {
 			ids = append(ids, uint64(i))
 		}
-		emb := d.Generate(ids)
+		emb := gen.Generate(ids)
 		copy(out.Data[lo*d.Dim:hi*d.Dim], emb.Data)
 	}
 	return out

@@ -1,0 +1,41 @@
+package dhe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Hot-path benchmarks for the embedding generator. BenchmarkDHEGenerate is
+// the acceptance benchmark of the zero-allocation PR: steady-state batch
+// generation on the paper's Uniform DLRM architecture (Table IV: k=1024,
+// 512-256-dim decoder). Results feed BENCH_hotpath.json via `make bench`.
+func BenchmarkDHEGenerate(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("uniform/batch%d", batch), func(b *testing.B) {
+			d := New(UniformConfig(16, 1), rand.New(rand.NewSource(1)))
+			d.SetInference(true) // steady-state serving path
+			ids := make([]uint64, batch)
+			for i := range ids {
+				ids[i] = uint64(i * 31)
+			}
+			d.Generate(ids) // warmup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Generate(ids)
+			}
+		})
+	}
+}
+
+// BenchmarkDHEToTable measures the offline DHE→table materialization used
+// by the hybrid deployment (§IV-C1), which runs Generate in a tight loop.
+func BenchmarkDHEToTable(b *testing.B) {
+	d := New(VariedConfig(16, 4096, 1), rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ToTable(4096)
+	}
+}

@@ -20,6 +20,13 @@ type Pipeline struct {
 	Top    *nn.Sequential
 	Gens   []core.Generator
 
+	// Reusable forward state: per-MLP workspaces and the embedding slice,
+	// reused across requests so steady-state Predict stays allocation-
+	// light. A pipeline serves one request at a time (its generators hold
+	// mutable state), so the buffers are never shared across goroutines.
+	bottomWS, topWS nn.Workspace
+	z               []*tensor.Matrix
+
 	// Per-stage latency histograms (dlrm_stage_ns{stage=...}); all nil
 	// until SetObserver, and nil histograms observe as no-ops.
 	stBottom, stEmbed, stInteract, stTop *obs.Histogram
@@ -102,19 +109,21 @@ func (p *Pipeline) Logits(dense *tensor.Matrix, sparse [][]uint64) (*tensor.Matr
 		return nil, fmt.Errorf("dlrm: %d sparse features, pipeline has %d", len(sparse), len(p.Gens))
 	}
 	start := time.Now()
-	z := []*tensor.Matrix{p.Bottom.Forward(dense)}
+	z := append(p.z[:0], p.Bottom.ForwardInto(&p.bottomWS, dense))
 	start = stamp(p.stBottom, start)
 	for f, g := range p.Gens {
 		emb, err := g.Generate(sparse[f])
 		if err != nil {
+			p.z = z[:0]
 			return nil, fmt.Errorf("dlrm: feature %d: %w", f, err)
 		}
 		z = append(z, emb)
 	}
+	p.z = z
 	start = stamp(p.stEmbed, start)
 	inter := interact(z)
 	start = stamp(p.stInteract, start)
-	out := p.Top.Forward(tensor.Concat(append([]*tensor.Matrix{z[0]}, inter)...))
+	out := p.Top.ForwardInto(&p.topWS, tensor.Concat(z[0], inter))
 	stamp(p.stTop, start)
 	return out, nil
 }

@@ -45,7 +45,13 @@ func (e *GaussianEncoder) Encode(x uint64, out []float32) {
 
 // EncodeBatch encodes each id into one row of a len(ids)×K buffer.
 func (e *GaussianEncoder) EncodeBatch(ids []uint64) []float32 {
-	out := make([]float32, len(ids)*e.K)
+	return e.EncodeBatchInto(ids, make([]float32, len(ids)*e.K))
+}
+
+// EncodeBatchInto encodes into out (len ≥ len(ids)·K), reusing caller
+// storage, and returns the written prefix.
+func (e *GaussianEncoder) EncodeBatchInto(ids []uint64, out []float32) []float32 {
+	out = out[:len(ids)*e.K]
 	for r, id := range ids {
 		e.Encode(id, out[r*e.K:(r+1)*e.K])
 	}

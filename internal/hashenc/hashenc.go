@@ -89,7 +89,13 @@ func (e *Encoder) Encode(x uint64, out []float32) {
 // EncodeBatch encodes each id into one row of a len(ids)×K row-major
 // buffer and returns it.
 func (e *Encoder) EncodeBatch(ids []uint64) []float32 {
-	out := make([]float32, len(ids)*e.K)
+	return e.EncodeBatchInto(ids, make([]float32, len(ids)*e.K))
+}
+
+// EncodeBatchInto encodes into out (len ≥ len(ids)·K), reusing caller
+// storage — the allocation-free hot path — and returns the written prefix.
+func (e *Encoder) EncodeBatchInto(ids []uint64, out []float32) []float32 {
+	out = out[:len(ids)*e.K]
 	for r, id := range ids {
 		e.Encode(id, out[r*e.K:(r+1)*e.K])
 	}

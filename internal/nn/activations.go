@@ -23,6 +23,10 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return y
 }
 
+// ForwardInPlace clamps x directly — the workspace inference path. No
+// Backward cache is recorded.
+func (r *ReLU) ForwardInPlace(x *tensor.Matrix) { oblivious.ReLU(x.Data) }
+
 // Backward masks the incoming gradient where the output was zero.
 // The mask is derived arithmetically (sign bit), not by branching.
 func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
@@ -48,11 +52,16 @@ type Sigmoid struct {
 
 // Forward applies 1/(1+e^{-x}) element-wise.
 func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.Apply(x, func(v float32) float32 {
-		return float32(1 / (1 + math.Exp(-float64(v))))
-	})
+	y := tensor.Apply(x, sigmoid)
 	s.lastOut = y
 	return y
+}
+
+// ForwardInPlace applies the logistic map directly to x (inference path).
+func (s *Sigmoid) ForwardInPlace(x *tensor.Matrix) { tensor.ApplyInPlace(x, sigmoid) }
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
 }
 
 // Backward multiplies by σ'(x) = σ(x)(1-σ(x)).
@@ -82,10 +91,13 @@ func geluForward(v float64) float64 {
 // Forward applies GELU element-wise.
 func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	g.lastX = x
-	return tensor.Apply(x, func(v float32) float32 {
-		return float32(geluForward(float64(v)))
-	})
+	return tensor.Apply(x, gelu)
 }
+
+// ForwardInPlace applies GELU directly to x (inference path).
+func (g *GELU) ForwardInPlace(x *tensor.Matrix) { tensor.ApplyInPlace(x, gelu) }
+
+func gelu(v float32) float32 { return float32(geluForward(float64(v))) }
 
 // Backward applies the analytic derivative of the tanh-approximate GELU.
 func (g *GELU) Backward(grad *tensor.Matrix) *tensor.Matrix {

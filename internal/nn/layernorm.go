@@ -69,6 +69,31 @@ func (l *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+// ForwardInPlace normalizes x row-wise directly, recording no Backward
+// caches — the workspace inference path (same arithmetic as Forward).
+func (l *LayerNorm) ForwardInPlace(x *tensor.Matrix) {
+	shapeCheck("LayerNorm", x, l.Dim)
+	g := l.Gamma.Value.Data
+	b := l.Beta.Value.Data
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := float32(1 / math.Sqrt(varsum/float64(len(row))+float64(l.Eps)))
+		for c, v := range row {
+			row[c] = (v-float32(mean))*inv*g[c] + b[c]
+		}
+	}
+}
+
 // Backward propagates through the normalization and accumulates γ,β grads.
 func (l *LayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	shapeCheck("LayerNorm.Backward", grad, l.Dim)

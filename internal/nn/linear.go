@@ -16,7 +16,13 @@ type Linear struct {
 	W, B    *Param
 	Threads int
 
-	lastX *tensor.Matrix // cached input for Backward
+	// Inference marks the layer forward-only: Forward stops retaining its
+	// input for Backward, so serving replicas no longer pin the last batch
+	// of every layer between requests. CloneForInference sets it; Backward
+	// on an inference layer is unsupported.
+	Inference bool
+
+	lastX *tensor.Matrix // cached input for Backward (training mode only)
 }
 
 // NewLinear builds a Linear layer with Xavier-initialized weights and zero
@@ -33,11 +39,27 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 // Forward computes x·W + b for a batch of rows.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	shapeCheck("Linear", x, l.In)
-	l.lastX = x
+	if l.Inference {
+		l.lastX = nil
+	} else {
+		l.lastX = x
+	}
 	y := tensor.MatMul(x, l.W.Value, l.Threads)
 	tensor.AddRowVec(y, l.B.Value.Data)
 	return y
 }
+
+// ForwardInto computes x·W + b into dst (x.Rows×Out), reusing dst's
+// storage — the allocation-free workspace path. It never retains x;
+// Backward after ForwardInto is unsupported.
+func (l *Linear) ForwardInto(dst, x *tensor.Matrix) {
+	shapeCheck("Linear", x, l.In)
+	tensor.MatMulInto(dst, x, l.W.Value, l.Threads)
+	tensor.AddRowVec(dst, l.B.Value.Data)
+}
+
+// OutCols reports the layer's output width for workspace sizing.
+func (l *Linear) OutCols() int { return l.Out }
 
 // Backward accumulates dW = xᵀ·dy and db = Σrows(dy), and returns
 // dx = dy·Wᵀ.

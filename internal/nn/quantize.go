@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"secemb/internal/tensor"
@@ -66,8 +67,24 @@ func Quantize(l *Linear) *QuantLinear {
 // Forward computes x·Ŵ + b with dequantization folded into the column
 // scales.
 func (q *QuantLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
-	shapeCheck("QuantLinear", x, q.In)
 	out := tensor.New(x.Rows, q.Out)
+	q.ForwardInto(out, x)
+	return out
+}
+
+// OutCols reports the layer's output width for workspace sizing.
+func (q *QuantLinear) OutCols() int { return q.Out }
+
+// ForwardInto computes x·Ŵ + b into dst (x.Rows×Out), reusing dst's
+// storage — the allocation-free workspace path.
+func (q *QuantLinear) ForwardInto(dst, x *tensor.Matrix) {
+	shapeCheck("QuantLinear", x, q.In)
+	if dst.Rows != x.Rows || dst.Cols != q.Out {
+		panic(fmt.Sprintf("nn: QuantLinear.ForwardInto dst %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, x.Rows, q.Out))
+	}
+	out := dst
+	out.Zero()
 	for r := 0; r < x.Rows; r++ {
 		xRow := x.Row(r)
 		dst := out.Row(r)
@@ -84,7 +101,6 @@ func (q *QuantLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
 			dst[o] += q.Bias[o]
 		}
 	}
-	return out
 }
 
 // NumBytes is the quantized footprint: int8 weights + per-channel scales

@@ -24,6 +24,84 @@ func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return x
 }
 
+// intoLayer is a layer that can write its output into a caller-owned
+// buffer of OutCols width (Linear, QuantLinear).
+type intoLayer interface {
+	ForwardInto(dst, x *tensor.Matrix)
+	OutCols() int
+}
+
+// inPlaceLayer is a layer whose inference forward can mutate the
+// activations directly (element-wise maps and norms).
+type inPlaceLayer interface {
+	ForwardInPlace(x *tensor.Matrix)
+}
+
+// Workspace holds one reusable output buffer per layer of a Sequential,
+// sized on first use and regrown only when a larger batch arrives, so
+// steady-state inference allocates nothing. A Workspace belongs to exactly
+// one goroutine's forward path at a time (pair one with each inference
+// clone, like the activation caches it replaces).
+type Workspace struct {
+	bufs []*tensor.Matrix
+}
+
+// buf returns the i-th buffer shaped rows×cols, reusing its backing array
+// whenever capacity allows.
+func (w *Workspace) buf(i, rows, cols int) *tensor.Matrix {
+	for len(w.bufs) <= i {
+		w.bufs = append(w.bufs, nil)
+	}
+	m := w.bufs[i]
+	if m == nil {
+		m = tensor.New(rows, cols)
+		w.bufs[i] = m
+		return m
+	}
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	} else {
+		m.Data = m.Data[:need]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// ForwardInto runs the chain front to back through ws, reusing the
+// per-layer buffers across calls: Linear-like layers write into their
+// workspace slot and element-wise layers mutate the running activation in
+// place, so a warmed-up call performs zero tensor allocations. The
+// returned matrix aliases workspace storage — it is valid until the next
+// ForwardInto on the same workspace; callers that retain results must
+// copy. No Backward caches are recorded. A nil ws falls back to Forward.
+func (s *Sequential) ForwardInto(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
+	if ws == nil {
+		return s.Forward(x)
+	}
+	cur, owned := x, false
+	for i, l := range s.Layers {
+		switch v := l.(type) {
+		case intoLayer:
+			dst := ws.buf(i, cur.Rows, v.OutCols())
+			v.ForwardInto(dst, cur)
+			cur, owned = dst, true
+		case inPlaceLayer:
+			// Never mutate the caller's input: copy it into the workspace
+			// before the first in-place layer.
+			if !owned {
+				dst := ws.buf(i, cur.Rows, cur.Cols)
+				copy(dst.Data, cur.Data)
+				cur, owned = dst, true
+			}
+			v.ForwardInPlace(cur)
+		default:
+			cur, owned = l.Forward(cur), true
+		}
+	}
+	return cur
+}
+
 // Backward runs the chain back to front.
 func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
@@ -72,14 +150,19 @@ func (s *Sequential) NumBytes() int64 {
 // parameters but owns fresh layer structs — and therefore private forward
 // caches. Layers cache activations for Backward, so two goroutines may
 // never run Forward on the same layer instance; concurrent inference
-// replicas must each hold a clone. Backward on a clone is unsupported
-// (gradient accumulators are shared but caches are per-clone).
+// replicas must each hold a clone. Cloned Linears are marked Inference, so
+// replicas stop retaining their last input batch between requests.
+// Backward on a clone is unsupported.
 func (s *Sequential) CloneForInference() *Sequential {
 	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
 	for i, l := range s.Layers {
 		switch v := l.(type) {
 		case *Linear:
-			out.Layers[i] = &Linear{In: v.In, Out: v.Out, W: v.W, B: v.B, Threads: v.Threads}
+			out.Layers[i] = &Linear{In: v.In, Out: v.Out, W: v.W, B: v.B, Threads: v.Threads, Inference: true}
+		case *quantLayer:
+			// Quantized layers are stateless (no forward caches), so the
+			// instance itself is safely shared.
+			out.Layers[i] = v
 		case *ReLU:
 			out.Layers[i] = &ReLU{}
 		case *Sigmoid:

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"secemb/internal/tensor"
+)
+
+// mixedStack builds a Sequential exercising every workspace code path:
+// into-layers (Linear), in-place element maps (ReLU, GELU, Sigmoid) and
+// in-place norms (LayerNorm), including an activation as the very first
+// layer (the caller-input-must-not-be-mutated case).
+func mixedStack(rng *rand.Rand) *Sequential {
+	return NewSequential(
+		&GELU{},
+		NewLinear(6, 8, rng),
+		&ReLU{},
+		NewLayerNorm(8, rng),
+		NewLinear(8, 3, rng),
+		&Sigmoid{},
+	)
+}
+
+func TestForwardIntoMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := mixedStack(rng)
+	ws := &Workspace{}
+	for _, batch := range []int{1, 4, 9, 2} { // grow and shrink across calls
+		x := tensor.NewUniform(batch, 6, 1, rng)
+		orig := x.Clone()
+		want := s.Forward(x)
+		got := s.ForwardInto(ws, x)
+		if !tensor.AllClose(got, want, 0) {
+			t.Fatalf("batch %d: ForwardInto diverges from Forward by %g",
+				batch, tensor.MaxAbsDiff(got, want))
+		}
+		if !tensor.AllClose(x, orig, 0) {
+			t.Fatalf("batch %d: ForwardInto mutated the caller's input", batch)
+		}
+	}
+}
+
+func TestForwardIntoQuantizedStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	s := NewSequential(NewLinear(5, 7, rng), &ReLU{}, NewLinear(7, 2, rng))
+	q := QuantizeSequential(s)
+	ws := &Workspace{}
+	x := tensor.NewUniform(3, 5, 1, rng)
+	want := q.Forward(x)
+	if got := q.ForwardInto(ws, x); !tensor.AllClose(got, want, 0) {
+		t.Fatal("quantized ForwardInto diverges from Forward")
+	}
+}
+
+func TestForwardIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := mixedStack(rng).CloneForInference()
+	ws := &Workspace{}
+	x := tensor.NewUniform(4, 6, 1, rng)
+	s.ForwardInto(ws, x) // size the workspace
+	allocs := testing.AllocsPerRun(50, func() { s.ForwardInto(ws, x) })
+	// Threads=0 may dispatch chunk closures to the worker pool; everything
+	// tensor-sized must be reused.
+	if allocs > 8 {
+		t.Fatalf("ForwardInto allocates %.0f objects per call after warmup", allocs)
+	}
+}
+
+func TestInferenceLinearDropsInputCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	l := NewLinear(3, 2, rng)
+	x := tensor.NewUniform(2, 3, 1, rng)
+	l.Forward(x)
+	if l.lastX == nil {
+		t.Fatal("training-mode Forward must retain lastX for Backward")
+	}
+	l.Inference = true
+	l.Forward(x)
+	if l.lastX != nil {
+		t.Fatal("inference-mode Forward must not retain the input batch")
+	}
+}
+
+func TestCloneForInferenceMarksLinears(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	s := MLP([]int{4, 3, 2}, false, rng)
+	c := s.CloneForInference()
+	for i, l := range c.Layers {
+		if lin, ok := l.(*Linear); ok && !lin.Inference {
+			t.Fatalf("cloned layer %d is not in inference mode", i)
+		}
+	}
+	// The training stack must be untouched.
+	for i, l := range s.Layers {
+		if lin, ok := l.(*Linear); ok && lin.Inference {
+			t.Fatalf("original layer %d was switched to inference mode", i)
+		}
+	}
+}

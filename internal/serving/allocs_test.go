@@ -1,0 +1,34 @@
+package serving
+
+import (
+	"context"
+	"testing"
+
+	"secemb/internal/core"
+)
+
+// TestPredictSteadyStateAllocs is the serving-layer allocation-regression
+// gate: once the request pool, forward workspaces, and DHE inference
+// buffers are warm, a Predict round trip must allocate only a small
+// constant number of objects (the response Probs matrix callers retain,
+// channel-op bookkeeping, and latency-stat growth) — not per-layer tensors.
+func TestPredictSteadyStateAllocs(t *testing.T) {
+	reps, cfg := newReplicas(t, 1, core.DHE)
+	pool := NewPool(reps, 2)
+	defer pool.Close()
+	dense, sparse := sampleRequest(cfg, 7)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm request pool + workspaces
+		if r := pool.Predict(ctx, dense, sparse); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	allocs := testing.AllocsPerRun(25, func() {
+		if r := pool.Predict(ctx, dense, sparse); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("steady-state Predict allocates %.0f objects per call", allocs)
+	}
+}

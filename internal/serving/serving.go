@@ -62,6 +62,29 @@ type Pool struct {
 	mCanceled   *obs.Counter
 }
 
+// reqPool recycles Request structs and their response channels across
+// calls: at serving rates the per-request control structures were a
+// steady allocation stream. A Request is returned to the pool only by the
+// caller that received its response (or never handed it to the queue), so
+// a pooled Request is never still referenced by a worker.
+var reqPool = sync.Pool{
+	New: func() any { return &Request{resp: make(chan Response, 1)} },
+}
+
+func newRequest(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) *Request {
+	r := reqPool.Get().(*Request)
+	r.Dense, r.Sparse, r.ctx = dense, sparse, ctx
+	return r
+}
+
+// recycle clears request payload references (so pooled requests don't pin
+// caller batches — the same retention bug fixed in nn.Linear) and returns
+// the struct to the pool.
+func recycle(r *Request) {
+	r.Dense, r.Sparse, r.ctx = nil, nil, nil
+	reqPool.Put(r)
+}
+
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serving: pool closed")
 
@@ -163,18 +186,20 @@ func (p *Pool) worker(ctx context.Context, pipe *dlrm.Pipeline) {
 // space. ctx cancellation abandons the wait (and a queued-but-canceled
 // request is skipped by the workers).
 func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
-	req := &Request{Dense: dense, Sparse: sparse, ctx: ctx, resp: make(chan Response, 1)}
+	req := newRequest(ctx, dense, sparse)
 	// Hold the lifecycle read-lock across the enqueue so Close cannot
 	// close the queue mid-send.
 	p.lifecycle.RLock()
 	if p.closed {
 		p.lifecycle.RUnlock()
+		recycle(req)
 		return Response{Err: ErrClosed}
 	}
 	req.enqueued = time.Now()
 	select {
 	case <-ctx.Done():
 		p.lifecycle.RUnlock()
+		recycle(req)
 		return Response{Err: ctx.Err()}
 	case p.queue <- req:
 		p.mQueueDepth.Add(1)
@@ -182,8 +207,11 @@ func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uin
 	}
 	select {
 	case <-ctx.Done():
+		// The worker may still hold req (and later send on resp); the
+		// struct is abandoned to the GC rather than recycled.
 		return Response{Err: ctx.Err()}
 	case r := <-req.resp:
+		recycle(req)
 		return r
 	}
 }
@@ -192,10 +220,11 @@ func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uin
 // full it returns ErrQueueFull immediately instead of waiting, so callers
 // can shed load.
 func (p *Pool) TryPredict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
-	req := &Request{Dense: dense, Sparse: sparse, ctx: ctx, resp: make(chan Response, 1)}
+	req := newRequest(ctx, dense, sparse)
 	p.lifecycle.RLock()
 	if p.closed {
 		p.lifecycle.RUnlock()
+		recycle(req)
 		return Response{Err: ErrClosed}
 	}
 	req.enqueued = time.Now()
@@ -206,12 +235,14 @@ func (p *Pool) TryPredict(ctx context.Context, dense *tensor.Matrix, sparse [][]
 	default:
 		p.lifecycle.RUnlock()
 		p.mRejected.Inc()
+		recycle(req)
 		return Response{Err: ErrQueueFull}
 	}
 	select {
 	case <-ctx.Done():
 		return Response{Err: ctx.Err()}
 	case r := <-req.resp:
+		recycle(req)
 		return r
 	}
 }

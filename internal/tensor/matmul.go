@@ -3,7 +3,6 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // blockSize is the row-tile used when splitting a multiplication across
@@ -11,14 +10,12 @@ import (
 // stays L2-resident on typical CPUs; exact value is not critical.
 const blockSize = 64
 
-// maxProcs caps worker counts. Overridable in tests.
-var maxProcs = runtime.GOMAXPROCS(0)
-
 // MatMul returns a·b using nthreads workers (nthreads <= 0 means all
-// available CPUs). The kernel is the classic i-k-j loop order so the inner
-// loop streams rows of b and the output — this keeps it vectorizable by the
-// compiler and cache-friendly without explicit SIMD, preserving the
-// compute-bound character the paper's DHE latency model relies on.
+// available CPUs). The kernel keeps the classic i-k-j loop order so the
+// inner loop streams rows of b and the output — cache-friendly and
+// vectorizable without explicit SIMD, preserving the compute-bound
+// character the paper's DHE latency model relies on — and register-blocks
+// it four k-steps at a time (see matMulRange).
 func MatMul(a, b *Matrix, nthreads int) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -35,41 +32,54 @@ func MatMulInto(dst, a, b *Matrix, nthreads int) {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst %dx%d = %dx%d · %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	workers := clampWorkers(nthreads, a.Rows)
-	if workers <= 1 {
+	// The single-worker fast path skips closure construction entirely —
+	// passing the kernel through parallelRows heap-allocates the capture
+	// even when it runs inline, which alone breaks the hot path's
+	// zero-allocation guarantee on small machines.
+	if clampWorkers(nthreads, a.Rows) <= 1 {
 		matMulRange(dst, a, b, 0, a.Rows)
 		return
 	}
-	var wg sync.WaitGroup
-	step := (a.Rows + workers - 1) / workers
-	for lo := 0; lo < a.Rows; lo += step {
-		hi := lo + step
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(dst, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelRows(a.Rows, clampWorkers(nthreads, a.Rows), func(lo, hi int) {
+		matMulRange(dst, a, b, lo, hi)
+	})
 }
 
 // matMulRange computes rows [lo,hi) of dst = a·b.
+//
+// The i-k-j order is register-blocked over a four-row panel of b: each
+// pass of the inner loop accumulates the contributions of four a-elements
+// into the output row, so every out[j] load/store is amortized over four
+// multiply-adds and the four b rows stream through cache together.
 func matMulRange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
+	kd := a.Cols
 	for i := lo; i < hi; i++ {
 		outRow := dst.Data[i*n : (i+1)*n]
 		for j := range outRow {
 			outRow[j] = 0
 		}
 		aRow := a.Row(i)
-		for k, av := range aRow {
+		k := 0
+		for ; k+4 <= kd; k += 4 {
+			a0, a1, a2, a3 := aRow[k], aRow[k+1], aRow[k+2], aRow[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : k*n+n]
+			b1 := b.Data[(k+1)*n : (k+1)*n+n]
+			b2 := b.Data[(k+2)*n : (k+2)*n+n]
+			b3 := b.Data[(k+3)*n : (k+3)*n+n]
+			for j, bv := range b0 {
+				outRow[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < kd; k++ {
+			av := aRow[k]
 			if av == 0 {
 				continue
 			}
-			bRow := b.Data[k*n : (k+1)*n]
+			bRow := b.Data[k*n : k*n+n]
 			for j, bv := range bRow {
 				outRow[j] += av * bv
 			}
@@ -80,56 +90,122 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 // MatMulTransB returns a·bᵀ without materializing the transpose.
 // Used by backprop (dX = dY·Wᵀ) and attention (Q·Kᵀ).
 func MatMulTransB(a, b *Matrix, nthreads int) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Rows, b.Rows)
-	workers := clampWorkers(nthreads, a.Rows)
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			aRow := a.Row(i)
-			outRow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				bRow := b.Row(j)
-				var sum float32
-				for k, av := range aRow {
-					sum += av * bRow[k]
-				}
-				outRow[j] = sum
+	MatMulTransBInto(out, a, b, nthreads)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ, reusing dst's storage. dst must be
+// a.Rows×b.Rows and must not alias a or b.
+func MatMulTransBInto(dst, a, b *Matrix, nthreads int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch dst %dx%d = %dx%d · (%dx%d)ᵀ",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if clampWorkers(nthreads, a.Rows) <= 1 {
+		matMulTransBRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, clampWorkers(nthreads, a.Rows), func(lo, hi int) {
+		matMulTransBRange(dst, a, b, lo, hi)
+	})
+}
+
+// matMulTransBRange computes rows [lo,hi) of dst = a·bᵀ with four
+// independent column accumulators: the dot products of one a row against a
+// panel of four b rows proceed in lockstep, so the a row is loaded once
+// per panel instead of once per output column.
+func matMulTransBRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		aRow := a.Row(i)
+		outRow := dst.Row(i)
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k, av := range aRow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
 			}
+			outRow[j], outRow[j+1], outRow[j+2], outRow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < b.Rows; j++ {
+			bRow := b.Row(j)
+			var sum float32
+			for k, av := range aRow {
+				sum += av * bRow[k]
+			}
+			outRow[j] = sum
 		}
 	}
-	parallelRows(a.Rows, workers, run)
-	return out
 }
 
 // MatMulTransA returns aᵀ·b without materializing the transpose.
 // Used by backprop for weight gradients (dW = Xᵀ·dY).
 func MatMulTransA(a, b *Matrix, nthreads int) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Cols, b.Cols)
-	workers := clampWorkers(nthreads, a.Cols)
+	MatMulTransAInto(out, a, b, nthreads)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b, reusing dst's storage. dst must be
+// a.Cols×b.Cols and must not alias a or b.
+func MatMulTransAInto(dst, a, b *Matrix, nthreads int) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch dst %dx%d = (%dx%d)ᵀ · %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
 	// Partition over output rows (columns of a) so workers never share
 	// output cells.
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ { // i indexes a column of a / row of out
-			outRow := out.Row(i)
-			for k := 0; k < a.Rows; k++ {
-				av := a.Data[k*a.Cols+i]
-				if av == 0 {
-					continue
-				}
-				bRow := b.Row(k)
-				for j, bv := range bRow {
-					outRow[j] += av * bv
-				}
+	if clampWorkers(nthreads, a.Cols) <= 1 {
+		matMulTransARange(dst, a, b, 0, a.Cols)
+		return
+	}
+	parallelRows(a.Cols, clampWorkers(nthreads, a.Cols), func(lo, hi int) {
+		matMulTransARange(dst, a, b, lo, hi)
+	})
+}
+
+// matMulTransARange computes rows [lo,hi) of dst = aᵀ·b, register-blocked
+// four k-steps (rows of a and b) at a time like matMulRange.
+func matMulTransARange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	ac := a.Cols
+	for i := lo; i < hi; i++ { // i indexes a column of a / row of dst
+		outRow := dst.Row(i)
+		for j := range outRow {
+			outRow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= a.Rows; k += 4 {
+			a0 := a.Data[k*ac+i]
+			a1 := a.Data[(k+1)*ac+i]
+			a2 := a.Data[(k+2)*ac+i]
+			a3 := a.Data[(k+3)*ac+i]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : k*n+n]
+			b1 := b.Data[(k+1)*n : (k+1)*n+n]
+			b2 := b.Data[(k+2)*n : (k+2)*n+n]
+			b3 := b.Data[(k+3)*n : (k+3)*n+n]
+			for j, bv := range b0 {
+				outRow[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < a.Rows; k++ {
+			av := a.Data[k*ac+i]
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[k*n : k*n+n]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
 			}
 		}
 	}
-	parallelRows(a.Cols, workers, run)
-	return out
 }
 
 // MatVec returns a·x for a vector x (len a.Cols), as a slice of len a.Rows.
@@ -149,14 +225,14 @@ func MatVec(a *Matrix, x []float32) []float32 {
 	return out
 }
 
-// clampWorkers bounds the worker count by CPUs and work items.
+// clampWorkers bounds the worker count by CPUs and work items. GOMAXPROCS
+// is read at call time — not captured at package init — so runtime
+// resizing (serving pools size themselves against it) is always honored.
 func clampWorkers(nthreads, items int) int {
+	procs := runtime.GOMAXPROCS(0)
 	w := nthreads
-	if w <= 0 {
-		w = maxProcs
-	}
-	if w > maxProcs {
-		w = maxProcs
+	if w <= 0 || w > procs {
+		w = procs
 	}
 	if w > items {
 		w = items
@@ -165,33 +241,4 @@ func clampWorkers(nthreads, items int) int {
 		w = 1
 	}
 	return w
-}
-
-// parallelRows splits [0,rows) into contiguous chunks and runs fn on each
-// concurrently with the requested number of workers.
-func parallelRows(rows, workers int, fn func(lo, hi int)) {
-	if workers <= 1 || rows <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	step := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += step {
-		hi := lo + step
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// ParallelRows exposes the chunked row-parallel helper for other packages
-// (e.g. batched embedding generation).
-func ParallelRows(rows, workers int, fn func(lo, hi int)) {
-	parallelRows(rows, clampWorkers(workers, rows), fn)
 }

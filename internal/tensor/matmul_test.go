@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -128,13 +129,14 @@ func TestMatMulIntoReuse(t *testing.T) {
 }
 
 func TestClampWorkers(t *testing.T) {
-	if w := clampWorkers(0, 100); w < 1 || w > maxProcs {
+	procs := runtime.GOMAXPROCS(0)
+	if w := clampWorkers(0, 100); w < 1 || w > procs {
 		t.Fatalf("clampWorkers(0,100)=%d", w)
 	}
-	if w := clampWorkers(8, 2); w != min(2, maxProcs) {
-		t.Fatalf("clampWorkers(8,2)=%d, want %d", w, min(2, maxProcs))
+	if w := clampWorkers(8, 2); w != min(2, procs) {
+		t.Fatalf("clampWorkers(8,2)=%d, want %d", w, min(2, procs))
 	}
-	if w := clampWorkers(3, 100); w != min(3, maxProcs) {
+	if w := clampWorkers(3, 100); w != min(3, procs) {
 		t.Fatalf("clampWorkers(3,100)=%d", w)
 	}
 }

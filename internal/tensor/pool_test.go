@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"secemb/internal/obs"
+)
+
+func TestParallelRowsPoolCoversAllRowsOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(6)
+	defer runtime.GOMAXPROCS(prev)
+
+	var mu sync.Mutex
+	counts := make([]int, 103)
+	ParallelRows(len(counts), 5, func(lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := lo; i < hi; i++ {
+			counts[i]++
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("row %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestSetObserverWiresPoolMetrics(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	reg := obs.NewRegistry()
+	SetObserver(reg)
+	defer SetObserver(nil)
+
+	if w := reg.Gauge("tensor_pool_workers").Value(); w < 1 {
+		t.Fatalf("tensor_pool_workers = %d, want >= 1", w)
+	}
+	before := reg.Counter("tensor_pool_chunks_total").Value() +
+		reg.Counter("tensor_pool_inline_total").Value()
+	ParallelRows(100, 4, func(lo, hi int) {})
+	after := reg.Counter("tensor_pool_chunks_total").Value() +
+		reg.Counter("tensor_pool_inline_total").Value()
+	// The caller-run final chunk is never counted; the other chunks land
+	// in exactly one of the two counters.
+	if after <= before {
+		t.Fatalf("pool chunk counters did not advance (%d -> %d)", before, after)
+	}
+}
