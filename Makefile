@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline bench-all
+.PHONY: check ci vet build test race fmt-check fuzz-short leakcheck benchdiff \
+	bench bench-baseline bench-all
 
 check: vet build test race
+
+# ci mirrors .github/workflows/ci.yml exactly — same targets, same order —
+# so a green `make ci` locally means a green pipeline, and the two can't
+# drift: every workflow job is a single `make` invocation of these targets.
+ci: fmt-check vet build test race fuzz-short leakcheck bench benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -14,7 +20,30 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/obs ./internal/serving
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/obs ./internal/serving \
+		./internal/core ./internal/dlrm
+
+# fmt-check fails (listing offenders) when any file needs gofmt.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt required on:"; echo "$$files"; exit 1; fi
+
+# fuzz-short runs each fuzz target briefly — a smoke pass for CI, not a
+# campaign. One invocation per package because -fuzz takes a single target.
+FUZZTIME ?= 20s
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/memtrace
+	$(GO) test -run='^$$' -fuzz=FuzzEqLt -fuzztime=$(FUZZTIME) ./internal/oblivious
+
+# leakcheck runs the trace-equivalence leakage audit over every generator
+# and writes the JSON divergence report CI uploads as an artifact.
+leakcheck:
+	$(GO) run ./cmd/leakcheck -out leakcheck_report.json
+
+# benchdiff gates BENCH_hotpath.json: >15% ns/op regression vs the
+# committed baseline, or any allocation on a zero-alloc path, fails.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -file BENCH_hotpath.json
 
 # bench refreshes the "current" section of BENCH_hotpath.json from the
 # hot-path benchmarks (best of -count=3 per benchmark). bench-baseline

@@ -1,0 +1,155 @@
+// Command benchdiff is the CI bench-regression gate: it compares two
+// labeled sections of a benchfmt document (BENCH_hotpath.json) and exits
+// non-zero when the current section regresses past the threshold.
+//
+// Two gates, per benchmark present in both sections (matched on
+// package+name):
+//
+//   - ns/op: current > baseline × (1 + -max-regress) fails (default 15%).
+//   - allocations: any alloc-count increase on a zero-alloc path — a
+//     benchmark whose baseline records 0 allocs/op — fails outright. The
+//     zero-alloc inference hot paths are a hard invariant, not a budget.
+//
+// Benchmarks present in only one section are reported but never fail the
+// gate: renames and newly added benchmarks should not block a PR, they
+// just need a refreshed baseline.
+//
+// Usage:
+//
+//	benchdiff [-file BENCH_hotpath.json] [-base baseline] [-cur current]
+//	          [-max-regress 0.15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/benchfmt's schema (kept in sync by the shared
+// BENCH_hotpath.json artifact and TestBenchfmtSchemaCompatible).
+type Result struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	Pkg      string  `json:"package,omitempty"`
+	CPU      string  `json:"cpu,omitempty"`
+}
+
+func (r Result) key() string { return r.Pkg + "." + r.Name }
+
+// problem is one gate violation.
+type problem struct {
+	Key    string
+	Reason string
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("file", "BENCH_hotpath.json", "benchfmt JSON document")
+	base := fs.String("base", "baseline", "reference section label")
+	cur := fs.String("cur", "current", "section label under test")
+	maxRegress := fs.Float64("max-regress", 0.15, "max tolerated ns/op regression (fraction)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	doc, err := load(*file)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	baseRes, ok := doc[*base]
+	if !ok {
+		fmt.Fprintf(stderr, "benchdiff: %s has no %q section\n", *file, *base)
+		return 2
+	}
+	curRes, ok := doc[*cur]
+	if !ok {
+		fmt.Fprintf(stderr, "benchdiff: %s has no %q section\n", *file, *cur)
+		return 2
+	}
+	problems := diff(baseRes, curRes, *maxRegress, stdout)
+	if len(problems) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %q:\n", len(problems), *base)
+		for _, p := range problems {
+			fmt.Fprintf(stderr, "  %s: %s\n", p.Key, p.Reason)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: %q within %.0f%% of %q, zero-alloc paths intact\n",
+		*cur, *maxRegress*100, *base)
+	return 0
+}
+
+func load(path string) (map[string][]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := map[string][]Result{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s is not a benchfmt document: %w", path, err)
+	}
+	return doc, nil
+}
+
+// diff applies both gates and prints a comparison table for the benchmarks
+// common to base and cur; the returned problems are the gate violations.
+func diff(base, cur []Result, maxRegress float64, w io.Writer) []problem {
+	baseBy := map[string]Result{}
+	for _, r := range base {
+		baseBy[r.key()] = r
+	}
+	keys := make([]string, 0, len(cur))
+	curBy := map[string]Result{}
+	for _, r := range cur {
+		curBy[r.key()] = r
+		keys = append(keys, r.key())
+	}
+	sort.Strings(keys)
+
+	var problems []problem
+	for _, k := range keys {
+		c := curBy[k]
+		b, ok := baseBy[k]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-55s %12.0f ns/op %5d allocs\n", k, c.NsPerOp, c.AllocsOp)
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp/b.NsPerOp - 1
+		}
+		verdict := "ok"
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			verdict = "REGRESS"
+			problems = append(problems, problem{k, fmt.Sprintf(
+				"ns/op %.0f → %.0f (%+.1f%%, limit +%.0f%%)",
+				b.NsPerOp, c.NsPerOp, ratio*100, maxRegress*100)})
+		}
+		if b.AllocsOp == 0 && c.AllocsOp > 0 {
+			verdict = "ALLOCS"
+			problems = append(problems, problem{k, fmt.Sprintf(
+				"zero-alloc path now allocates: 0 → %d allocs/op", c.AllocsOp)})
+		}
+		fmt.Fprintf(w, "  %-8s %-55s %12.0f → %-12.0f ns/op (%+.1f%%)  allocs %d → %d\n",
+			verdict, k, b.NsPerOp, c.NsPerOp, ratio*100, b.AllocsOp, c.AllocsOp)
+	}
+	for k := range baseBy {
+		if _, ok := curBy[k]; !ok {
+			fmt.Fprintf(w, "  missing  %-55s (in base only — refresh the baseline?)\n", k)
+		}
+	}
+	return problems
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func res(pkg, name string, ns float64, allocs int64) Result {
+	return Result{Name: name, Pkg: pkg, NsPerOp: ns, AllocsOp: allocs, Runs: 100}
+}
+
+// TestSyntheticRegressionFails is the acceptance fixture: a >15% ns/op
+// regression and a zero-alloc-path alloc increase must both be flagged.
+func TestSyntheticRegressionFails(t *testing.T) {
+	base := []Result{
+		res("p", "BenchmarkFast", 100, 0),
+		res("p", "BenchmarkSteady", 1000, 2),
+	}
+	cur := []Result{
+		res("p", "BenchmarkFast", 120, 0),    // +20% → REGRESS
+		res("p", "BenchmarkSteady", 1000, 2), // unchanged
+	}
+	var out bytes.Buffer
+	problems := diff(base, cur, 0.15, &out)
+	if len(problems) != 1 {
+		t.Fatalf("want 1 problem, got %v", problems)
+	}
+	if problems[0].Key != "p.BenchmarkFast" || !strings.Contains(problems[0].Reason, "+20.0%") {
+		t.Fatalf("unexpected problem: %+v", problems[0])
+	}
+
+	cur[0] = res("p", "BenchmarkFast", 100, 3) // 0 → 3 allocs on a zero-alloc path
+	problems = diff(base, cur, 0.15, &out)
+	if len(problems) != 1 || !strings.Contains(problems[0].Reason, "0 → 3 allocs/op") {
+		t.Fatalf("alloc gate missed: %v", problems)
+	}
+}
+
+func TestThresholdBoundaryAndAllocBudget(t *testing.T) {
+	base := []Result{
+		res("p", "BenchmarkEdge", 1000, 0),
+		res("p", "BenchmarkBudgeted", 1000, 4),
+	}
+	cur := []Result{
+		res("p", "BenchmarkEdge", 1150, 0),    // exactly +15%: not > threshold
+		res("p", "BenchmarkBudgeted", 900, 6), // alloc growth off the zero path: allowed
+	}
+	var out bytes.Buffer
+	if problems := diff(base, cur, 0.15, &out); len(problems) != 0 {
+		t.Fatalf("boundary/budget cases should pass, got %v", problems)
+	}
+}
+
+func TestNewAndMissingBenchmarksDoNotFail(t *testing.T) {
+	base := []Result{res("p", "BenchmarkGone", 100, 0)}
+	cur := []Result{res("p", "BenchmarkNew", 100, 9)}
+	var out bytes.Buffer
+	if problems := diff(base, cur, 0.15, &out); len(problems) != 0 {
+		t.Fatalf("disjoint sections must not fail the gate, got %v", problems)
+	}
+	for _, want := range []string{"new", "missing"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table should report %q entries:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := map[string][]Result{
+		"baseline": {res("p", "BenchmarkX", 100, 0)},
+		"current":  {res("p", "BenchmarkX", 90, 0)},
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["baseline"][0] != doc["baseline"][0] || back["current"][0] != doc["current"][0] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestRunExitCodes drives the command end to end against a synthetic
+// regression fixture: the ns/op regression must exit 1, the clean fixture
+// 0, and a malformed invocation 2.
+func TestRunExitCodes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	write := func(curNs float64, curAllocs int64) {
+		doc := map[string][]Result{
+			"baseline": {res("p", "BenchmarkHot", 100, 0)},
+			"current":  {res("p", "BenchmarkHot", curNs, curAllocs)},
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+
+	write(130, 0) // +30% ns/op
+	if code := run([]string{"-file", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regression fixture: exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "+30.0%") {
+		t.Fatalf("stderr should name the regression:\n%s", stderr.String())
+	}
+
+	write(100, 1) // zero-alloc path allocates
+	if code := run([]string{"-file", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("alloc fixture: exit %d, want 1", code)
+	}
+
+	write(105, 0) // within threshold
+	if code := run([]string{"-file", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean fixture: exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+
+	if code := run([]string{"-file", path, "-base", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing section: exit %d, want 2", code)
+	}
+	if code := run([]string{"-file", filepath.Join(t.TempDir(), "absent.json")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}
+
+// TestCommittedArtifactParses pins benchdiff to the real committed
+// document: the schema must stay compatible with cmd/benchfmt's output and
+// the repository's own baseline/current sections must pass the gate.
+func TestCommittedArtifactParses(t *testing.T) {
+	doc, err := load(filepath.Join("..", "..", "BENCH_hotpath.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"baseline", "current"} {
+		if len(doc[label]) == 0 {
+			t.Fatalf("committed artifact has no %q results", label)
+		}
+	}
+	var out bytes.Buffer
+	if problems := diff(doc["baseline"], doc["current"], 0.15, &out); len(problems) != 0 {
+		t.Fatalf("committed artifact fails its own gate: %v", problems)
+	}
+}

@@ -1,0 +1,146 @@
+// Command leakcheck runs the trace-equivalence leakage audit
+// (internal/leakcheck) over every generator and writes a JSON divergence
+// report. It exits non-zero when any oblivious technique diverges across
+// the adversarial input panel — or when the plain table lookup is *not*
+// flagged leaky, which would mean the harness itself has lost its teeth.
+// CI runs it on every PR and uploads the report as a build artifact, so a
+// leakage regression blocks merges the same way a test failure does.
+//
+// Usage:
+//
+//	leakcheck [-rows 512] [-dim 16] [-batch 8] [-seed 1]
+//	          [-gens lookup,scan,scanb,path,circuit,dhe,dual]
+//	          [-out leakcheck_report.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"secemb/internal/leakcheck"
+)
+
+// fileReport is the JSON artifact schema.
+type fileReport struct {
+	Rows      int                 `json:"rows"`
+	Dim       int                 `json:"dim"`
+	Batch     int                 `json:"batch"`
+	Seed      int64               `json:"seed"`
+	PanelSize int                 `json:"panel_size"`
+	OK        bool                `json:"ok"`
+	Results   []*leakcheck.Report `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leakcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rows := fs.Int("rows", 512, "table cardinality")
+	dim := fs.Int("dim", 16, "embedding dimension")
+	batch := fs.Int("batch", 8, "ids per panel input")
+	seed := fs.Int64("seed", 1, "construction seed (fixed random tape)")
+	gens := fs.String("gens", "", "comma-separated targets (default: all)")
+	out := fs.String("out", "leakcheck_report.json", "JSON report path (empty: skip)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rows < 2 || *dim < 1 || *batch < 1 {
+		fmt.Fprintln(stderr, "leakcheck: need -rows ≥2, -dim ≥1, -batch ≥1")
+		return 2
+	}
+
+	factories := leakcheck.StandardFactories(*rows, *dim, *seed)
+	// The hybrid dispatches on batch size; threshold = batch puts the
+	// panel in its ORAM regime (the DHE regime is already covered by the
+	// dhe target, which shares the representation).
+	factories = append(factories, leakcheck.DualFactory(*rows, *dim, *batch, *seed))
+	if *gens != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*gens, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		filtered := factories[:0]
+		for _, f := range factories {
+			if keep[f.Name] {
+				filtered = append(filtered, f)
+				delete(keep, f.Name)
+			}
+		}
+		if len(keep) > 0 {
+			fmt.Fprintf(stderr, "leakcheck: unknown -gens targets: %v\n", keys(keep))
+			return 2
+		}
+		factories = filtered
+	}
+
+	panel := leakcheck.AdversarialPanel(*rows, *batch)
+	report := fileReport{Rows: *rows, Dim: *dim, Batch: *batch, Seed: *seed, PanelSize: len(panel), OK: true}
+	for _, f := range factories {
+		rep, err := leakcheck.Verify(f, panel)
+		if err != nil {
+			fmt.Fprintln(stderr, "leakcheck:", err)
+			return 2
+		}
+		report.Results = append(report.Results, rep)
+		status := "OK"
+		switch {
+		case !rep.Pass() && rep.Leaky:
+			status = "LEAK"
+		case !rep.Pass():
+			status = "NO-TEETH" // insecure baseline came back clean
+		case rep.Leaky:
+			status = "OK (leaky as expected)"
+		}
+		fmt.Fprintf(stdout, "%-8s %-22s trace=%d accesses, panel=%d\n",
+			status, describe(rep), rep.TraceLen, rep.PanelSize)
+		for _, d := range rep.Divergences {
+			if !rep.Pass() {
+				fmt.Fprintf(stdout, "         %s\n", d)
+			}
+		}
+		if !rep.Pass() {
+			report.OK = false
+		}
+	}
+
+	if *out != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "leakcheck:", err)
+			return 2
+		}
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "leakcheck:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "report: %s\n", *out)
+	}
+	if !report.OK {
+		fmt.Fprintln(stderr, "leakcheck: FAILED — see divergence report")
+		return 1
+	}
+	return 0
+}
+
+func describe(r *leakcheck.Report) string {
+	kind := "oblivious"
+	if !r.Secure {
+		kind = "baseline"
+	}
+	return fmt.Sprintf("%s (%s)", r.Name, kind)
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFullRosterPasses(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rows", "64", "-dim", "4", "-batch", "4", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fileReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.OK || len(rep.Results) != 7 {
+		t.Fatalf("report OK=%v with %d results, want OK over 7 targets", rep.OK, len(rep.Results))
+	}
+	var sawLeakyBaseline bool
+	for _, r := range rep.Results {
+		if !r.Secure && r.Leaky {
+			sawLeakyBaseline = true
+		}
+		if r.Secure && r.Leaky {
+			t.Fatalf("%s flagged leaky: %+v", r.Name, r.Divergences)
+		}
+	}
+	if !sawLeakyBaseline {
+		t.Fatal("report does not show the lookup baseline leaking — no teeth")
+	}
+	if !strings.Contains(stdout.String(), "leaky as expected") {
+		t.Fatalf("stdout missing baseline verdict:\n%s", stdout.String())
+	}
+}
+
+func TestRunGensFilterAndErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rows", "32", "-dim", "4", "-batch", "2", "-gens", "lookup,scan", "-out", ""},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if n := strings.Count(stdout.String(), "trace="); n != 2 {
+		t.Fatalf("expected 2 audited targets, stdout:\n%s", stdout.String())
+	}
+	if code := run([]string{"-gens", "nosuch", "-out", ""}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown target should exit 2, got %d", code)
+	}
+	if code := run([]string{"-rows", "1", "-out", ""}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad shape should exit 2, got %d", code)
+	}
+}

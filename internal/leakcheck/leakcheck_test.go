@@ -1,0 +1,257 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/memtrace"
+	"secemb/internal/tensor"
+)
+
+func TestAdversarialPanelShape(t *testing.T) {
+	const rows, batch = 300, 16
+	panel := AdversarialPanel(rows, batch)
+	if len(panel) < 8 {
+		t.Fatalf("panel has %d inputs, want ≥8", len(panel))
+	}
+	seen := map[string]bool{}
+	for i, ids := range panel {
+		if len(ids) != batch {
+			t.Fatalf("input %d has %d ids, want %d", i, len(ids), batch)
+		}
+		for j, id := range ids {
+			if id >= rows {
+				t.Fatalf("input %d id %d = %d out of range %d", i, j, id, rows)
+			}
+		}
+		key := ""
+		for _, id := range ids {
+			key += string(rune(id)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("input %d duplicates an earlier panel input: %v", i, ids)
+		}
+		seen[key] = true
+	}
+	// Boundary inputs must be present: an all-min and an all-max batch.
+	if panel[0][0] != 0 || panel[1][0] != rows-1 {
+		t.Fatalf("panel must lead with min/max boundary inputs, got %v, %v", panel[0], panel[1])
+	}
+}
+
+// TestObliviousTechniquesPassPanel is the acceptance check: every secure
+// generator's canonical trace is identical across the full adversarial
+// panel.
+func TestObliviousTechniquesPassPanel(t *testing.T) {
+	const rows, dim, batch, seed = 256, 8, 8, 3
+	panel := AdversarialPanel(rows, batch)
+	for _, f := range StandardFactories(rows, dim, seed) {
+		if !f.Secure {
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			rep, err := Verify(f, panel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Leaky {
+				t.Fatalf("%s reported leaky: %v", f.Name, rep.Divergences[0])
+			}
+			if !rep.Pass() {
+				t.Fatalf("%s did not pass", f.Name)
+			}
+			if rep.PanelSize != len(panel) || rep.BatchSize != batch {
+				t.Fatalf("report shape %d/%d, want %d/%d", rep.PanelSize, rep.BatchSize, len(panel), batch)
+			}
+		})
+	}
+}
+
+// TestLookupFlaggedLeakyWithOffset is the harness-has-teeth check: the
+// plain table lookup must be reported leaky, and the first-divergence
+// offset must point at the exact position where the crafted inputs differ.
+func TestLookupFlaggedLeakyWithOffset(t *testing.T) {
+	const rows, dim, seed = 64, 4, 1
+	f := TechniqueFactory(core.Lookup, rows, dim, seed)
+	// The lookup trace is one access per id, so inputs differing only at
+	// position 3 must diverge at canonical offset 3.
+	panel := Panel{
+		{1, 2, 3, 4},
+		{1, 2, 3, 9},
+	}
+	rep, err := Verify(f, panel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Leaky {
+		t.Fatal("lookup not flagged leaky — the harness has no teeth")
+	}
+	if rep.Pass() != true {
+		t.Fatal("an insecure technique caught leaking must count as a harness pass")
+	}
+	d := rep.Divergences[0]
+	if d.Input != 1 || d.Offset != 3 {
+		t.Fatalf("divergence at input %d offset %d, want input 1 offset 3", d.Input, d.Offset)
+	}
+	if d.RegionDiffs["lookup"] != 1 {
+		t.Fatalf("region diffs %v, want lookup:1", d.RegionDiffs)
+	}
+	if !strings.Contains(d.Want, "[4]") || !strings.Contains(d.Got, "[9]") {
+		t.Fatalf("divergence should name the leaked blocks, got want=%s got=%s", d.Want, d.Got)
+	}
+	// And across the full adversarial panel, every non-reference input
+	// must diverge (they all differ from the all-zeros batch).
+	rep, err = Verify(f, AdversarialPanel(rows, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != rep.PanelSize-1 {
+		t.Fatalf("lookup diverged on %d/%d inputs, want all", len(rep.Divergences), rep.PanelSize-1)
+	}
+}
+
+// leakyScan wraps an oblivious generator but sneaks one id-dependent touch
+// in front — the one-line regression class the harness exists to catch.
+type leakyScan struct {
+	core.Generator
+	tr *memtrace.Tracer
+}
+
+func (g leakyScan) Generate(ids []uint64) (*tensor.Matrix, error) {
+	g.tr.Touch("scan", int64(ids[0]%2), memtrace.Read)
+	return g.Generator.Generate(ids)
+}
+
+// TestInjectedLeakCaught: tampering an oblivious generator with a single
+// input-dependent access must flip its verdict, with the divergence at
+// offset 0 where the tampered touch lands.
+func TestInjectedLeakCaught(t *testing.T) {
+	const rows, dim, seed = 64, 4, 2
+	f := Factory{
+		Name:   "scan-tampered",
+		Secure: true,
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			g, err := core.New(core.LinearScan, rows, dim, core.Options{Seed: seed, Tracer: tr, Threads: 1})
+			if err != nil {
+				return nil, err
+			}
+			return leakyScan{Generator: g, tr: tr}, nil
+		},
+	}
+	panel := Panel{
+		{2, 2, 2, 2}, // ids[0] even → touches block 0
+		{3, 3, 3, 3}, // ids[0] odd  → touches block 1
+	}
+	rep, err := Verify(f, panel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Leaky || rep.Pass() {
+		t.Fatal("injected leak not caught")
+	}
+	if d := rep.Divergences[0]; d.Offset != 0 {
+		t.Fatalf("divergence offset %d, want 0", d.Offset)
+	}
+}
+
+// TestDualBothRegimes audits the hybrid in both dispatch regimes and
+// checks each regime really exercised its representation.
+func TestDualBothRegimes(t *testing.T) {
+	const rows, dim, threshold, seed = 128, 8, 4, 5
+	f := DualFactory(rows, dim, threshold, seed)
+	regions := func(batch int) map[string]bool {
+		tr := memtrace.NewEnabled()
+		g, err := f.New(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, batch)
+		if _, err := g.Generate(ids); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, a := range tr.Snapshot() {
+			out[a.Region] = true
+		}
+		return out
+	}
+	if r := regions(threshold); !r["circuit.tree"] {
+		t.Fatalf("batch ≤ threshold should hit the ORAM, saw regions %v", r)
+	}
+	if r := regions(threshold + 4); !r["dhe"] {
+		t.Fatalf("batch > threshold should hit the DHE, saw regions %v", r)
+	}
+	for _, batch := range []int{threshold, threshold + 4} {
+		rep, err := Verify(f, AdversarialPanel(rows, batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Leaky {
+			t.Fatalf("dual (batch %d) reported leaky: %v", batch, rep.Divergences[0])
+		}
+	}
+}
+
+// TestCircuitRecursionPanel pushes the table past the Circuit ORAM
+// recursion cutoff (2^12 blocks) so the audit also covers the recursive
+// position-map regions.
+func TestCircuitRecursionPanel(t *testing.T) {
+	const rows, dim, batch, seed = 1 << 13, 2, 2, 7
+	f := TechniqueFactory(core.CircuitORAM, rows, dim, seed)
+	tr := memtrace.NewEnabled()
+	g, err := f.New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate([]uint64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	recursed := false
+	for _, a := range tr.Snapshot() {
+		if strings.Contains(a.Region, ".pm1") {
+			recursed = true
+			break
+		}
+	}
+	if !recursed {
+		t.Fatal("table above the cutoff did not recurse — the test lost its target")
+	}
+	rep, err := Verify(f, AdversarialPanel(rows, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leaky {
+		t.Fatalf("recursive circuit ORAM reported leaky: %v", rep.Divergences[0])
+	}
+}
+
+func TestVerifyRejectsBadPanels(t *testing.T) {
+	f := TechniqueFactory(core.LinearScan, 16, 4, 1)
+	if _, err := Verify(f, Panel{{1, 2}}); err == nil {
+		t.Fatal("single-input panel must be rejected")
+	}
+	if _, err := Verify(f, Panel{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Fatal("ragged panel must be rejected")
+	}
+	if _, err := Verify(f, Panel{{1, 99}, {1, 2}}); err == nil {
+		t.Fatal("out-of-range ids must surface the generator error")
+	}
+}
+
+func TestVerifyDetectsDeadInstrumentation(t *testing.T) {
+	f := Factory{
+		Name:   "untraced",
+		Secure: true,
+		New: func(*memtrace.Tracer) (core.Generator, error) {
+			// Discards the tracer: the audit must refuse to certify a
+			// generator that recorded nothing.
+			return core.New(core.LinearScan, 16, 4, core.Options{Threads: 1})
+		},
+	}
+	if _, err := Verify(f, Panel{{0, 1}, {2, 3}}); err == nil ||
+		!strings.Contains(err.Error(), "instrumentation inactive") {
+		t.Fatalf("want instrumentation-inactive error, got %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package leakcheck
+
+// AdversarialPanel builds the standard audit panel: nine same-shaped
+// batches chosen to maximize the chance that an index-dependent access
+// slips through a weaker check — boundary ids, repeated ids, skewed
+// hot-key mixes, and structured sweeps. rows is the table cardinality,
+// batch the ids per input (both ≥ 1).
+func AdversarialPanel(rows, batch int) Panel {
+	max := uint64(rows - 1)
+	mk := func(f func(i int) uint64) []uint64 {
+		ids := make([]uint64, batch)
+		for i := range ids {
+			ids[i] = f(i) % uint64(rows)
+		}
+		return ids
+	}
+	stride := rows/batch | 1
+	// Deterministic LCG stand-in for a "random" batch: same constants as
+	// Numerical Recipes; seeds the panel without pulling in math/rand.
+	lcg := uint64(12345)
+	return Panel{
+		mk(func(int) uint64 { return 0 }),                       // all-min id
+		mk(func(int) uint64 { return max }),                     // all-max id
+		mk(func(i int) uint64 { return uint64(i) }),             // sequential
+		mk(func(i int) uint64 { return uint64(batch - 1 - i) }), // reversed
+		mk(func(int) uint64 { return max / 2 }),                 // hammer one mid id
+		mk(func(i int) uint64 { // skewed hot key: ~90% one id, tail spread
+			if i%10 != 0 {
+				return 7
+			}
+			return uint64(i) * 13
+		}),
+		mk(func(i int) uint64 { return uint64(i * stride) }), // strided sweep
+		mk(func(i int) uint64 { // alternating boundary mix
+			if i%2 == 0 {
+				return 0
+			}
+			return max
+		}),
+		mk(func(int) uint64 { // pseudo-random
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			return lcg >> 33
+		}),
+	}
+}

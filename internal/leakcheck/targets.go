@@ -1,0 +1,73 @@
+package leakcheck
+
+import (
+	"math/rand"
+
+	"secemb/internal/core"
+	"secemb/internal/memtrace"
+	"secemb/internal/tensor"
+)
+
+// Standard factories for the repository's generators. All run
+// single-threaded: the Tracer is not synchronized, and a serialized batch
+// keeps traces comparable position-by-position.
+
+// TechniqueFactory audits one core technique built through core.New with a
+// fresh seed-deterministic representation per panel input.
+func TechniqueFactory(tech core.Technique, rows, dim int, seed int64) Factory {
+	return Factory{
+		Name:   tech.Key(),
+		Secure: tech.Secure(),
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			return core.New(tech, rows, dim, core.Options{Seed: seed, Tracer: tr, Threads: 1})
+		},
+	}
+}
+
+// BatchedScanFactory audits the batch-amortized linear scan, which is not
+// reachable through core.New.
+func BatchedScanFactory(rows, dim int, seed int64) Factory {
+	return Factory{
+		Name:   "scanb",
+		Secure: true,
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			table := tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(seed)))
+			return core.NewLinearScanBatched(table, core.Options{Tracer: tr, Threads: 1}), nil
+		},
+	}
+}
+
+// DualFactory audits the §IV-D hybrid: a DHE plus a Circuit ORAM
+// materialized from it, dispatched on the (public) batch size. Whether the
+// panel exercises the DHE or the ORAM path depends only on the panel's
+// batch size relative to threshold — by design never on the ids — so a
+// single panel audits one regime; run it once below and once above the
+// threshold to cover both.
+func DualFactory(rows, dim, threshold int, seed int64) Factory {
+	return Factory{
+		Name:   "dual",
+		Secure: true,
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			opts := core.Options{Seed: seed, Tracer: tr, Threads: 1}
+			dheGen, err := core.New(core.DHE, rows, dim, opts)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewDual(dheGen, threshold, opts), nil
+		},
+	}
+}
+
+// StandardFactories returns the full audit roster for one table shape: the
+// leaky baseline (negative control) plus every oblivious technique,
+// including the batched scan variant.
+func StandardFactories(rows, dim int, seed int64) []Factory {
+	return []Factory{
+		TechniqueFactory(core.Lookup, rows, dim, seed),
+		TechniqueFactory(core.LinearScan, rows, dim, seed),
+		BatchedScanFactory(rows, dim, seed),
+		TechniqueFactory(core.PathORAM, rows, dim, seed),
+		TechniqueFactory(core.CircuitORAM, rows, dim, seed),
+		TechniqueFactory(core.DHE, rows, dim, seed),
+	}
+}

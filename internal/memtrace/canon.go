@@ -1,0 +1,98 @@
+package memtrace
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Trace canonicalization and structured diffing, the substrate of the
+// leakage-audit harness (internal/leakcheck).
+//
+// Exact trace equality is the right check for deterministic oblivious
+// schemes (linear scan, DHE): their access sequence must be a function of
+// public shape parameters only. Tree ORAMs are randomized — *which* bucket
+// of a level is fetched depends on fresh uniform randomness plus the
+// position map — so their raw traces legitimately differ across runs. The
+// attacker-visible invariant that must hold deterministically is the
+// *shape*: every access touches exactly one bucket per tree level, root to
+// leaf, in a fixed order. Mapping each tree-bucket access to its level
+// (TreeLevel) canonicalizes that invariant into a trace that is again
+// input-independent and can be checked by exact equality; the remaining
+// randomized component (leaf choice) is verified distributionally by the
+// chi-square tests in internal/oram.
+
+// TreeLevel returns the depth of bucket `block` in a complete binary tree
+// stored in breadth-first order: root (block 0) is level 0, blocks 1-2 are
+// level 1, 3-6 level 2, and so on. block must be non-negative.
+func TreeLevel(block int64) int64 {
+	return int64(bits.Len64(uint64(block)+1)) - 1
+}
+
+// Map returns a new trace with f applied to every access; t is unchanged.
+func (t Trace) Map(f func(Access) Access) Trace {
+	out := make(Trace, len(t))
+	for i, a := range t {
+		out[i] = f(a)
+	}
+	return out
+}
+
+// CanonicalizeTreeRegions rewrites the block of every access whose region
+// ends in suffix to its tree level, leaving all other accesses untouched.
+// Applied with the ORAM tree-region suffix this turns a randomized
+// root→leaf path fetch into the deterministic level sequence 0,1,…,L.
+func CanonicalizeTreeRegions(t Trace, suffix string) Trace {
+	return t.Map(func(a Access) Access {
+		if strings.HasSuffix(a.Region, suffix) {
+			a.Block = TreeLevel(a.Block)
+		}
+		return a
+	})
+}
+
+// Diff summarizes how two traces differ.
+type Diff struct {
+	// First is the offset of the first differing access (the FirstDiff
+	// convention: length differences report the shorter length), or -1
+	// when the traces are identical.
+	First int `json:"first"`
+	// LenA and LenB are the compared trace lengths.
+	LenA int `json:"len_a"`
+	LenB int `json:"len_b"`
+	// Regions counts differing positions per region: for each offset where
+	// the traces disagree, the region of each side's access is charged
+	// (once when both sides name the same region); accesses beyond the
+	// shorter trace's end are charged to their own region.
+	Regions map[string]int `json:"regions,omitempty"`
+}
+
+// Equal reports whether the compared traces were identical.
+func (d Diff) Equal() bool { return d.First == -1 }
+
+// Compare diffs two traces position by position.
+func Compare(a, b Trace) Diff {
+	d := Diff{First: a.FirstDiff(b), LenA: len(a), LenB: len(b)}
+	if d.Equal() {
+		return d
+	}
+	d.Regions = map[string]int{}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		d.Regions[a[i].Region]++
+		if b[i].Region != a[i].Region {
+			d.Regions[b[i].Region]++
+		}
+	}
+	for _, t := range []Trace{a[n:], b[n:]} {
+		for _, acc := range t {
+			d.Regions[acc.Region]++
+		}
+	}
+	return d
+}

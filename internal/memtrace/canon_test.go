@@ -1,0 +1,142 @@
+package memtrace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTreeLevel(t *testing.T) {
+	cases := map[int64]int64{
+		0: 0,
+		1: 1, 2: 1,
+		3: 2, 6: 2,
+		7: 3, 14: 3,
+		(1 << 20) - 1: 20, (1 << 21) - 2: 20,
+	}
+	for block, want := range cases {
+		if got := TreeLevel(block); got != want {
+			t.Errorf("TreeLevel(%d) = %d, want %d", block, got, want)
+		}
+	}
+}
+
+func TestMapLeavesOriginalUntouched(t *testing.T) {
+	orig := Trace{{Region: "a", Block: 5, Op: Read}, {Region: "b", Block: 6, Op: Write}}
+	mapped := orig.Map(func(a Access) Access { a.Block = 0; return a })
+	if orig[0].Block != 5 || orig[1].Block != 6 {
+		t.Fatal("Map mutated its receiver")
+	}
+	if mapped[0].Block != 0 || mapped[1].Block != 0 {
+		t.Fatal("Map did not apply f")
+	}
+	if mapped[0].Region != "a" || mapped[1].Op != Write {
+		t.Fatal("Map dropped unmodified fields")
+	}
+}
+
+func TestCanonicalizeTreeRegions(t *testing.T) {
+	in := Trace{
+		{Region: "path.tree", Block: 0, Op: Read},   // root → level 0
+		{Region: "path.tree", Block: 2, Op: Read},   // level 1
+		{Region: "path.tree", Block: 5, Op: Write},  // level 2
+		{Region: "path.stash", Block: 5, Op: Read},  // non-tree: untouched
+		{Region: "path.posmap", Block: 9, Op: Read}, // non-tree: untouched
+		{Region: "path.pm1.tree", Block: 7, Op: Read},
+	}
+	got := CanonicalizeTreeRegions(in, ".tree")
+	want := Trace{
+		{Region: "path.tree", Block: 0, Op: Read},
+		{Region: "path.tree", Block: 1, Op: Read},
+		{Region: "path.tree", Block: 2, Op: Write},
+		{Region: "path.stash", Block: 5, Op: Read},
+		{Region: "path.posmap", Block: 9, Op: Read},
+		{Region: "path.pm1.tree", Block: 3, Op: Read},
+	}
+	if !got.Equal(want) {
+		t.Fatalf("canonicalized %v, want %v", got, want)
+	}
+	// Two different root→leaf paths through the same tree must
+	// canonicalize to the same level sequence.
+	left := CanonicalizeTreeRegions(Trace{{Region: "t.tree", Block: 0, Op: Read},
+		{Region: "t.tree", Block: 1, Op: Read}, {Region: "t.tree", Block: 3, Op: Read}}, ".tree")
+	right := CanonicalizeTreeRegions(Trace{{Region: "t.tree", Block: 0, Op: Read},
+		{Region: "t.tree", Block: 2, Op: Read}, {Region: "t.tree", Block: 6, Op: Read}}, ".tree")
+	if !left.Equal(right) {
+		t.Fatalf("distinct paths did not canonicalize identically: %v vs %v", left, right)
+	}
+}
+
+func TestCompareEqualAndEmpty(t *testing.T) {
+	if d := Compare(nil, nil); !d.Equal() || d.Regions != nil {
+		t.Fatalf("empty vs empty: %+v", d)
+	}
+	tr := Trace{{Region: "r", Block: 1, Op: Read}}
+	if d := Compare(tr, tr); !d.Equal() || d.LenA != 1 || d.LenB != 1 {
+		t.Fatalf("identical traces: %+v", d)
+	}
+	// Empty vs non-empty: the divergence is at offset 0 and the tail is
+	// charged to its region.
+	d := Compare(nil, tr)
+	if d.Equal() || d.First != 0 {
+		t.Fatalf("empty vs one-access: %+v", d)
+	}
+	if d.Regions["r"] != 1 {
+		t.Fatalf("tail region charge %v, want r:1", d.Regions)
+	}
+}
+
+func TestCompareSingleRegionCounts(t *testing.T) {
+	a := Trace{
+		{Region: "s", Block: 0, Op: Read},
+		{Region: "s", Block: 1, Op: Read},
+		{Region: "s", Block: 2, Op: Read},
+	}
+	b := Trace{
+		{Region: "s", Block: 0, Op: Read},
+		{Region: "s", Block: 9, Op: Read},
+		{Region: "s", Block: 8, Op: Read},
+	}
+	d := Compare(a, b)
+	if d.First != 1 {
+		t.Fatalf("first diff %d, want 1", d.First)
+	}
+	if d.Regions["s"] != 2 || len(d.Regions) != 1 {
+		t.Fatalf("region counts %v, want s:2 only", d.Regions)
+	}
+}
+
+func TestCompareCrossRegionAndLength(t *testing.T) {
+	a := Trace{
+		{Region: "x", Block: 0, Op: Read},
+		{Region: "x", Block: 1, Op: Read},
+	}
+	b := Trace{
+		{Region: "y", Block: 0, Op: Read}, // differs in region: both charged
+		{Region: "x", Block: 1, Op: Read},
+		{Region: "z", Block: 2, Op: Write}, // length tail: charged to z
+	}
+	d := Compare(a, b)
+	if d.First != 0 || d.LenA != 2 || d.LenB != 3 {
+		t.Fatalf("diff header %+v", d)
+	}
+	want := map[string]int{"x": 1, "y": 1, "z": 1}
+	if !reflect.DeepEqual(d.Regions, want) {
+		t.Fatalf("region counts %v, want %v", d.Regions, want)
+	}
+	// Length-only difference: first diff is the shorter length.
+	d = Compare(b, b[:2])
+	if d.First != 2 || d.Regions["z"] != 1 {
+		t.Fatalf("prefix diff %+v", d)
+	}
+}
+
+// TestCompareAgreesWithOpDifference: a same-region same-block access that
+// differs only in Op is still a divergence (reads vs writes are
+// attacker-distinguishable).
+func TestCompareAgreesWithOpDifference(t *testing.T) {
+	a := Trace{{Region: "r", Block: 3, Op: Read}}
+	b := Trace{{Region: "r", Block: 3, Op: Write}}
+	if d := Compare(a, b); d.Equal() || d.Regions["r"] != 1 {
+		t.Fatalf("op-only difference missed: %+v", d)
+	}
+}

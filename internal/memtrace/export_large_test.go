@@ -1,0 +1,83 @@
+package memtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// largeTrace synthesizes a >1M-access trace with realistic structure:
+// several regions, mixed ops, and block values spanning the int64 range
+// actually used (row indices, level-shifted DHE blocks).
+func largeTrace(n int) Trace {
+	regions := []string{"scan", "path.tree", "path.stash", "dhe"}
+	t := make(Trace, n)
+	for i := range t {
+		r := regions[i%len(regions)]
+		block := int64(i % 4096)
+		if r == "dhe" {
+			block = int64(i%4)<<32 + int64(i%100)
+		}
+		op := Read
+		if i%7 == 0 {
+			op = Write
+		}
+		t[i] = Access{Region: r, Block: block, Op: op}
+	}
+	return t
+}
+
+// TestExportImportRoundTripLarge pushes the text codec past 1M accesses —
+// the size of a real ORAM batch trace — and demands a lossless round trip.
+func TestExportImportRoundTripLarge(t *testing.T) {
+	const n = 1<<20 + 12345 // > 1M, deliberately not a power of two
+	tr := largeTrace(n)
+	var buf bytes.Buffer
+	wrote, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", wrote, buf.Len())
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != n {
+		t.Fatalf("round trip length %d, want %d", len(back), n)
+	}
+	if d := tr.FirstDiff(back); d != -1 {
+		t.Fatalf("round trip diverges at %d: %v vs %v", d, tr[d], back[d])
+	}
+}
+
+func TestExportImportRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := Trace(nil).WriteTo(&buf)
+	if err != nil || n != 0 || buf.Len() != 0 {
+		t.Fatalf("empty WriteTo: n=%d len=%d err=%v", n, buf.Len(), err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty ReadTrace: %v, %v", back, err)
+	}
+}
+
+func TestExportImportSingleRegion(t *testing.T) {
+	tr := Trace{
+		{Region: "only", Block: 0, Op: Read},
+		{Region: "only", Block: 9223372036854775807, Op: Write}, // max int64 block
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(back) {
+		t.Fatalf("round trip %v, want %v", back, tr)
+	}
+}

@@ -36,6 +36,17 @@ const DummyID = ^uint64(0)
 // 16×", §V-A1).
 const chi = 16
 
+// Trace region suffixes. Every ORAM structure publishes its accesses under
+// a region named <prefix><suffix>, where the prefix is Config.Region plus a
+// ".pmN" segment per recursion level. Trace consumers (internal/leakcheck)
+// match on these suffixes — in particular, tree regions are the ones whose
+// bucket indices must be canonicalized to levels before equality checking.
+const (
+	RegionSuffixTree   = ".tree"
+	RegionSuffixStash  = ".stash"
+	RegionSuffixPosmap = ".posmap"
+)
+
 // Defaults from the paper (§V-A1).
 const (
 	DefaultZ                   = 4

@@ -40,7 +40,7 @@ func (p *flatPosMap) Swap(id uint64, newLeaf uint32) uint32 {
 	p.stats.CmovOps += int64(len(p.leaves))
 	// Trace at chi-entry "block" granularity: what a cache-line attacker
 	// would see of a packed uint32 array.
-	p.tracer.TouchRange(p.region+".posmap", 0, int64((len(p.leaves)+chi-1)/chi), memtrace.Read)
+	p.tracer.TouchRange(p.region+RegionSuffixPosmap, 0, int64((len(p.leaves)+chi-1)/chi), memtrace.Read)
 	var old uint64
 	for i := range p.leaves {
 		m := oblivious.Eq(uint64(i), id)

@@ -48,7 +48,7 @@ func (s *stash) slotData(i int) []uint32 { return s.data[i*s.words : (i+1)*s.wor
 func (s *stash) scanNote() {
 	s.stats.StashScans += int64(s.cap)
 	s.stats.CmovOps += int64(s.cap)
-	s.tracer.TouchRange(s.region+".stash", 0, int64(s.cap), memtrace.Read)
+	s.tracer.TouchRange(s.region+RegionSuffixStash, 0, int64(s.cap), memtrace.Read)
 }
 
 // occupancy counts resident real blocks (test/metric helper; not part of

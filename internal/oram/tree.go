@@ -74,7 +74,7 @@ func (t *tree) touchBucket(bucket int, op memtrace.Op) {
 	} else {
 		t.stats.BucketsWritten++
 	}
-	t.tracer.Touch(t.region+".tree", int64(bucket), op)
+	t.tracer.Touch(t.region+RegionSuffixTree, int64(bucket), op)
 }
 
 // canReside reports whether a block assigned to blockLeaf may be stored at
