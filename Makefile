@@ -1,17 +1,26 @@
 GO ?= go
 
-.PHONY: check ci vet build test race fmt-check fuzz-short leakcheck benchdiff \
-	bench bench-baseline bench-all
+.PHONY: check ci vet obliviouslint build test race fmt-check fuzz-short leakcheck \
+	benchdiff bench bench-baseline bench-all
 
-check: vet build test race
+check: vet obliviouslint build test race
 
 # ci mirrors .github/workflows/ci.yml exactly — same targets, same order —
 # so a green `make ci` locally means a green pipeline, and the two can't
 # drift: every workflow job is a single `make` invocation of these targets.
-ci: fmt-check vet build test race fuzz-short leakcheck bench benchdiff
+ci: fmt-check vet obliviouslint build test race fuzz-short leakcheck bench benchdiff
 
+# vet layers the strict in-repo analyzers (shadow, unusedresult) on top of
+# the stock go vet suite.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/obliviouslint -vet ./...
+
+# obliviouslint proves secret-independence statically: every unwaived
+# finding (secret-tainted branch, index, loop bound, call or return) fails
+# the build. The JSON findings report is uploaded by CI as an artifact.
+obliviouslint:
+	$(GO) run ./cmd/obliviouslint -v -json obliviouslint_report.json ./...
 
 build:
 	$(GO) build ./...
@@ -36,9 +45,11 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzEqLt -fuzztime=$(FUZZTIME) ./internal/oblivious
 
 # leakcheck runs the trace-equivalence leakage audit over every generator
-# and writes the JSON divergence report CI uploads as an artifact.
+# and writes the JSON divergence report CI uploads as an artifact. -src .
+# additionally cross-checks every secemb:audit annotation against the
+# dynamic roster, so static claims of coverage can't outrun the harness.
 leakcheck:
-	$(GO) run ./cmd/leakcheck -out leakcheck_report.json
+	$(GO) run ./cmd/leakcheck -src . -out leakcheck_report.json
 
 # benchdiff gates BENCH_hotpath.json: >15% ns/op regression vs the
 # committed baseline, or any allocation on a zero-alloc path, fails.

@@ -118,8 +118,8 @@ func parse(f *os.File) ([]Result, error) {
 func merge(path, label string, results []Result) error {
 	doc := map[string][]Result{}
 	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &doc); err != nil {
-			return fmt.Errorf("existing %s is not a benchfmt document: %w", path, err)
+		if uerr := json.Unmarshal(raw, &doc); uerr != nil {
+			return fmt.Errorf("existing %s is not a benchfmt document: %w", path, uerr)
 		}
 	} else if !os.IsNotExist(err) {
 		return err

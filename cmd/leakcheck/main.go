@@ -6,11 +6,17 @@
 // CI runs it on every PR and uploads the report as a build artifact, so a
 // leakage regression blocks merges the same way a test failure does.
 //
+// It also cross-checks the static annotations against its own roster: any
+// `// secemb:audit <name>` directive in the source tree names a dynamic
+// target that this command must know how to build. An annotated-but-
+// unrostered name means a generator claims dynamic coverage it does not
+// get, so the run fails before any trace is recorded.
+//
 // Usage:
 //
 //	leakcheck [-rows 512] [-dim 16] [-batch 8] [-seed 1]
 //	          [-gens lookup,scan,scanb,path,circuit,dhe,dual]
-//	          [-out leakcheck_report.json]
+//	          [-src .] [-out leakcheck_report.json]
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
+	"secemb/internal/analysis"
 	"secemb/internal/leakcheck"
 )
 
@@ -47,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Int("batch", 8, "ids per panel input")
 	seed := fs.Int64("seed", 1, "construction seed (fixed random tape)")
 	gens := fs.String("gens", "", "comma-separated targets (default: all)")
+	src := fs.String("src", "", "source root to cross-check secemb:audit directives against the roster (empty: skip)")
 	out := fs.String("out", "leakcheck_report.json", "JSON report path (empty: skip)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +70,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// panel in its ORAM regime (the DHE regime is already covered by the
 	// dhe target, which shares the representation).
 	factories = append(factories, leakcheck.DualFactory(*rows, *dim, *batch, *seed))
+
+	// Roster sync runs against the full factory set, before any -gens
+	// narrowing: a directive is valid as long as *some* leakcheck run can
+	// exercise it, not just this one.
+	if *src != "" {
+		roster := map[string]bool{}
+		for _, f := range factories {
+			roster[f.Name] = true
+		}
+		ghosts, audited, err := auditRosterGhosts(*src, roster)
+		if err != nil {
+			fmt.Fprintln(stderr, "leakcheck:", err)
+			return 2
+		}
+		if len(ghosts) > 0 {
+			fmt.Fprintf(stderr, "leakcheck: secemb:audit names with no dynamic roster target: %s\n",
+				strings.Join(ghosts, ", "))
+			fmt.Fprintln(stderr, "leakcheck: FAILED — annotated generators must be auditable (add a factory or fix the directive)")
+			return 1
+		}
+		fmt.Fprintf(stdout, "roster: %d secemb:audit directive name(s) all map to dynamic targets\n", audited)
+	}
+
 	if *gens != "" {
 		keep := map[string]bool{}
 		for _, name := range strings.Split(*gens, ",") {
@@ -127,6 +159,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// auditRosterGhosts scans the source tree under root for `secemb:audit`
+// directives and returns, sorted, the annotated names that no leakcheck
+// factory implements, plus the total count of audit name occurrences.
+func auditRosterGhosts(root string, roster map[string]bool) (ghosts []string, audited int, err error) {
+	idx, _, err := analysis.ScanModuleDirectives(root)
+	if err != nil {
+		return nil, 0, err
+	}
+	seen := map[string]bool{}
+	for _, d := range idx.All() {
+		for _, name := range d.Audit {
+			audited++
+			if !roster[name] && !seen[name] {
+				seen[name] = true
+				ghosts = append(ghosts, name)
+			}
+		}
+	}
+	sort.Strings(ghosts)
+	return ghosts, audited, nil
 }
 
 func describe(r *leakcheck.Report) string {

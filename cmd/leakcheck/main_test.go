@@ -44,6 +44,45 @@ func TestRunFullRosterPasses(t *testing.T) {
 	}
 }
 
+func TestRosterSyncAgainstRealTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rows", "32", "-dim", "4", "-batch", "2", "-gens", "scan",
+		"-src", "../..", "-out", ""}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	// The annotated tree carries audit directives for every generator, so a
+	// zero count means the scan silently missed them.
+	if !strings.Contains(stdout.String(), "all map to dynamic targets") ||
+		strings.Contains(stdout.String(), "roster: 0 ") {
+		t.Fatalf("roster sync did not see the tree's audit directives:\n%s", stdout.String())
+	}
+}
+
+func TestRosterSyncGhostTargetFails(t *testing.T) {
+	dir := t.TempDir()
+	src := `package ghost
+
+// Generate claims dynamic audit coverage that no factory provides.
+//
+// secemb:secret ids
+// secemb:audit phantom
+func Generate(ids []uint64) {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "ghost.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rows", "32", "-dim", "4", "-batch", "2", "-src", dir, "-out", ""},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("ghost audit target should exit 1, got %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "phantom") {
+		t.Fatalf("stderr does not name the ghost target:\n%s", stderr.String())
+	}
+}
+
 func TestRunGensFilterAndErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-rows", "32", "-dim", "4", "-batch", "2", "-gens", "lookup,scan", "-out", ""},

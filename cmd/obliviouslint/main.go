@@ -1,0 +1,128 @@
+// Command obliviouslint runs the static secret-independence checker
+// (internal/analysis) over the module and writes a JSON findings report. It
+// is the compile-time counterpart of cmd/leakcheck: functions annotated
+// `// secemb:secret <param>` are taint roots, and every branch, index,
+// loop bound, call or return that depends on a tainted value is a finding
+// unless covered by a reviewed `//lint:allow <rule> <rationale>` waiver.
+// CI runs it on every PR; an unwaived finding blocks merges the same way a
+// trace divergence from leakcheck does.
+//
+// Usage:
+//
+//	obliviouslint [-C dir] [-vet] [-v] [-json obliviouslint_report.json] [packages...]
+//	obliviouslint -dir path/to/package   (standalone, import-free directory)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"secemb/internal/analysis"
+)
+
+// fileReport is the JSON artifact schema, mirroring leakcheck's.
+type fileReport struct {
+	Packages []string              `json:"packages"`
+	OK       bool                  `json:"ok"`
+	Findings []analysis.Diagnostic `json:"findings"`
+	Waived   []analysis.Diagnostic `json:"waived"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obliviouslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	moduleDir := fs.String("C", ".", "module directory to lint")
+	dir := fs.String("dir", "", "lint a single bare directory (no module, imports disallowed)")
+	vet := fs.Bool("vet", false, "also run the strict-vet analyzers (shadow, unusedresult)")
+	verbose := fs.Bool("v", false, "print waived findings too")
+	out := fs.String("json", "", "JSON report path (empty: skip)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := []*analysis.Analyzer{analysis.Obliviouslint()}
+	if *vet {
+		analyzers = append(analyzers, analysis.Shadow(), analysis.UnusedResult())
+	}
+
+	var pkgs []*analysis.Package
+	var idx *analysis.Index
+	if *dir != "" {
+		if fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "obliviouslint: -dir takes no package patterns")
+			return 2
+		}
+		pkg, ix, err := analysis.LoadDir(*dir, filepath.Base(*dir), "")
+		if err != nil {
+			fmt.Fprintln(stderr, "obliviouslint:", err)
+			return 2
+		}
+		pkgs, idx = []*analysis.Package{pkg}, ix
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		set, err := analysis.LoadModule(*moduleDir, patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, "obliviouslint:", err)
+			return 2
+		}
+		pkgs, idx = set.Targets, set.Directives
+	}
+
+	res, err := analysis.Run(analyzers, pkgs, idx)
+	if err != nil {
+		fmt.Fprintln(stderr, "obliviouslint:", err)
+		return 2
+	}
+
+	report := fileReport{OK: len(res.Findings) == 0, Findings: res.Findings, Waived: res.Waived}
+	for _, p := range pkgs {
+		report.Packages = append(report.Packages, p.Path)
+	}
+	if report.Findings == nil {
+		report.Findings = []analysis.Diagnostic{}
+	}
+	if report.Waived == nil {
+		report.Waived = []analysis.Diagnostic{}
+	}
+
+	for _, d := range res.Findings {
+		fmt.Fprintln(stdout, d)
+	}
+	if *verbose {
+		for _, d := range res.Waived {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	if *out != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "obliviouslint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "obliviouslint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "report: %s\n", *out)
+	}
+
+	fmt.Fprintf(stdout, "obliviouslint: %d package(s), %d finding(s), %d waived\n",
+		len(pkgs), len(res.Findings), len(res.Waived))
+	if len(res.Findings) > 0 {
+		fmt.Fprintln(stderr, "obliviouslint: FAILED — fix the findings or add a reviewed //lint:allow waiver")
+		return 1
+	}
+	return 0
+}

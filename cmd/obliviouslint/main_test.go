@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const leakyFixture = "../../internal/analysis/testdata/src/leaky"
+
+// The acceptance gate: the driver must exit non-zero on the deliberately
+// leaky fixture and name both the position and the violated check.
+func TestLeakyFixtureFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-dir", leakyFixture}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"leaky.go:14:", "obliviouslint/index",
+		"leaky.go:22:", "obliviouslint/branch",
+		"leaky.go:34:", "obliviouslint/loop",
+		"leaky.go:48:", "obliviouslint/call",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCleanDirPasses(t *testing.T) {
+	dir := t.TempDir()
+	src := `package clean
+
+// secemb:secret id return
+func Select(a, b uint64, id uint64) uint64 {
+	m := -(id & 1)
+	return (a & m) | (b &^ m)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-dir", leakyFixture, "-json", out}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ok": false`, `"obliviouslint/index"`, `"findings"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// The annotated tree itself must lint clean — zero unwaived findings — and
+// clean under the strict-vet analyzers too. This is the static analogue of
+// leakcheck's all-targets-pass invariant.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", "../..", "-vet", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

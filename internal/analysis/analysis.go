@@ -1,0 +1,145 @@
+// Package analysis is a static taint checker that proves secret-independence
+// of the repository's oblivious code paths at compile time — the static
+// counterpart of the dynamic trace-equivalence audit in internal/leakcheck.
+//
+// The dynamic audit replays a 9-input adversarial panel and compares memory
+// traces; it can only ever witness leaks its panel happens to trigger. The
+// checker in this package instead machine-checks the paper's construction
+// argument ("the access pattern is input-independent by construction") for
+// *all* inputs at once: functions whose parameters carry secrets (lookup
+// indices, ORAM leaf labels, stash metadata) declare so with a
+// `// secemb:secret <param>` doc directive, and the obliviouslint analyzer
+// propagates taint from those parameters through assignments, calls and
+// returns, reporting every place a tainted value influences control flow or
+// an address:
+//
+//   - branch  — `if`/`switch`/`select` conditions on tainted values
+//   - index   — slice/array/map indexing (or slice bounds) by a tainted
+//     expression
+//   - loop    — tainted loop bounds
+//   - call    — tainted arguments escaping into unannotated (hence
+//     unaudited) functions, or into non-secret parameters of annotated ones
+//   - declass — tainted values returned from functions not annotated
+//     `secemb:secret return`
+//
+// The branchless primitives of internal/oblivious (Select64, CondCopy, …)
+// are the sanctioned sinks: calls into that package (and into the pure
+// arithmetic of math and math/bits) accept tainted operands freely, and
+// their results stay tainted. Residual findings that are safe under the
+// declared threat model (abort-on-invariant panics, protocol-sanctioned
+// declassifications such as an ORAM's fresh-leaf remap) are waived in place
+// with a reviewed `//lint:allow <rule> <rationale>` comment.
+//
+// The package is deliberately self-contained: it mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, analysistest-style
+// fixtures) but is built only on the standard library's go/ast, go/types
+// and go/importer, so the module keeps zero third-party dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check, in the style of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one (Analyzer, Package) unit of work.
+type Pass struct {
+	Analyzer   *Analyzer
+	Pkg        *Package
+	Directives *Index // module-wide directive index (may cover more than Pkg)
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding. rule is the waivable identifier
+// ("obliviouslint/branch", "vet/shadow", …).
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position `json:"pos"`
+	Rule    string         `json:"rule"`
+	Message string         `json:"message"`
+	Waived  bool           `json:"waived,omitempty"`
+	Waiver  string         `json:"waiver,omitempty"` // rationale from //lint:allow
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	if d.Waived {
+		s += fmt.Sprintf(" (waived: %s)", d.Waiver)
+	}
+	return s
+}
+
+// Result aggregates the diagnostics of a run, split by waiver status.
+type Result struct {
+	Findings []Diagnostic `json:"findings"` // unwaived — these fail the build
+	Waived   []Diagnostic `json:"waived"`   // suppressed by //lint:allow
+}
+
+// Run applies every analyzer to every package, resolves waivers against the
+// packages' //lint:allow comments, and returns the diagnostics sorted by
+// position. The directive index must already cover all packages (see
+// CollectDirectives).
+func Run(analyzers []*Analyzer, pkgs []*Package, idx *Index) (*Result, error) {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		waivers := collectWaivers(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Directives: idx}
+			pass.report = func(d Diagnostic) {
+				if w, ok := waivers.lookup(d.Pos, d.Rule); ok {
+					d.Waived, d.Waiver = true, w
+					res.Waived = append(res.Waived, d)
+				} else {
+					res.Findings = append(res.Findings, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.Waived)
+	return res, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loaders below exist because this module carries no third-party
+// dependencies: instead of golang.org/x/tools/go/packages, module packages
+// are enumerated with `go list -export` and type-checked from source
+// against the toolchain's gc export data, and fixture packages are loaded
+// from bare directories with a map-based importer.
+
+// listedPkg is the subset of `go list -json` this loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// ModuleSet is the result of loading a module: the packages selected for
+// analysis plus a directive index covering every module package (including
+// dep-only ones, whose annotations callers of Run need for call-site
+// contracts).
+type ModuleSet struct {
+	Targets    []*Package
+	Directives *Index
+	BadDirs    []Diagnostic // malformed directives anywhere in the module
+}
+
+// LoadModule lists patterns (e.g. "./...") in moduleDir with their deps,
+// type-checks every non-standard package from source against gc export
+// data, and collects secemb directives module-wide. Standard-library
+// packages are consumed as export data only and are never analyzed.
+func LoadModule(moduleDir string, patterns ...string) (*ModuleSet, error) {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var modPkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("go list output: %w", derr)
+		}
+		if p.Incomplete {
+			return nil, fmt.Errorf("package %s did not build; fix compile errors before linting", p.ImportPath)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			q := p
+			modPkgs = append(modPkgs, &q)
+		}
+	}
+	sort.Slice(modPkgs, func(i, j int) bool { return modPkgs[i].ImportPath < modPkgs[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	set := &ModuleSet{Directives: NewIndex()}
+	for _, lp := range modPkgs {
+		files, perr := parseDir(fset, lp.Dir, lp.GoFiles)
+		if perr != nil {
+			return nil, perr
+		}
+		pkg, cerr := typecheck(fset, lp.ImportPath, files, imp)
+		if cerr != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, cerr)
+		}
+		set.BadDirs = append(set.BadDirs, CollectDirectives(set.Directives, pkg)...)
+		if !lp.DepOnly {
+			set.Targets = append(set.Targets, pkg)
+		}
+	}
+	return set, nil
+}
+
+// LoadDir loads a single package from a bare directory. Imports are
+// resolved against srcRoot (dir layout srcRoot/<import/path>/*.go), the
+// convention of this package's analysistest fixtures; with srcRoot == ""
+// the package must be import-free. The returned index covers the package
+// and everything it (transitively) imported.
+func LoadDir(dir, importPath, srcRoot string) (*Package, *Index, error) {
+	fset := token.NewFileSet()
+	ix := NewIndex()
+	loader := &dirLoader{fset: fset, srcRoot: srcRoot, idx: ix, loaded: map[string]*types.Package{}}
+	pkg, err := loader.load(dir, importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, ix, nil
+}
+
+type dirLoader struct {
+	fset    *token.FileSet
+	srcRoot string
+	idx     *Index
+	loaded  map[string]*types.Package
+}
+
+func (l *dirLoader) Import(path string) (*types.Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	if l.srcRoot == "" {
+		return nil, fmt.Errorf("import %q not allowed: standalone packages must be self-contained", path)
+	}
+	pkg, err := l.load(filepath.Join(l.srcRoot, filepath.FromSlash(path)), path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *dirLoader) load(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	files, err := parseDir(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := typecheck(l.fset, importPath, files, l)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	l.loaded[importPath] = pkg.Types
+	CollectDirectives(l.idx, pkg)
+	return pkg, nil
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tp, Info: info}, nil
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "testdata/src"
+
+func TestObliviouslintBranch(t *testing.T) {
+	RunFixture(t, fixtureRoot, "branch", Obliviouslint())
+}
+
+func TestObliviouslintIndex(t *testing.T) {
+	RunFixture(t, fixtureRoot, "index", Obliviouslint())
+}
+
+func TestObliviouslintLoop(t *testing.T) {
+	RunFixture(t, fixtureRoot, "loop", Obliviouslint())
+}
+
+func TestObliviouslintCall(t *testing.T) {
+	RunFixture(t, fixtureRoot, "call", Obliviouslint())
+}
+
+func TestObliviouslintDeclass(t *testing.T) {
+	RunFixture(t, fixtureRoot, "declass", Obliviouslint())
+}
+
+func TestObliviouslintLeakyFixture(t *testing.T) {
+	res := RunFixture(t, fixtureRoot, "leaky", Obliviouslint())
+	if len(res.Findings) == 0 {
+		t.Fatal("leaky fixture produced no findings; the checker has lost its teeth")
+	}
+}
+
+// The public fixture has no want comments: every finding RunFixture sees is
+// an error, so this test is the false-positive guard for len/cap, nil
+// comparisons, range positions, and heap laundering.
+func TestObliviouslintPublicQuantities(t *testing.T) {
+	res := RunFixture(t, fixtureRoot, "public", Obliviouslint())
+	if len(res.Waived) != 0 {
+		t.Errorf("public fixture has no waivers, got %d waived findings", len(res.Waived))
+	}
+}
+
+func TestObliviouslintWaivers(t *testing.T) {
+	res := RunFixture(t, fixtureRoot, "waived", Obliviouslint())
+	if got := len(res.Waived); got != 2 {
+		t.Errorf("want 2 waived findings (Checked, Trailing), got %d: %v", got, res.Waived)
+	}
+	for _, d := range res.Waived {
+		if d.Waiver == "" {
+			t.Errorf("waived finding lost its rationale: %s", d)
+		}
+	}
+}
+
+// Malformed directives are asserted directly: a want comment cannot share a
+// line with a secemb:secret directive (the parser would read the want text
+// as parameter names).
+func TestObliviouslintMalformedDirectives(t *testing.T) {
+	pkg, idx, err := LoadDir(fixtureRoot+"/directive", "directive", fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]*Analyzer{Obliviouslint()}, []*Package{pkg}, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 2 {
+		t.Fatalf("want 2 directive findings, got %d: %v", len(res.Findings), res.Findings)
+	}
+	for _, d := range res.Findings {
+		if d.Rule != RuleDirective {
+			t.Errorf("want rule %s, got %s", RuleDirective, d.Rule)
+		}
+	}
+	if !strings.Contains(res.Findings[0].Message, "needs parameter names") {
+		t.Errorf("empty directive: got %q", res.Findings[0].Message)
+	}
+	if !strings.Contains(res.Findings[1].Message, `unknown parameter "nosuch"`) {
+		t.Errorf("unknown param: got %q", res.Findings[1].Message)
+	}
+	if idx.ByKey("directive.WellFormed") == nil {
+		t.Error("well-formed directive was not indexed")
+	}
+}
+
+// LoadModule smoke test: enumerate and type-check a real module package
+// (with stdlib deps) through the go list -export path.
+func TestLoadModuleRealPackage(t *testing.T) {
+	set, err := LoadModule("../..", "./internal/oram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Targets) != 1 {
+		t.Fatalf("want 1 target package, got %d", len(set.Targets))
+	}
+	if got := set.Targets[0].Path; got != "secemb/internal/oram" {
+		t.Errorf("target path = %q", got)
+	}
+	if set.Targets[0].Types.Scope().Lookup("NewPath") == nil {
+		t.Error("type info incomplete: NewPath not in package scope")
+	}
+}

@@ -1,0 +1,43 @@
+// Fixture: branch-class findings — if/switch/select conditions on tainted
+// values (check class 1).
+package branch
+
+// secemb:secret x return
+func If(x uint64) uint64 {
+	if x > 10 { // want `obliviouslint/branch: branch condition depends on secret-tainted value \(guards an early return\)`
+		return 0
+	}
+	return x
+}
+
+// secemb:secret x
+func Switch(x uint64) {
+	y := x * 3
+	switch y { // want `obliviouslint/branch: switch tag depends on secret-tainted value`
+	case 1:
+	}
+}
+
+// secemb:secret x
+func TaglessSwitch(x uint64) {
+	switch {
+	case x == 0: // want `obliviouslint/branch: switch case condition depends on secret-tainted value`
+	default:
+	}
+}
+
+// secemb:secret v
+func TypeSwitch(v interface{}) {
+	switch v.(type) { // want `obliviouslint/branch: type switch subject depends on secret-tainted value`
+	case int:
+	}
+}
+
+// secemb:secret x
+func EarlyContinue(xs []int, x int) {
+	for range xs {
+		if x > 0 { // want `obliviouslint/branch: branch condition depends on secret-tainted value \(guards a break/continue/goto\)`
+			continue
+		}
+	}
+}

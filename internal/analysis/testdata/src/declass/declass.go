@@ -1,0 +1,21 @@
+// Fixture: declass-class findings — tainted values returned from functions
+// whose contract does not declare a secret return.
+package declass
+
+// secemb:secret x
+func Leak(x uint64) uint64 {
+	return x + 1 // want `obliviouslint/declass: secret-tainted value returned from a function not annotated`
+}
+
+// secemb:secret x return
+func Declared(x uint64) uint64 {
+	return x + 1 // ok: contract says the return carries secrets
+}
+
+// secemb:secret x
+func ClosureLeak(x uint64) {
+	f := func() uint64 {
+		return x // want `obliviouslint/declass: secret-tainted value returned from a function not annotated`
+	}
+	_ = f
+}

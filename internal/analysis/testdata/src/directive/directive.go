@@ -1,0 +1,13 @@
+// Fixture: malformed secemb: directives. Assertions live in the test (the
+// directive parser would swallow a trailing want comment as parameter
+// names, so this fixture is checked by direct Result inspection).
+package directive
+
+// secemb:secret
+func Empty(x uint64) { _ = x }
+
+// secemb:secret nosuch
+func UnknownParam(x uint64) { _ = x }
+
+// secemb:secret x
+func WellFormed(x uint64) { _ = x }

@@ -1,0 +1,34 @@
+// Fixture: index-class findings — slice/array/map addressing by a tainted
+// expression (check class 2).
+package index
+
+// secemb:secret i return
+func Gather(table []float32, i int) float32 {
+	return table[i] // want `obliviouslint/index: index depends on secret-tainted value`
+}
+
+// secemb:secret k return
+func MapGet(m map[uint64]int, k uint64) int {
+	return m[k] // want `obliviouslint/index: index depends on secret-tainted value`
+}
+
+// secemb:secret lo
+func Window(buf []byte, lo int) {
+	_ = buf[lo:] // want `obliviouslint/index: slice bounds depend on secret-tainted value`
+}
+
+// secemb:secret id
+func StoreSide(out []uint64, id uint64) {
+	out[id&7] = 1 // want `obliviouslint/index: index depends on secret-tainted value`
+}
+
+// secemb:secret k
+func MapDelete(m map[uint64]int, k uint64) {
+	delete(m, k) // want `obliviouslint/index: map delete key depends on secret-tainted value`
+}
+
+// secemb:secret i return
+func Derived(table []float32, width, i int) float32 {
+	off := i * width
+	return table[off+1] // want `obliviouslint/index: index depends on secret-tainted value`
+}

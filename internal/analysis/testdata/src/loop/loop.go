@@ -1,0 +1,27 @@
+// Fixture: loop-class findings — tainted loop bounds (check class 3; early
+// exits guarded by taint are reported by the branch check, see the branch
+// fixture).
+package loop
+
+// secemb:secret n
+func CondBound(n int) int {
+	s := 0
+	for i := 0; i < n; i++ { // want `obliviouslint/loop: loop bound depends on secret-tainted value`
+		s += i
+	}
+	return s
+}
+
+// secemb:secret n
+func RangeInt(n int) {
+	for range n { // want `obliviouslint/loop: range bound depends on secret-tainted value`
+	}
+}
+
+// secemb:secret n
+func Backward(n uint64) {
+	i := uint64(0)
+	for i < n { // want `obliviouslint/loop: loop bound depends on secret-tainted value`
+		i++
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture: false-positive guards — public quantities derived from secret
+// containers (lengths, nil-ness, iteration positions, heap contents) must
+// not be flagged. This file expects zero findings.
+package public
+
+// secemb:secret ids return
+func Guards(ids []uint64, vals []uint64) int {
+	if len(ids) == 0 { // lengths are public
+		return 0
+	}
+	if vals == nil { // nil-ness is public
+		return 1
+	}
+	n := 0
+	for i := range ids { // positions are public; only the values are secret
+		n += i
+	}
+	out := make([]uint64, len(ids))
+	copy(out, ids) // out now carries taint, but is only used obliviously
+	for i := range out {
+		out[i] = out[i] & 0xff
+	}
+	return n
+}
+
+// secemb:secret id
+func Mixed(id uint64, n int) {
+	if n > 3 { // public parameter: fine
+		_ = id + 1
+	}
+}
+
+type state struct{ buf []uint64 }
+
+// Heap demonstrates the documented heap-laundering boundary: stores drop
+// taint because the threat model observes addresses, not contents; the
+// dynamic leakcheck audit covers value-dependent traces through state.
+//
+// secemb:secret id
+func (s *state) Heap(id uint64) int {
+	s.buf[0] = id
+	if s.buf[0] > 3 { // field read is public under the trace model
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,32 @@
+// Package oblivious is a fixture stub of secemb/internal/oblivious. The
+// import path is what obliviouslint whitelists as the sanctioned sink
+// package, so fixtures can exercise the sink rule without depending on the
+// real module tree.
+package oblivious
+
+// Mask64 converts a condition into an all-ones/zero mask.
+func Mask64(cond bool) uint64 {
+	var b uint64
+	if cond {
+		b = 1
+	}
+	return -b
+}
+
+// Eq returns all-ones when a == b.
+func Eq(a, b uint64) uint64 {
+	x := a ^ b
+	return -(((x - 1) &^ x) >> 63)
+}
+
+// Select64 returns a when mask is all-ones, b when zero.
+func Select64(mask, a, b uint64) uint64 {
+	return (a & mask) | (b &^ mask)
+}
+
+// CondCopy64 blends src into dst under mask.
+func CondCopy64(mask uint64, dst, src []uint64) {
+	for i := range dst {
+		dst[i] = Select64(mask, src[i], dst[i])
+	}
+}

@@ -1,0 +1,32 @@
+// Fixture for the vet/shadow analyzer.
+package shadow
+
+func Flagged(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := total + x // want `vet/shadow: declaration of "total" shadows declaration at line 5`
+			_ = total
+		}
+	}
+	return total
+}
+
+func NotLiveAfter(n int) int {
+	x := n
+	_ = x
+	if n > 0 {
+		x := 2 // ok: outer x is never used after this scope
+		return x
+	}
+	return 0
+}
+
+func DifferentType(n int) int {
+	x := n
+	if n > 0 {
+		x := "s" // ok: different type, the idiomatic redeclare
+		_ = x
+	}
+	return x
+}

@@ -1,0 +1,10 @@
+// Fixture for the vet/unusedresult analyzer.
+package unusedresult
+
+import "fmt"
+
+func F() string {
+	fmt.Sprintf("x=%d", 1) // want `vet/unusedresult: result of fmt.Sprintf call is discarded`
+	fmt.Println("side effect is fine")
+	return fmt.Sprintf("x=%d", 2)
+}

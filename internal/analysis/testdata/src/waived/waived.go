@@ -1,0 +1,32 @@
+// Fixture: //lint:allow waivers — a waiver with a rationale suppresses the
+// named rule on its own line and the next; a bare waiver does not.
+package waived
+
+// secemb:secret x
+func Checked(x uint64, n int) {
+	//lint:allow obliviouslint/branch bounds abort: an out-of-range id kills the request, revealing only validity
+	if x >= uint64(n) {
+		panic("out of range")
+	}
+}
+
+// secemb:secret x
+func Trailing(x uint64) {
+	if x == 0 { //lint:allow obliviouslint/branch demo of a trailing waiver
+		_ = x
+	}
+}
+
+// secemb:secret y
+func NoRationale(y uint64) {
+	//lint:allow obliviouslint/branch
+	if y > 0 { // want `obliviouslint/branch: branch condition depends on secret-tainted value`
+	}
+}
+
+// secemb:secret z
+func WrongRule(z uint64) {
+	//lint:allow obliviouslint/index waiver names a different rule, so the branch still fires
+	if z > 0 { // want `obliviouslint/branch: branch condition depends on secret-tainted value`
+	}
+}

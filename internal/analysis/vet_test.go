@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestShadow(t *testing.T) {
+	RunFixture(t, fixtureRoot, "shadow", Shadow())
+}
+
+func TestUnusedResult(t *testing.T) {
+	RunFixture(t, fixtureRoot, "unusedresult", UnusedResult())
+}

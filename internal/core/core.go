@@ -104,6 +104,10 @@ func (t Technique) Secure() bool { return t != Lookup }
 // and callers that retain results across calls must copy them. A generator
 // serves one Generate at a time; concurrent callers need replicas.
 type Generator interface {
+	// Generate embeds a batch of secret feature ids; the ids must never
+	// influence control flow or addresses (Lookup excepted, by design).
+	//
+	// secemb:secret ids
 	Generate(ids []uint64) (*tensor.Matrix, error)
 	// Rows is the table cardinality (for DHE: the virtual table size).
 	Rows() int

@@ -58,6 +58,10 @@ func NewDHEVaried(rows, dim int, opts Options) Generator {
 	return mustNew(DHE, rows, dim, opts)
 }
 
+// Generate computes the batch through the DHE's dense forward pass.
+//
+// secemb:secret ids
+// secemb:audit dhe
 func (g *dheGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if err := ValidateIDs(ids, g.rows); err != nil {
 		return nil, err

@@ -40,6 +40,9 @@ func NewDual(dheGen Generator, threshold int, opts Options) *Dual {
 }
 
 // Generate dispatches on the (public) batch size.
+//
+// secemb:secret ids
+// secemb:audit dual
 func (g *Dual) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if len(ids) > g.threshold {
 		return g.dhe.Generate(ids)

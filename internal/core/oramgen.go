@@ -70,6 +70,10 @@ func tableToBlocks(table *tensor.Matrix) [][]uint32 {
 	return blocks
 }
 
+// Generate serves the batch sequentially through the tree ORAM.
+//
+// secemb:secret ids
+// secemb:audit path circuit
 func (g *oramGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if err := ValidateIDs(ids, g.rows); err != nil {
 		return nil, err

@@ -41,6 +41,11 @@ func NewLinearScanBatched(table *tensor.Matrix, opts Options) Generator {
 	return Instrument(g, opts.Obs)
 }
 
+// Generate streams the table once for the whole batch, blending rows into
+// every query slot as they pass.
+//
+// secemb:secret ids
+// secemb:audit scanb
 func (g *scanBatchedGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if err := ValidateIDs(ids, g.table.Rows); err != nil {
 		return nil, err

@@ -32,6 +32,12 @@ func NewLookup(table *tensor.Matrix, opts Options) Generator {
 	return mustNew(Lookup, table.Rows, table.Cols, opts)
 }
 
+// Generate gathers the requested rows directly — the insecure baseline.
+// The two waived leaks below are the point of this generator's existence:
+// the dynamic audit (internal/leakcheck) asserts they stay observable.
+//
+// secemb:secret ids
+// secemb:audit lookup
 func (g *lookupGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if err := ValidateIDs(ids, g.table.Rows); err != nil {
 		return nil, err
@@ -39,7 +45,9 @@ func (g *lookupGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	out := tensor.New(len(ids), g.table.Cols)
 	tensor.ParallelRows(len(ids), g.threads, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
+			//lint:allow obliviouslint/call non-secure baseline: the address leak is deliberate (§III) and leakcheck asserts it is flagged
 			g.tracer.Touch(g.region, int64(ids[r]), memtrace.Read)
+			//lint:allow obliviouslint/call non-secure baseline: the address leak is deliberate (§III) and leakcheck asserts it is flagged
 			copy(out.Row(r), g.table.Row(int(ids[r])))
 		}
 	})
@@ -81,6 +89,10 @@ func NewLinearScan(table *tensor.Matrix, opts Options) Generator {
 	return mustNew(LinearScan, table.Rows, table.Cols, opts)
 }
 
+// Generate serves every query with a full oblivious table scan.
+//
+// secemb:secret ids
+// secemb:audit scan
 func (g *scanGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	if err := ValidateIDs(ids, g.table.Rows); err != nil {
 		return nil, err

@@ -71,6 +71,8 @@ func New(cfg Config, rng *rand.Rand) *DHE {
 }
 
 // EncodeBatch maps ids to the decoder's input matrix (len(ids)×K).
+//
+// secemb:secret ids
 func (d *DHE) EncodeBatch(ids []uint64) *tensor.Matrix {
 	if d.GEnc != nil {
 		return tensor.FromSlice(len(ids), d.K, d.GEnc.EncodeBatch(ids))
@@ -86,6 +88,8 @@ func (d *DHE) EncodeBatch(ids []uint64) *tensor.Matrix {
 // aliases the generator's workspace: it is valid until the next Generate
 // on this instance, and callers that retain it must copy. Training-mode
 // Generate returns a fresh matrix, as Backward requires.
+//
+// secemb:secret ids
 func (d *DHE) Generate(ids []uint64) *tensor.Matrix {
 	d.Decoder.SetThreads(d.Threads)
 	if d.inference {
@@ -135,6 +139,8 @@ func (d *DHE) InferenceClone() *DHE {
 
 // encodeReuse encodes ids into the reusable inference buffer, growing it
 // only when a larger batch arrives.
+//
+// secemb:secret ids
 func (d *DHE) encodeReuse(ids []uint64) *tensor.Matrix {
 	need := len(ids) * d.K
 	if cap(d.encBuf) < need {

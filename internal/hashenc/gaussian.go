@@ -1,6 +1,10 @@
 package hashenc
 
-import "math"
+import (
+	"math"
+
+	"secemb/internal/oblivious"
+)
 
 // GaussianEncoder is the alternative DHE encoding from the original DHE
 // paper [Kang et al., KDD'21]: instead of scaling the hash values
@@ -26,6 +30,8 @@ func NewGaussian(k int, m uint64, seed int64) *GaussianEncoder {
 }
 
 // Encode writes k approximately-N(0,1) values for x into out (len ≥ K).
+//
+// secemb:secret x
 func (e *GaussianEncoder) Encode(x uint64, out []float32) {
 	m := float64(e.u1.M)
 	for i := 0; i < e.K; i++ {
@@ -33,23 +39,25 @@ func (e *GaussianEncoder) Encode(x uint64, out []float32) {
 		u1 := (float64(e.u1.Hash(i, x)) + 1) / m
 		u2 := (float64(e.u2.Hash(i, x)) + 1) / m
 		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-		// Clamp the rare tail so float32 decoders stay well-conditioned.
-		if z > 4 {
-			z = 4
-		} else if z < -4 {
-			z = -4
-		}
+		// Clamp the rare tail so float32 decoders stay well-conditioned —
+		// branchlessly, since whether x hashed into the tail is itself a
+		// function of the secret.
+		z = oblivious.Clamp64d(z, -4, 4)
 		out[i] = float32(z)
 	}
 }
 
 // EncodeBatch encodes each id into one row of a len(ids)×K buffer.
+//
+// secemb:secret ids
 func (e *GaussianEncoder) EncodeBatch(ids []uint64) []float32 {
 	return e.EncodeBatchInto(ids, make([]float32, len(ids)*e.K))
 }
 
 // EncodeBatchInto encodes into out (len ≥ len(ids)·K), reusing caller
 // storage, and returns the written prefix.
+//
+// secemb:secret ids
 func (e *GaussianEncoder) EncodeBatchInto(ids []uint64, out []float32) []float32 {
 	out = out[:len(ids)*e.K]
 	for r, id := range ids {

@@ -55,6 +55,8 @@ func New(k int, m uint64, seed int64) *Encoder {
 }
 
 // mod61 reduces v (< 2^62 + small) modulo 2^61-1 branchlessly.
+//
+// secemb:secret v return
 func mod61(v uint64) uint64 {
 	v = (v & mersenne61) + (v >> 61)
 	// v may still equal or slightly exceed the modulus; subtract it under
@@ -65,6 +67,8 @@ func mod61(v uint64) uint64 {
 
 // mulmod61 returns a·b mod 2^61-1 for a, b < 2^61, using the Mersenne
 // folding identity 2^64 ≡ 2^3 (mod p).
+//
+// secemb:secret a b return
 func mulmod61(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	// a,b < 2^61 ⇒ the true product < 2^122 ⇒ hi < 2^58, so hi<<3 < 2^61.
@@ -72,6 +76,8 @@ func mulmod61(a, b uint64) uint64 {
 }
 
 // Hash returns h_i(x) ∈ [0, M).
+//
+// secemb:secret x return
 func (e *Encoder) Hash(i int, x uint64) uint64 {
 	y := mod61(mulmod61(e.a[i], mod61(x)) + e.b[i])
 	return y % e.M // constant divisor: compiled to mul/shift, data-independent
@@ -79,6 +85,8 @@ func (e *Encoder) Hash(i int, x uint64) uint64 {
 
 // Encode writes the k scaled hash values for x into out (len ≥ K):
 // out[i] = 2·h_i(x)/(M-1) − 1 ∈ [-1, 1] (Algorithm 1, step 2).
+//
+// secemb:secret x
 func (e *Encoder) Encode(x uint64, out []float32) {
 	scale := 2 / float32(e.M-1)
 	for i := 0; i < e.K; i++ {
@@ -88,12 +96,16 @@ func (e *Encoder) Encode(x uint64, out []float32) {
 
 // EncodeBatch encodes each id into one row of a len(ids)×K row-major
 // buffer and returns it.
+//
+// secemb:secret ids
 func (e *Encoder) EncodeBatch(ids []uint64) []float32 {
 	return e.EncodeBatchInto(ids, make([]float32, len(ids)*e.K))
 }
 
 // EncodeBatchInto encodes into out (len ≥ len(ids)·K), reusing caller
 // storage — the allocation-free hot path — and returns the written prefix.
+//
+// secemb:secret ids
 func (e *Encoder) EncodeBatchInto(ids []uint64, out []float32) []float32 {
 	out = out[:len(ids)*e.K]
 	for r, id := range ids {

@@ -30,6 +30,7 @@ func Mask64(cond bool) uint64 {
 
 // Eq returns an all-ones mask when a == b and zero otherwise, without
 // branching on the comparison.
+// secemb:secret a b return
 func Eq(a, b uint64) uint64 {
 	x := a ^ b
 	// (x-1) has its top bit set only when x == 0 (wrap-around) or when x
@@ -40,17 +41,20 @@ func Eq(a, b uint64) uint64 {
 
 // Lt returns an all-ones mask when a < b and zero otherwise. It is exact
 // for all uint64 inputs (Hacker's Delight §2-12 borrow formula).
+// secemb:secret a b return
 func Lt(a, b uint64) uint64 {
 	return -(((^a & b) | ((^(a ^ b)) & (a - b))) >> 63)
 }
 
 // Select64 returns a when mask is all-ones and b when mask is zero.
+// secemb:secret mask a b return
 func Select64(mask, a, b uint64) uint64 {
 	return (a & mask) | (b &^ mask)
 }
 
 // Select32f returns a when mask is all-ones and b when mask is zero,
 // operating on the raw bit patterns of the float32 operands.
+// secemb:secret mask a b return
 func Select32f(mask uint32, a, b float32) float32 {
 	ab := math.Float32bits(a)
 	bb := math.Float32bits(b)
@@ -62,6 +66,7 @@ func Select32f(mask uint32, a, b float32) float32 {
 // of both slices and writes every element of dst. This is the scan-side
 // "AVX blend" of the paper's linear scan (§V-A2). dst and src must have
 // equal length.
+// secemb:secret mask dst src
 func CondCopy(mask uint64, dst, src []float32) {
 	m := uint32(mask)
 	for i := range dst {
@@ -71,6 +76,7 @@ func CondCopy(mask uint64, dst, src []float32) {
 
 // CondCopyWords is CondCopy for uint32 payloads (ORAM block words).
 // dst and src must have equal length.
+// secemb:secret mask dst src
 func CondCopyWords(mask uint64, dst, src []uint32) {
 	m := uint32(mask)
 	for i := range dst {
@@ -79,6 +85,7 @@ func CondCopyWords(mask uint64, dst, src []uint32) {
 }
 
 // CondCopy64 is CondCopy for uint64 payloads (ORAM metadata).
+// secemb:secret mask dst src
 func CondCopy64(mask uint64, dst, src []uint64) {
 	for i := range dst {
 		dst[i] = Select64(mask, src[i], dst[i])
@@ -87,6 +94,7 @@ func CondCopy64(mask uint64, dst, src []uint64) {
 
 // CondSwap swaps a and b element-wise when mask is all-ones; it always
 // performs the same reads and writes on both slices.
+// secemb:secret mask a b
 func CondSwap(mask uint64, a, b []float32) {
 	m := uint32(mask)
 	for i := range a {
@@ -97,6 +105,7 @@ func CondSwap(mask uint64, a, b []float32) {
 }
 
 // CondSwapU64 swaps two uint64 values through pointers when mask is set.
+// secemb:secret mask a b
 func CondSwapU64(mask uint64, a, b *uint64) {
 	x, y := *a, *b
 	*a = Select64(mask, y, x)
@@ -105,6 +114,7 @@ func CondSwapU64(mask uint64, a, b *uint64) {
 
 // Max returns max(a, b) branchlessly for float32 — the paper's secure
 // ReLU building block (ReLU(x) = max(0, x) via AVX, §V-A3).
+// secemb:secret a b return
 func Max(a, b float32) float32 {
 	// ltMask is all-ones when a < b. Comparing float bits directly is
 	// wrong for floats, so derive the mask from the arithmetic sign of
@@ -116,6 +126,7 @@ func Max(a, b float32) float32 {
 }
 
 // ReLU applies max(0, x) to every element of x in place, branchlessly.
+// secemb:secret x
 func ReLU(x []float32) {
 	for i, v := range x {
 		x[i] = Max(v, 0)
@@ -127,6 +138,7 @@ func ReLU(x []float32) {
 // secure greedy-sampling argmax for LLM logits (§V-C). Access pattern and
 // control flow are independent of the values in x. Ties resolve to the
 // lowest index. Panics on empty input.
+// secemb:secret x return
 func ArgMax(x []float32) int {
 	if len(x) == 0 {
 		panic("oblivious: ArgMax of empty slice")
@@ -149,9 +161,48 @@ func ArgMax(x []float32) int {
 // and blending the matching row into out. This is the core of the secure
 // linear scan (§IV-A1): every row is read on every call regardless of the
 // secret index. out must have length width.
+// secemb:secret index out
 func LookupScan(data []float32, rows, width int, index uint64, out []float32) {
 	for r := 0; r < rows; r++ {
 		mask := Eq(uint64(r), index)
 		CondCopy(mask, out, data[r*width:(r+1)*width])
 	}
+}
+
+// Select64f returns a when mask is all-ones and b when mask is zero,
+// operating on the raw bit patterns of the float64 operands.
+//
+// secemb:secret mask a b return
+func Select64f(mask uint64, a, b float64) float64 {
+	ab := math.Float64bits(a)
+	bb := math.Float64bits(b)
+	return math.Float64frombits((ab & mask) | (bb &^ mask))
+}
+
+// Max64d returns max(a, b) branchlessly for float64, deriving the select
+// mask from the arithmetic sign of the difference (like Max); NaNs are out
+// of scope for model activations.
+//
+// secemb:secret a b return
+func Max64d(a, b float64) float64 {
+	d := a - b
+	mask := -(math.Float64bits(d) >> 63) // all-ones when a < b
+	return Select64f(mask, b, a)
+}
+
+// Min64d returns min(a, b) branchlessly for float64.
+//
+// secemb:secret a b return
+func Min64d(a, b float64) float64 {
+	d := b - a
+	mask := -(math.Float64bits(d) >> 63) // all-ones when b < a
+	return Select64f(mask, b, a)
+}
+
+// Clamp64d clamps x into [lo, hi] branchlessly (lo and hi are public
+// bounds; the clamped value's magnitude never surfaces as control flow).
+//
+// secemb:secret x return
+func Clamp64d(x, lo, hi float64) float64 {
+	return Min64d(Max64d(x, lo), hi)
 }

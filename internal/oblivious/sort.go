@@ -11,12 +11,16 @@ package oblivious
 // BitonicSort64 sorts keys ascending, in place, obliviously. Non-power-of-
 // two lengths are handled by padding with MaxUint64 sentinels in a scratch
 // buffer (the padding is a function of len only).
+//
+// secemb:secret keys
 func BitonicSort64(keys []uint64) {
 	BitonicSortPairs(keys, nil)
 }
 
 // BitonicSortPairs sorts keys ascending and applies the same permutation
 // to vals (when non-nil; len(vals) must equal len(keys)).
+//
+// secemb:secret keys vals
 func BitonicSortPairs(keys []uint64, vals []uint64) {
 	n := len(keys)
 	if n < 2 {

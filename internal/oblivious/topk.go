@@ -9,7 +9,28 @@ import "math"
 // lower index. This extends the paper's oblivious greedy argmax (§V-C) to
 // top-k sampling: the k selected token ids stay inside the controller's
 // private state, never surfacing as addresses.
+//
+// secemb:secret x return
 func TopK(x []float32, k int) []int {
+	keys := topKKeys(x, k)
+	if keys == nil {
+		return nil
+	}
+	out := make([]int, len(keys))
+	for i, key := range keys {
+		out[i] = int(key & 0xFFFFFFFF)
+	}
+	return out
+}
+
+// topKKeys sorts x's packed (value, index) keys descending by value and
+// returns the first min(k, len(x)) of them. The keys carry both the index
+// (low 32 bits) and the exact value bits (recoverable via unpackValue), so
+// callers can consume top-k values without gathering logits[idx] by a
+// secret index.
+//
+// secemb:secret x return
+func topKKeys(x []float32, k int) []uint64 {
 	n := len(x)
 	if k <= 0 || n == 0 {
 		return nil
@@ -17,58 +38,65 @@ func TopK(x []float32, k int) []int {
 	if k > n {
 		k = n
 	}
-	// Pack (value, index) into sortable keys: flip the float bits into a
-	// monotone order, invert for descending, and keep the index in the
-	// low bits so ties break toward lower indices.
 	keys := make([]uint64, n)
 	for i, v := range x {
-		keys[i] = packDescending(v, uint32(i), n)
+		keys[i] = packDescending(v, uint32(i))
 	}
 	BitonicSort64(keys)
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = int(keys[i] & 0xFFFFFFFF)
-	}
-	return out
+	return keys[:k]
 }
 
 // packDescending builds a key whose ascending sort order equals
 // descending value order (ties → ascending index).
-func packDescending(v float32, idx uint32, n int) uint64 {
-	_ = n
+//
+// secemb:secret v return
+func packDescending(v float32, idx uint32) uint64 {
 	b := math.Float32bits(v)
 	// Map float bits to a totally-ordered unsigned key (sign-magnitude →
-	// biased): negative floats reverse, positives offset.
-	var m uint32
-	if b>>31 == 1 {
-		m = ^b
-	} else {
-		m = b | 0x80000000
-	}
+	// biased): negative floats reverse (^b), positives offset (b|msb). The
+	// sign mask s selects between the two without branching on the value.
+	s := uint32(int32(b) >> 31) // all-ones when v is negative
+	m := b ^ (s | 0x80000000)
 	// Descending: invert. Low 32 bits carry the index (not inverted, so
 	// equal values sort by ascending index).
 	return (uint64(^m) << 32) | uint64(idx)
 }
 
+// unpackValue recovers the exact float value carried in a packed key's
+// high 32 bits, inverting packDescending's monotone transform with the
+// same branchless sign-select.
+//
+// secemb:secret key return
+func unpackValue(key uint64) float32 {
+	m := ^uint32(key >> 32)
+	s := ^(-(m >> 31)) // all-ones when the original value was negative
+	return math.Float32frombits(m ^ (s | 0x80000000))
+}
+
 // SampleTopK draws one index from the softmax of the k largest logits at
 // the given temperature, using uniform u ∈ [0,1) supplied by the caller
-// (keeping this package free of RNG state). The cumulative scan selects
-// the index with masked arithmetic — every candidate is touched exactly
-// once regardless of where the draw lands.
+// (keeping this package free of RNG state). The candidate values are
+// recovered from the sorted keys themselves — never gathered from logits
+// by a secret index — and the cumulative scan selects the winner with
+// masked arithmetic, touching every candidate exactly once regardless of
+// where the draw lands.
+//
+// secemb:secret logits return
 func SampleTopK(logits []float32, k int, temperature float64, u float64) int {
 	if temperature <= 0 {
 		return ArgMax(logits)
 	}
-	top := TopK(logits, k)
-	if len(top) == 1 {
-		return top[0]
+	keys := topKKeys(logits, k)
+	if len(keys) == 1 {
+		return int(keys[0] & 0xFFFFFFFF)
 	}
-	// Stable softmax over the k candidates.
-	maxLogit := logits[top[0]] // TopK is descending
-	weights := make([]float64, len(top))
+	// Stable softmax over the k candidates (keys are descending, so the
+	// first key carries the maximum logit).
+	maxLogit := unpackValue(keys[0])
+	weights := make([]float64, len(keys))
 	var total float64
-	for i, idx := range top {
-		w := math.Exp(float64(logits[idx]-maxLogit) / temperature)
+	for i, key := range keys {
+		w := math.Exp(float64(unpackValue(key)-maxLogit) / temperature)
 		weights[i] = w
 		total += w
 	}
@@ -76,12 +104,12 @@ func SampleTopK(logits []float32, k int, temperature float64, u float64) int {
 	// Oblivious cumulative selection: scan all k, keeping the first
 	// candidate whose cumulative weight exceeds the target.
 	var cum float64
-	chosen := uint64(top[len(top)-1]) // fallback: last candidate
+	chosen := keys[len(keys)-1] & 0xFFFFFFFF // fallback: last candidate
 	taken := uint64(0)
-	for i, idx := range top {
+	for i, key := range keys {
 		cum += weights[i]
 		hit := Mask64(cum > target) &^ taken
-		chosen = Select64(hit, uint64(idx), chosen)
+		chosen = Select64(hit, key&0xFFFFFFFF, chosen)
 		taken |= hit
 	}
 	return int(chosen)

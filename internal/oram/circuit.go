@@ -84,6 +84,8 @@ func newCircuit(cfg Config, init [][]uint32, rng *rand.Rand, stats *Stats, level
 }
 
 // Read returns a copy of block id.
+//
+// secemb:secret id
 func (o *CircuitORAM) Read(id uint64) []uint32 {
 	out := make([]uint32, o.cfg.BlockWords)
 	o.access(id, func(data []uint32) { copy(out, data) })
@@ -91,6 +93,8 @@ func (o *CircuitORAM) Read(id uint64) []uint32 {
 }
 
 // Write replaces block id.
+//
+// secemb:secret id data
 func (o *CircuitORAM) Write(id uint64, data []uint32) {
 	if len(data) != o.cfg.BlockWords {
 		panic(fmt.Sprintf("oram: write of %d words into %d-word blocks", len(data), o.cfg.BlockWords))
@@ -99,8 +103,13 @@ func (o *CircuitORAM) Write(id uint64, data []uint32) {
 }
 
 // Update applies fn to block id within one access.
+//
+// secemb:secret id
 func (o *CircuitORAM) Update(id uint64, fn func(data []uint32)) { o.access(id, fn) }
 
+// access is the Circuit ORAM protocol core.
+//
+// secemb:secret id
 func (o *CircuitORAM) access(id uint64, fn func(data []uint32)) {
 	checkID(id, o.cfg.NumBlocks)
 	o.stats.Accesses++
@@ -131,8 +140,11 @@ func (o *CircuitORAM) access(id uint64, fn func(data []uint32)) {
 	}
 	// The block may instead be resident in the stash.
 	stashHit := o.stash.findAndRemove(id, o.buf)
+	//lint:allow obliviouslint/branch invariant abort: a missing block means a broken controller; the process dies rather than serving garbage
 	if found == 0 && stashHit == 0 {
-		panic(fmt.Sprintf("oram: block %d missing (invariant violation)", id))
+		// Deliberately no id in the message: a valid secret must not
+		// surface even on an abort path.
+		panic("oram: block missing (invariant violation)")
 	}
 
 	if fn != nil {

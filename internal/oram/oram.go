@@ -127,11 +127,17 @@ func (c *Config) fill(defaultStash, defaultCutoff int) {
 // ORAM is the interface shared by Path ORAM and Circuit ORAM.
 type ORAM interface {
 	// Read returns a copy of block id's payload.
+	//
+	// secemb:secret id
 	Read(id uint64) []uint32
 	// Write replaces block id's payload.
+	//
+	// secemb:secret id data
 	Write(id uint64, data []uint32)
 	// Update reads block id, applies fn to its payload in place, and
 	// writes it back, all within a single ORAM access.
+	//
+	// secemb:secret id
 	Update(id uint64, fn func(data []uint32))
 	// Stats returns the cumulative controller work counters (shared
 	// across recursive position-map levels).

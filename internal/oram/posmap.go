@@ -11,6 +11,12 @@ import (
 // returns the old leaf and installs a new one — exactly the operation an
 // ORAM access needs, performed obliviously.
 type PositionMap interface {
+	// Swap atomically replaces id's leaf. The returned *old* leaf is a
+	// protocol declassification: it is a fresh uniform value installed by
+	// the previous access to id and revealed exactly once, so it carries
+	// no information about id (Path/Circuit ORAM security argument).
+	//
+	// secemb:secret id
 	Swap(id uint64, newLeaf uint32) uint32
 	NumBytes() int64
 	Depth() int
@@ -35,6 +41,8 @@ func newFlatPosMap(init []uint32, tracer *memtrace.Tracer, region string, stats 
 
 // Swap scans the whole map, obliviously extracting the old leaf for id and
 // installing newLeaf.
+//
+// secemb:secret id
 func (p *flatPosMap) Swap(id uint64, newLeaf uint32) uint32 {
 	p.stats.PosmapScans += int64(len(p.leaves))
 	p.stats.CmovOps += int64(len(p.leaves))
@@ -47,6 +55,7 @@ func (p *flatPosMap) Swap(id uint64, newLeaf uint32) uint32 {
 		old = oblivious.Select64(m, uint64(p.leaves[i]), old)
 		p.leaves[i] = uint32(oblivious.Select64(m, uint64(newLeaf), uint64(p.leaves[i])))
 	}
+	//lint:allow obliviouslint/declass the old leaf is a fresh uniform value revealed once per access (ORAM protocol declassification)
 	return uint32(old)
 }
 
@@ -98,6 +107,8 @@ func newPosMap(init []uint32, cutoff int, rng *rand.Rand,
 
 // Swap reads the inner block holding id's entry, obliviously swaps the
 // packed slot, and writes the block back — one inner ORAM access.
+//
+// secemb:secret id
 func (p *oramPosMap) Swap(id uint64, newLeaf uint32) uint32 {
 	blockID := id / chi
 	slot := id % chi
@@ -109,6 +120,7 @@ func (p *oramPosMap) Swap(id uint64, newLeaf uint32) uint32 {
 			words[j] = uint32(oblivious.Select64(m, uint64(newLeaf), uint64(words[j])))
 		}
 	})
+	//lint:allow obliviouslint/declass the old leaf is a fresh uniform value revealed once per access (ORAM protocol declassification)
 	return uint32(old)
 }
 

@@ -66,6 +66,8 @@ func (s *stash) occupancy() int {
 // insert places a block into some free slot via a full scan. Exactly one
 // free slot receives the block; a full stash is a (negligible-probability)
 // overflow and panics, as in ZeroTrace.
+//
+// secemb:secret id leaf payload
 func (s *stash) insert(id uint64, leaf uint32, payload []uint32) {
 	s.insertCond(^uint64(0), id, leaf, payload)
 	s.stats.observeStash(s.occupancy())
@@ -74,6 +76,8 @@ func (s *stash) insert(id uint64, leaf uint32, payload []uint32) {
 // insertCond is insert gated by a mask: when real is zero the scan still
 // runs (same work, same trace) but nothing is stored. This lets the path
 // read phase process dummy slots at identical cost to real ones.
+//
+// secemb:secret real id leaf payload
 func (s *stash) insertCond(real uint64, id uint64, leaf uint32, payload []uint32) {
 	s.scanNote()
 	placed := uint64(0) // becomes all-ones once stored
@@ -85,6 +89,7 @@ func (s *stash) insertCond(real uint64, id uint64, leaf uint32, payload []uint32
 		oblivious.CondCopyWords(doStore, s.slotData(i), payload)
 		placed |= doStore
 	}
+	//lint:allow obliviouslint/branch overflow abort: negligible-probability stash overflow kills the process rather than continuing insecurely (ZeroTrace does the same)
 	if real != 0 && placed == 0 {
 		panic(fmt.Sprintf("oram: stash overflow (capacity %d)", s.cap))
 	}
@@ -114,6 +119,8 @@ func (s *stash) extractEligible(pathLeaf uint32, level, levels int, outID *uint6
 // findAndRemove scans for block id; if found, copies its payload into out,
 // marks the slot free, and returns an all-ones mask. The scan always
 // touches every slot.
+//
+// secemb:secret id return
 func (s *stash) findAndRemove(id uint64, out []uint32) uint64 {
 	s.scanNote()
 	found := uint64(0)
@@ -128,6 +135,8 @@ func (s *stash) findAndRemove(id uint64, out []uint32) uint64 {
 
 // readBlock copies block id's payload into out (without removing) and
 // returns the found mask.
+//
+// secemb:secret id return
 func (s *stash) readBlock(id uint64, out []uint32) uint64 {
 	s.scanNote()
 	found := uint64(0)
@@ -141,6 +150,8 @@ func (s *stash) readBlock(id uint64, out []uint32) uint64 {
 
 // updateBlock overwrites block id's payload and (optionally) its leaf via
 // a full scan; returns the found mask.
+//
+// secemb:secret id leaf payload return
 func (s *stash) updateBlock(id uint64, leaf uint32, payload []uint32) uint64 {
 	s.scanNote()
 	found := uint64(0)

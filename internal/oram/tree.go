@@ -149,8 +149,12 @@ func (t *tree) NumBytes() int64 {
 
 // checkID panics on out-of-range block ids (caller bug, not secret-
 // dependent: the table size is public).
+//
+// secemb:secret id
 func checkID(id uint64, n int) {
+	//lint:allow obliviouslint/branch bounds abort: id validity is public policy, enforced before any secret-dependent work
 	if id >= uint64(n) {
+		//lint:allow obliviouslint/call the printed id is out of range, hence not a valid secret
 		panic(fmt.Sprintf("oram: block id %d out of %d", id, n))
 	}
 }
