@@ -30,7 +30,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/tensor ./internal/nn ./internal/obs ./internal/serving \
-		./internal/core ./internal/dlrm
+		./internal/serving/backends ./internal/core ./internal/dlrm
 
 # fmt-check fails (listing offenders) when any file needs gofmt.
 fmt-check:
@@ -60,7 +60,7 @@ benchdiff:
 # hot-path benchmarks (best of -count=3 per benchmark). bench-baseline
 # records the same run under the "baseline" label — run it once before an
 # optimization so before/after land in the same committed artifact.
-BENCH_PKGS = ./internal/tensor ./internal/dhe ./internal/core
+BENCH_PKGS = ./internal/tensor ./internal/dhe ./internal/core ./internal/serving/backends
 BENCH_FLAGS = -bench=. -benchmem -run='^$$' -count=3
 
 bench:

@@ -4,18 +4,27 @@
 // model-based paper-machine numbers live in cmd/experiments; this tool
 // shows the same orderings emerging from executed code on the host.
 //
+// With -coalesce N it instead drives the layered serving stack: 64
+// concurrent single-row clients per technique, served once per-request and
+// once with cross-request micro-batching over -shards replica groups, so
+// the batch-amortization of Fig. 5 is measured end-to-end rather than from
+// a caller-provided batch.
+//
 // Usage:
 //
 //	dlrmbench [-dataset kaggle|terabyte] [-scale 1e-4] [-batch 32]
 //	          [-reps 5] [-techniques lookup,scan,circuit,dhe,hybrid]
+//	          [-coalesce 0] [-shards 2] [-clients 64] [-wait 2ms]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"secemb/internal/core"
@@ -23,6 +32,8 @@ import (
 	"secemb/internal/dlrm"
 	"secemb/internal/obs"
 	"secemb/internal/profile"
+	"secemb/internal/serving"
+	"secemb/internal/serving/backends"
 	"secemb/internal/tensor"
 )
 
@@ -34,6 +45,10 @@ func main() {
 	techniques := flag.String("techniques", "lookup,scan,circuit,dhe,hybrid", "comma list")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	criteo := flag.String("criteo", "", "optional path to a Criteo-format TSV; its first -batch rows drive the timing instead of synthetic traffic")
+	coalesce := flag.Int("coalesce", 0, "serving mode: fuse up to N concurrent single-row requests per backend execution (0: direct Predict timing)")
+	shards := flag.Int("shards", 2, "serving mode: replica groups with consistent key routing")
+	clients := flag.Int("clients", 64, "serving mode: concurrent single-row clients")
+	wait := flag.Duration("wait", 2*time.Millisecond, "serving mode: max coalesce wait before a partial batch flushes")
 	metrics := flag.Bool("metrics", false, "print an observability snapshot (per-technique counts, latency percentiles) after the runs")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and pprof on this address during the runs")
 	flag.Parse()
@@ -91,11 +106,29 @@ func main() {
 		}
 	}
 
-	// Host-profiled threshold for the hybrid allocation (Algorithm 2).
-	db := profile.BuildDB(cfg.EmbDim, profile.Varied, []int{*batch}, []int{1},
+	// Host-profiled threshold for the hybrid allocation (Algorithm 2). In
+	// serving mode the generators see fused batches, so profile at the
+	// coalesce cap rather than the caller batch.
+	profBatch := *batch
+	if *coalesce > 0 {
+		profBatch = *coalesce
+	}
+	db := profile.BuildDB(cfg.EmbDim, profile.Varied, []int{profBatch}, []int{1},
 		[]int{64, 512, 4096, 32768}, 3, *seed)
-	thr := db.Threshold(profile.ExecConfig{Batch: *batch, Threads: 1})
-	fmt.Printf("host-profiled scan/DHE threshold at batch %d: %d rows\n\n", *batch, thr)
+	thr := db.Threshold(profile.ExecConfig{Batch: profBatch, Threads: 1})
+	fmt.Printf("host-profiled scan/DHE threshold at batch %d: %d rows\n\n", profBatch, thr)
+
+	if *coalesce > 0 {
+		serveComparison(model, strings.Split(*techniques, ","), thr, *seed, reg, serveLoad{
+			coalesce: *coalesce, shards: *shards, clients: *clients,
+			reps: *reps, wait: *wait,
+		})
+		if *metrics {
+			fmt.Println("\n--- observability snapshot ---")
+			reg.WriteText(os.Stdout)
+		}
+		return
+	}
 
 	fmt.Println("technique        latency/batch     model memory (MB)")
 	for _, name := range strings.Split(*techniques, ",") {
@@ -114,6 +147,79 @@ func main() {
 	if *metrics {
 		fmt.Println("\n--- observability snapshot ---")
 		reg.WriteText(os.Stdout)
+	}
+}
+
+// serveLoad is the serving-mode workload shape.
+type serveLoad struct {
+	coalesce, shards, clients, reps int
+	wait                            time.Duration
+}
+
+// serveComparison serves the same concurrent single-row stream twice per
+// technique — per-request, then coalesced over sharded replica groups —
+// and reports the requests/sec each sustains.
+func serveComparison(m *dlrm.Model, techniques []string, threshold int, seed int64, reg *obs.Registry, load serveLoad) {
+	fmt.Printf("serving mode: %d concurrent single-row clients × %d requests, %d replica shard(s), fuse ≤%d\n\n",
+		load.clients, load.reps, load.shards, load.coalesce)
+
+	// One single-row request per client, reused across its repetitions:
+	// the timed region is pure serving work.
+	rng := rand.New(rand.NewSource(seed + 11))
+	reqs := make([]*backends.DLRMRequest, load.clients)
+	for c := range reqs {
+		dense := tensor.NewUniform(1, m.Cfg.DenseDim, 1, rng)
+		sparse := make([][]uint64, len(m.Cfg.Cardinalities))
+		for f, n := range m.Cfg.Cardinalities {
+			sparse[f] = []uint64{data.ZipfValue(rng, n)}
+		}
+		reqs[c] = &backends.DLRMRequest{Dense: dense, Sparse: sparse}
+	}
+
+	drive := func(do func(key uint64, r *backends.DLRMRequest) serving.Response) float64 {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < load.clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < load.reps; i++ {
+					if resp := do(uint64(c), reqs[c]); resp.Err != nil {
+						fmt.Fprintln(os.Stderr, "serve:", resp.Err)
+						os.Exit(1)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		return float64(load.clients*load.reps) / time.Since(start).Seconds()
+	}
+	newBackends := func(name string) []serving.Backend {
+		bes := make([]serving.Backend, load.shards)
+		for i := range bes {
+			bes[i] = backends.NewDLRM(buildPipeline(m, name, threshold, seed+int64(i), reg), load.coalesce)
+		}
+		return bes
+	}
+
+	fmt.Println("technique        per-request req/s   coalesced req/s   speedup")
+	for _, name := range techniques {
+		name = strings.TrimSpace(name)
+		pool := serving.NewPool(newBackends(name), load.clients)
+		perReq := drive(func(_ uint64, r *backends.DLRMRequest) serving.Response {
+			return pool.Do(context.Background(), r)
+		})
+		pool.Close()
+
+		group := serving.NewGroup(newBackends(name), serving.GroupConfig{
+			Shards:   load.shards,
+			Coalesce: serving.CoalesceConfig{MaxBatch: load.coalesce, MaxWait: load.wait},
+		}, serving.WithObserver(reg))
+		fused := drive(func(key uint64, r *backends.DLRMRequest) serving.Response {
+			return group.Do(context.Background(), key, r)
+		})
+		group.Close()
+		fmt.Printf("%-15s  %17.0f  %16.0f  %6.2fx\n", name, perReq, fused, fused/perReq)
 	}
 }
 

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	leakcheck [-rows 512] [-dim 16] [-batch 8] [-seed 1]
-//	          [-gens lookup,scan,scanb,path,circuit,dhe,dual]
+//	          [-gens lookup,scan,scanb,path,circuit,dhe,dual,coalesce]
 //	          [-src .] [-out leakcheck_report.json]
 package main
 
@@ -70,6 +70,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// panel in its ORAM regime (the DHE regime is already covered by the
 	// dhe target, which shares the representation).
 	factories = append(factories, leakcheck.DualFactory(*rows, *dim, *batch, *seed))
+	// The serving micro-batcher: panel ids arrive as single-id requests
+	// and the coalescer's fused batch composition must be id-independent.
+	// Fastest when -batch is a multiple of the coalesce batch (4): every
+	// fused batch fills and flushes without waiting out the flush timer.
+	factories = append(factories, leakcheck.CoalescedFactory(*rows, *dim, *seed))
 
 	// Roster sync runs against the full factory set, before any -gens
 	// narrowing: a directive is valid as long as *some* leakcheck run can

@@ -16,9 +16,11 @@ func TestBuildGeneratorAllTechniques(t *testing.T) {
 	want := map[string]core.Technique{
 		"lookup": core.Lookup, "scan": core.LinearScan,
 		"path": core.PathORAM, "circuit": core.CircuitORAM, "dhe": core.DHE,
+		// dual reports DHE: it is the DHE representation plus an ORAM fallback.
+		"dual": core.DHE,
 	}
 	for name, tech := range want {
-		g, err := buildGenerator(name, tbl, cfg, 2, nil)
+		g, err := buildGenerator(name, tbl, cfg, 2, 4, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -34,7 +36,7 @@ func TestBuildGeneratorAllTechniques(t *testing.T) {
 func TestBuildGeneratorUnknownErrors(t *testing.T) {
 	cfg := llm.Config{Vocab: 8, Dim: 4, Heads: 1, Layers: 1, MaxSeq: 4, Seed: 1}
 	tbl := tensor.New(8, 4)
-	if _, err := buildGenerator("nope", tbl, cfg, 1, nil); err == nil {
+	if _, err := buildGenerator("nope", tbl, cfg, 1, 4, nil); err == nil {
 		t.Fatal("expected error for unknown technique")
 	}
 }
@@ -43,7 +45,7 @@ func TestBuildGeneratorInstrumented(t *testing.T) {
 	cfg := llm.Config{Vocab: 64, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 8, Seed: 1}
 	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(2)))
 	reg := obs.NewRegistry()
-	g, err := buildGenerator("scan", tbl, cfg, 2, reg)
+	g, err := buildGenerator("scan", tbl, cfg, 2, 4, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,14 @@
 // Serve: production-shaped deployment. Builds N replicas of a
 // hybrid-protected DLRM, serves a concurrent request stream through the
-// replica pool, and reports latency percentiles against an SLA — the
-// deployment shape of the paper's co-location study (§IV-C2, Fig. 13).
+// layered serving stack — generic backends, cross-request micro-batching,
+// sharded replica groups — and reports latency percentiles against an SLA
+// (the deployment shape of the paper's co-location study, §IV-C2,
+// Fig. 13). It serves the same stream twice: once per-request (the
+// baseline Pool) and once coalesced, showing the batch-amortization the
+// paper's Figure 5 promises arriving end-to-end.
 //
-//	go run ./examples/serve [-metrics] [-metrics-addr :0]
+//	go run ./examples/serve [-shards 3] [-coalesce 16] [-wait 2ms]
+//	                        [-metrics] [-metrics-addr :0]
 package main
 
 import (
@@ -21,10 +26,14 @@ import (
 	"secemb/internal/dlrm"
 	"secemb/internal/obs"
 	"secemb/internal/serving"
+	"secemb/internal/serving/backends"
 	"secemb/internal/tensor"
 )
 
 func main() {
+	shards := flag.Int("shards", 3, "replica groups (consistent key routing; ≤ replicas)")
+	coalesce := flag.Int("coalesce", 16, "max requests fused per backend execution")
+	wait := flag.Duration("wait", 2*time.Millisecond, "max coalesce wait before a partial batch flushes")
 	metrics := flag.Bool("metrics", false, "print an observability snapshot after serving")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and pprof on this address")
 	flag.Parse()
@@ -62,42 +71,72 @@ func main() {
 			techs[i] = core.DHE
 		}
 	}
-	pipes := make([]*dlrm.Pipeline, replicas)
-	for i := range pipes {
-		pipes[i] = dlrm.BuildHybrid(model, techs, core.Options{Seed: int64(30 + i), Obs: reg})
-		pipes[i].SetObserver(reg)
+	newBackends := func(seedBase int64) []serving.Backend {
+		bes := make([]serving.Backend, replicas)
+		for i := range bes {
+			p := dlrm.BuildHybrid(model, techs, core.Options{Seed: seedBase + int64(i), Obs: reg})
+			p.SetObserver(reg)
+			bes[i] = backends.NewDLRM(p, *coalesce)
+		}
+		return bes
 	}
-	pool := serving.NewPool(pipes, 2*replicas, serving.WithObserver(reg))
-	defer pool.Close()
-	fmt.Printf("serving mini-Kaggle DLRM: %d replicas, hybrid protection, %.2f MB/replica\n\n",
-		replicas, float64(pipes[0].NumBytes())/1e6)
+	fmt.Printf("serving mini-Kaggle DLRM: %d replicas, %d shard(s), hybrid protection\n\n",
+		replicas, *shards)
 
-	var wg sync.WaitGroup
-	for i := 0; i < requests; i++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(seed))
-			dense := tensor.NewUniform(batch, cfg.DenseDim, 1, r)
-			sparse := make([][]uint64, len(cards))
-			for f, n := range cards {
-				sparse[f] = make([]uint64, batch)
-				for j := range sparse[f] {
-					sparse[f][j] = data.ZipfValue(r, n)
+	drive := func(do func(key uint64, dense *tensor.Matrix, sparse [][]uint64) serving.Response) {
+		var wg sync.WaitGroup
+		for i := 0; i < requests; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				dense := tensor.NewUniform(batch, cfg.DenseDim, 1, r)
+				sparse := make([][]uint64, len(cards))
+				for f, n := range cards {
+					sparse[f] = make([]uint64, batch)
+					for j := range sparse[f] {
+						sparse[f][j] = data.ZipfValue(r, n)
+					}
 				}
-			}
-			if resp := pool.Predict(context.Background(), dense, sparse); resp.Err != nil {
-				fmt.Println("request failed:", resp.Err)
-			}
-		}(int64(i))
+				if resp := do(uint64(seed), dense, sparse); resp.Err != nil {
+					fmt.Println("request failed:", resp.Err)
+				}
+			}(int64(i))
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	report := func(label string, s serving.Stats) {
+		const sla = 20 * time.Millisecond
+		fmt.Printf("%s: served %d at %.0f req/s (shed %d, abandoned %d)\n",
+			label, s.Served, s.Throughput, s.Shed, s.Abandoned)
+		fmt.Printf("  latency p50 %v, p95 %v, p99 %v, max %v — meets %v SLA: %v\n",
+			s.P50, s.P95, s.P99, s.Max, sla, s.MeetsSLA(sla))
+	}
 
-	s := pool.Stats()
-	const sla = 20 * time.Millisecond
-	fmt.Printf("served %d requests at %.0f req/s\n", s.Served, s.Throughput)
-	fmt.Printf("latency p50 %v, p95 %v, p99 %v, max %v\n", s.P50, s.P95, s.P99, s.Max)
-	fmt.Printf("meets %v SLA: %v\n", sla, s.MeetsSLA(sla))
+	// Baseline: one request per backend execution.
+	pool := serving.NewPool(newBackends(30), 2*replicas)
+	drive(func(_ uint64, dense *tensor.Matrix, sparse [][]uint64) serving.Response {
+		return pool.Do(context.Background(), &backends.DLRMRequest{Dense: dense, Sparse: sparse})
+	})
+	base := pool.Stats()
+	pool.Close()
+	report("per-request", base)
+
+	// Layered stack: sharded replica groups with cross-request coalescing.
+	group := serving.NewGroup(newBackends(60), serving.GroupConfig{
+		Shards:   *shards,
+		Coalesce: serving.CoalesceConfig{MaxBatch: *coalesce, MaxWait: *wait},
+	}, serving.WithObserver(reg))
+	drive(func(key uint64, dense *tensor.Matrix, sparse [][]uint64) serving.Response {
+		return group.Do(context.Background(), key, &backends.DLRMRequest{Dense: dense, Sparse: sparse})
+	})
+	coal := group.Stats()
+	group.Close()
+	report(fmt.Sprintf("coalesced (≤%d/batch, %v wait)", *coalesce, *wait), coal)
+	if base.Throughput > 0 {
+		fmt.Printf("\ncoalescing speedup: %.2fx requests/s\n", coal.Throughput/base.Throughput)
+	}
+
 	if *metrics {
 		fmt.Println("\n--- observability snapshot ---")
 		reg.WriteText(os.Stdout)

@@ -27,6 +27,16 @@ func TestObliviouslintDeclass(t *testing.T) {
 	RunFixture(t, fixtureRoot, "declass", Obliviouslint())
 }
 
+// The flush fixture is the serving-batcher guard: a coalescer whose flush
+// policy inspects the ids it fuses must be flagged (the §V-B scheduler
+// invariant), while the count-only policy stays clean.
+func TestObliviouslintFlushPolicy(t *testing.T) {
+	res := RunFixture(t, fixtureRoot, "flush", Obliviouslint())
+	if len(res.Findings) == 0 {
+		t.Fatal("id-dependent flush policies produced no findings; the checker has lost its teeth")
+	}
+}
+
 func TestObliviouslintLeakyFixture(t *testing.T) {
 	res := RunFixture(t, fixtureRoot, "leaky", Obliviouslint())
 	if len(res.Findings) == 0 {

@@ -6,6 +6,7 @@ import (
 
 	"secemb/internal/dhe"
 	"secemb/internal/memtrace"
+	"secemb/internal/oram"
 	"secemb/internal/tensor"
 )
 
@@ -50,6 +51,70 @@ func TestDualDispatchByBatchSize(t *testing.T) {
 	large := regions([]uint64{1, 2, 3})
 	if !large["dhe"] || large["circuit.tree"] {
 		t.Fatalf("batch 3 must hit the DHE, got regions %v", large)
+	}
+}
+
+func TestDualDispatchAtExactThresholdBoundary(t *testing.T) {
+	// The dispatch rule is strict: batch == threshold is the *largest*
+	// batch still served by the ORAM; threshold+1 is the smallest batch
+	// that flips to the DHE. Coalesced decode batches from the serving
+	// layer land exactly on this boundary, so an off-by-one here silently
+	// moves traffic between representations.
+	const threshold = 4
+	tracer := memtrace.NewEnabled()
+	g := testDual(t, threshold, tracer)
+
+	regions := func(ids []uint64) map[string]bool {
+		tracer.Reset()
+		if _, err := g.Generate(ids); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, a := range tracer.Snapshot() {
+			seen[a.Region] = true
+		}
+		return seen
+	}
+	at := regions([]uint64{1, 2, 3, 4}) // batch == threshold
+	if !at["circuit.tree"] || at["dhe"] {
+		t.Fatalf("batch == threshold must stay on the ORAM, got regions %v", at)
+	}
+	above := regions([]uint64{1, 2, 3, 4, 5}) // batch == threshold+1
+	if !above["dhe"] || above["circuit.tree"] {
+		t.Fatalf("batch == threshold+1 must flip to the DHE, got regions %v", above)
+	}
+	if g.Active(threshold) != CircuitORAM || g.Active(threshold+1) != DHE {
+		t.Fatal("Active disagrees with the observed Generate dispatch")
+	}
+}
+
+func TestDualTraceIndependentAtCoalescedBatchSizes(t *testing.T) {
+	// Under the serving layer's coalescer the Dual sees every batch size
+	// around its threshold. At each size — below, at, and above — the
+	// canonical memory trace must not depend on which ids were fused:
+	// batch size is public (§V-B), the ids inside the batch are not. Fresh
+	// generators per probe replay the same random tape, and tree-bucket
+	// accesses canonicalize to their level, exactly as in leakcheck.
+	const threshold = 2
+	probe := func(ids []uint64) memtrace.Trace {
+		tracer := memtrace.NewEnabled()
+		g := testDual(t, threshold, tracer)
+		if _, err := g.Generate(ids); err != nil {
+			t.Fatal(err)
+		}
+		return memtrace.CanonicalizeTreeRegions(tracer.Snapshot(), oram.RegionSuffixTree)
+	}
+	cases := [][2][]uint64{
+		{{3}, {97}},                              // batch 1: ORAM decode
+		{{3, 4}, {97, 11}},                       // batch == threshold: ORAM
+		{{3, 4, 5}, {97, 11, 64}},                // threshold+1: DHE
+		{{1, 2, 3, 4, 5, 6}, {9, 9, 9, 9, 9, 9}}, // deep in the DHE regime
+	}
+	for _, c := range cases {
+		a, b := probe(c[0]), probe(c[1])
+		if d := memtrace.Compare(a, b); !d.Equal() {
+			t.Fatalf("batch size %d: trace depends on ids %v vs %v: %+v", len(c[0]), c[0], c[1], d)
+		}
 	}
 }
 

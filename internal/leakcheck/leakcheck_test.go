@@ -1,6 +1,7 @@
 package leakcheck
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -255,3 +256,96 @@ func TestVerifyDetectsDeadInstrumentation(t *testing.T) {
 		t.Fatalf("want instrumentation-inactive error, got %v", err)
 	}
 }
+
+// TestCoalescedSchedulerPassesPanel audits the serving micro-batcher: the
+// panel ids arrive as independent single-id requests, the coalescer fuses
+// them, and the resulting backend traces must be identical across the
+// panel — batch composition may depend on arrival count, never on ids.
+func TestCoalescedSchedulerPassesPanel(t *testing.T) {
+	const rows, dim, batch, seed = 128, 4, 8, 3 // batch divisible by coalesceMaxBatch
+	rep, err := Verify(CoalescedFactory(rows, dim, seed), AdversarialPanel(rows, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leaky {
+		t.Fatalf("coalescer reported leaky: %v", rep.Divergences[0])
+	}
+	// 8 single-id requests fused at maxBatch 4 = exactly two full sweeps
+	// of the 128-row table: the deterministic composition the audit needs.
+	if rep.TraceLen != 2*rows {
+		t.Fatalf("trace length %d, want %d (two fused sweeps)", rep.TraceLen, 2*rows)
+	}
+}
+
+// TestCoalesceAuditTeeth proves the coalesce audit catches the failure
+// mode it exists for: a scheduler whose flush policy inspects the secret
+// ids. The broken policy below flushes a batch early whenever it contains
+// an odd id, so the *number* of fused sweeps — and hence the trace —
+// depends on the ids, and Verify must flag the divergence. (The real
+// serving.Group cannot express such a policy: its gather loop never reads
+// payloads. This is a simulation of the regression the roster guards
+// against.)
+func TestCoalesceAuditTeeth(t *testing.T) {
+	const rows, dim, seed = 64, 4, 5
+	leaky := Factory{
+		Name:   "coalesce-idflush",
+		Secure: true, // claims security; the audit must prove otherwise
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			table := tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(seed)))
+			return &idFlushGen{inner: core.NewLinearScanBatched(table, core.Options{Tracer: tr, Threads: 1})}, nil
+		},
+	}
+	panel := Panel{
+		{2, 4, 6, 8}, // all even: one fused batch, one sweep
+		{2, 3, 6, 8}, // odd id mid-batch: early flush splits the batch
+	}
+	rep, err := Verify(leaky, panel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Leaky {
+		t.Fatal("id-dependent flush policy escaped the coalesce audit — the harness lost its teeth")
+	}
+}
+
+// idFlushGen simulates a broken coalescer: batches of up to 4 ids, but a
+// batch flushes immediately after admitting an odd id.
+type idFlushGen struct {
+	inner core.Generator
+}
+
+func (g *idFlushGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	out := tensor.New(len(ids), g.inner.Dim())
+	flush := func(start, end int) error {
+		if start == end {
+			return nil
+		}
+		emb, err := g.inner.Generate(ids[start:end])
+		if err != nil {
+			return err
+		}
+		for r := 0; r < emb.Rows; r++ {
+			copy(out.Row(start+r), emb.Row(r))
+		}
+		return nil
+	}
+	start := 0
+	for i, id := range ids {
+		if id%2 == 1 || i-start+1 == 4 { // the leak: ids steer the flush
+			if err := flush(start, i+1); err != nil {
+				return nil, err
+			}
+			start = i + 1
+		}
+	}
+	if err := flush(start, len(ids)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (g *idFlushGen) Rows() int                 { return g.inner.Rows() }
+func (g *idFlushGen) Dim() int                  { return g.inner.Dim() }
+func (g *idFlushGen) Technique() core.Technique { return g.inner.Technique() }
+func (g *idFlushGen) NumBytes() int64           { return g.inner.NumBytes() }
+func (g *idFlushGen) SetThreads(n int)          { g.inner.SetThreads(n) }

@@ -1,0 +1,94 @@
+package backends
+
+import (
+	"math/rand"
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/llm"
+	"secemb/internal/tensor"
+)
+
+func testLLMPipeline(t *testing.T) *llm.Pipeline {
+	t.Helper()
+	cfg := llm.Config{Vocab: 200, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 16, Seed: 31}
+	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(3)))
+	return llm.NewRandomPipeline(cfg, core.NewLookup(tbl, core.Options{}))
+}
+
+func TestLLMPrefillThenDecodeThroughAdapters(t *testing.T) {
+	p := testLLMPipeline(t)
+	prefill := NewLLMPrefill(p, 0)
+	decode := NewLLMDecode(p, 0)
+	if prefill.Pipeline() != p || decode.Pipeline() != p {
+		t.Fatal("adapters must expose their pipeline for session pinning")
+	}
+
+	sA, sB := p.NewSession(1), p.NewSession(1)
+	results, err := prefill.Execute([]any{
+		&LLMPrefillRequest{Session: sA, Prompt: []int{1, 2, 3}},
+		&LLMPrefillRequest{Session: sB, Prompt: []int{7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		logits := r.Value.(*tensor.Matrix)
+		if logits.Rows != 1 || logits.Cols != p.Cfg.Vocab {
+			t.Fatalf("prefill result %d has shape %dx%d", i, logits.Rows, logits.Cols)
+		}
+	}
+
+	results, err = decode.Execute([]any{
+		&LLMDecodeRequest{Session: sA, Token: 4},
+		&LLMDecodeRequest{Session: sB, Token: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		logits := r.Value.(*tensor.Matrix)
+		if logits.Rows != 1 || logits.Cols != p.Cfg.Vocab {
+			t.Fatalf("decode result %d has shape %dx%d", i, logits.Rows, logits.Cols)
+		}
+	}
+}
+
+func TestLLMAdapterMalformedPayloads(t *testing.T) {
+	p := testLLMPipeline(t)
+	s := p.NewSession(1)
+	results, err := NewLLMPrefill(p, 0).Execute([]any{
+		"bogus",
+		&LLMPrefillRequest{Session: nil, Prompt: []int{1}},
+		&LLMPrefillRequest{Session: s, Prompt: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || results[1].Err == nil {
+		t.Fatal("malformed prefill payloads must fail individually")
+	}
+	if results[2].Err != nil {
+		t.Fatal("valid prefill must survive malformed co-batch members")
+	}
+
+	results, err = NewLLMDecode(p, 0).Execute([]any{
+		42,
+		&LLMDecodeRequest{Session: s, Token: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("malformed decode payload must fail")
+	}
+	if results[1].Err != nil {
+		t.Fatal("valid decode must survive malformed co-batch members")
+	}
+}

@@ -1,0 +1,176 @@
+// The scheduler layer: one coalescing worker per backend, fusing queued
+// requests into batched executions.
+//
+// Security invariant (§V-B): every flush decision below depends only on
+// public quantities — how many requests are queued, how long the oldest
+// has waited, and the per-request deadlines — never on request payloads.
+// The gather loop cannot even reach the embedded ids: task payloads are
+// opaque `any` values the scheduler only ever copies into the fused slice.
+// The invariant is audited dynamically by the "coalesce" target in the
+// leakcheck roster (id panels must produce identical batch compositions,
+// hence identical backend traces) and statically by the obliviouslint
+// flush fixture (an id-dependent flush policy is flagged as a tainted
+// branch).
+package serving
+
+import (
+	"fmt"
+	"time"
+)
+
+// worker drains s.queue into be, one fused batch at a time, until the
+// queue is closed and empty (graceful drain: admitted requests are always
+// served). batch and payloads are worker-local scratch reused across
+// rounds so steady-state scheduling is allocation-free.
+func (g *Group) worker(s *shard, be Backend, cfg CoalesceConfig) {
+	defer g.wg.Done()
+	maxBatch := effectiveMaxBatch(be, cfg.MaxBatch)
+	batch := make([]*task, 0, maxBatch)
+	payloads := make([]any, 0, maxBatch)
+	for first := range s.queue {
+		s.depth.Add(-1)
+		g.mQueueDepth.Add(-1)
+		batch = g.gather(s, first, batch[:0], maxBatch, cfg.MaxWait)
+		g.execute(be, batch, payloads[:0])
+	}
+}
+
+// gather assembles one fused batch starting from first. Composition
+// depends only on arrival order and count: requests join strictly in
+// queue order until the batch is full, the queue is momentarily empty (in
+// greedy mode), or the flush deadline passes. The deadline is the
+// earliest of oldest-enqueue + MaxWait and every member's own context
+// deadline, so a request is never held past either bound.
+//
+// secemb:audit coalesce
+func (g *Group) gather(s *shard, first *task, batch []*task, maxBatch int, maxWait time.Duration) []*task {
+	batch = append(batch, first)
+	if maxBatch <= 1 {
+		return batch
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	deadline := first.enqueued.Add(maxWait)
+	join := func(t *task) {
+		s.depth.Add(-1)
+		g.mQueueDepth.Add(-1)
+		batch = append(batch, t)
+		if d, ok := t.ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+	}
+	if d, ok := first.ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for len(batch) < maxBatch {
+		// Fast path: fuse whatever is already queued, in arrival order.
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return batch // closed: flush the partial batch
+			}
+			join(t)
+			continue
+		default:
+		}
+		if maxWait <= 0 {
+			return batch // greedy mode: never wait for co-batching
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return batch
+		}
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
+		select {
+		case t, ok := <-s.queue:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			if !ok {
+				return batch
+			}
+			join(t)
+		case <-timer.C:
+			timer = nil
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute runs one fused batch: canceled requests are answered without
+// work, the survivors' payloads are fused into a single backend call, and
+// each result is delivered to its caller. A caller that abandoned its
+// wait gets its task recycled here (and counted) instead of leaking to
+// the GC.
+func (g *Group) execute(be Backend, batch []*task, payloads []any) {
+	now := time.Now()
+	live := batch[:0]
+	for _, t := range batch {
+		g.mCoalesceWait.ObserveDuration(now.Sub(t.enqueued))
+		// Skip work for callers that gave up while queued; answer with
+		// their own cancellation cause in case they are still racing.
+		if err := t.ctx.Err(); err != nil {
+			g.mCanceled.Inc()
+			g.finish(t, Response{Err: err})
+			continue
+		}
+		live = append(live, t)
+		payloads = append(payloads, t.payload)
+	}
+	if len(live) == 0 {
+		return
+	}
+	g.mBatchSize.Observe(int64(len(live)))
+	start := time.Now()
+	results, err := be.Execute(payloads)
+	lat := time.Since(start)
+	g.mLatency.ObserveDuration(lat)
+	if err == nil && len(results) != len(live) {
+		err = fmt.Errorf("serving: backend returned %d results for %d fused requests", len(results), len(live))
+	}
+	g.mu.Lock()
+	for i := range live {
+		if err != nil || results[i].Err != nil {
+			g.errored++
+		} else {
+			g.served++
+			g.res.add(lat)
+		}
+	}
+	g.mu.Unlock()
+	for i, t := range live {
+		switch {
+		case err != nil:
+			g.mErrors.Inc()
+			g.finish(t, Response{Err: err, Latency: lat})
+		case results[i].Err != nil:
+			g.mErrors.Inc()
+			g.finish(t, Response{Err: results[i].Err, Latency: lat})
+		default:
+			g.mServed.Inc()
+			g.finish(t, Response{Value: results[i].Value, Latency: lat})
+		}
+	}
+}
+
+// finish delivers r to t's caller, or — when the caller abandoned the
+// wait — recycles the task from the worker side so the pooled struct
+// (and its payload references) cannot leak under sustained cancellation.
+func (g *Group) finish(t *task, r Response) {
+	if t.claim() {
+		t.resp <- r
+		return
+	}
+	g.abandoned.Add(1)
+	g.mAbandoned.Inc()
+	recycle(t)
+}

@@ -1,0 +1,366 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secemb/internal/obs"
+)
+
+// CoalesceConfig shapes the scheduler layer's micro-batching.
+type CoalesceConfig struct {
+	// MaxBatch caps how many requests fuse into one backend execution.
+	// 0 uses the backend's own MaxBatch; the effective cap is always the
+	// smaller of the two. 1 disables coalescing (per-request baseline).
+	MaxBatch int
+	// MaxWait bounds how long a dequeued request may wait for
+	// co-batching before a partial batch flushes. 0 is greedy mode: fuse
+	// whatever is already queued and flush immediately — no added
+	// latency, batches form under backpressure alone.
+	MaxWait time.Duration
+}
+
+// GroupConfig shapes the dispatch layer.
+type GroupConfig struct {
+	// Shards is the number of replica groups requests are routed across
+	// (consistent key→shard routing). Backends are assigned to shards
+	// round-robin, so Shards must not exceed len(backends); 0 means one
+	// shard per backend.
+	Shards int
+	// QueueDepth bounds each shard's admission queue. 0 derives a depth
+	// from the shard's worker count and batch cap.
+	QueueDepth int
+	// Coalesce configures the scheduler layer.
+	Coalesce CoalesceConfig
+	// ShedWait arms degraded-mode load shedding: when a shard's queue is
+	// saturated, Do blocks at most this long for space before dropping
+	// the request with ErrQueueFull. 0 keeps classic backpressure — Do
+	// blocks until space or the request's own deadline (TryDo always
+	// sheds immediately).
+	ShedWait time.Duration
+}
+
+// Group is the dispatch layer: sharded replica groups over a set of
+// Backends. Requests route to a shard by key (consistently — the same key
+// always lands on the same shard, which is what lets stateful backends
+// like LLM KV-cache sessions pin to a replica), wait in the shard's
+// bounded queue, and are fused into backend batches by the shard's
+// coalescing workers.
+type Group struct {
+	shards   []*shard
+	shedWait time.Duration
+
+	mu      sync.Mutex // guards res/served/errored
+	res     *reservoir
+	served  int
+	errored int
+
+	shed      atomic.Int64
+	abandoned atomic.Int64
+
+	lifecycle sync.RWMutex // guards closed + queue sends vs Close
+	closed    bool
+
+	wg      sync.WaitGroup
+	started time.Time
+
+	statsCap int
+	reg      *obs.Registry
+
+	// Metrics; all nil without WithObserver, and nil metrics are no-ops.
+	mQueueDepth   *obs.Gauge
+	mBatchSize    *obs.Histogram
+	mCoalesceWait *obs.Histogram
+	mLatency      *obs.Histogram
+	mServed       *obs.Counter
+	mErrors       *obs.Counter
+	mCanceled     *obs.Counter
+	mAbandoned    *obs.Counter
+	mShed         *obs.Counter
+}
+
+// shard is one replica group: a bounded queue drained by one coalescing
+// worker per assigned backend.
+type shard struct {
+	queue chan *task
+	depth *obs.Gauge // serving_shard_depth{shard=i}; nil-safe
+}
+
+// Option configures a Group (or Pool) at construction.
+type Option func(*Group)
+
+// WithObserver registers the group's metrics in reg:
+//
+//	serving_queue_depth            requests queued across all shards (gauge)
+//	serving_shard_depth{shard=}    requests queued per shard (gauge)
+//	serving_batch_size             fused requests per backend execution
+//	serving_coalesce_wait_ns       admission-to-flush wait per request
+//	serving_latency_ns             fused backend execution latency
+//	serving_served_total           successful responses
+//	serving_errors_total           responses carrying an error
+//	serving_canceled_total         requests canceled before execution
+//	serving_abandoned_total        responses whose caller stopped listening
+//	serving_shed_total             requests dropped by load shedding
+func WithObserver(reg *obs.Registry) Option {
+	return func(g *Group) {
+		g.reg = reg
+		g.mQueueDepth = reg.Gauge("serving_queue_depth")
+		g.mBatchSize = reg.HistogramBuckets("serving_batch_size", batchSizeBuckets())
+		g.mCoalesceWait = reg.Histogram("serving_coalesce_wait_ns")
+		g.mLatency = reg.Histogram("serving_latency_ns")
+		g.mServed = reg.Counter("serving_served_total")
+		g.mErrors = reg.Counter("serving_errors_total")
+		g.mCanceled = reg.Counter("serving_canceled_total")
+		g.mAbandoned = reg.Counter("serving_abandoned_total")
+		g.mShed = reg.Counter("serving_shed_total")
+	}
+}
+
+// WithStatsCapacity sizes the latency sampling reservoir behind Stats()
+// (default 4096 samples).
+func WithStatsCapacity(n int) Option {
+	return func(g *Group) { g.statsCap = n }
+}
+
+func batchSizeBuckets() []int64 {
+	bounds := make([]int64, 0, 12)
+	for b := int64(1); b <= 2048; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// NewGroup starts the serving stack: cfg.Shards replica groups over the
+// given backends, each backend driven by its own coalescing worker on its
+// shard's queue. Backends hold mutable state (ORAM position maps, DHE
+// inference buffers), so they must not be shared between groups.
+func NewGroup(backends []Backend, cfg GroupConfig, opts ...Option) *Group {
+	if len(backends) == 0 {
+		panic("serving: need at least one backend")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(backends)
+	}
+	if cfg.Shards < 1 || cfg.Shards > len(backends) {
+		panic(fmt.Sprintf("serving: %d shards for %d backends (need 1 ≤ shards ≤ backends)", cfg.Shards, len(backends)))
+	}
+	g := &Group{
+		shedWait: cfg.ShedWait,
+		started:  time.Now(),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	g.res = newReservoir(g.statsCap, 1)
+
+	perShard := (len(backends) + cfg.Shards - 1) / cfg.Shards
+	maxBatch := 1
+	for _, be := range backends {
+		if mb := effectiveMaxBatch(be, cfg.Coalesce.MaxBatch); mb > maxBatch {
+			maxBatch = mb
+		}
+	}
+	depth := cfg.QueueDepth
+	if depth < 1 {
+		depth = 2 * perShard * maxBatch
+		if depth < 16 {
+			depth = 16
+		}
+	}
+	g.shards = make([]*shard, cfg.Shards)
+	for i := range g.shards {
+		g.shards[i] = &shard{
+			queue: make(chan *task, depth),
+			depth: g.reg.Gauge("serving_shard_depth", "shard", strconv.Itoa(i)),
+		}
+	}
+	for i, be := range backends {
+		s := g.shards[i%cfg.Shards]
+		g.wg.Add(1)
+		go g.worker(s, be, cfg.Coalesce)
+	}
+	return g
+}
+
+func effectiveMaxBatch(be Backend, limit int) int {
+	mb := be.MaxBatch()
+	if mb < 1 {
+		mb = 1
+	}
+	if limit > 0 && limit < mb {
+		mb = limit
+	}
+	return mb
+}
+
+// splitmix64 is the routing hash: cheap, well-mixed, and keyed only on the
+// caller-supplied (public) routing key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RouteShard reports which of n shards a routing key maps to. It is the
+// pure form of Group.ShardOf for callers that must know the placement
+// before the group exists — e.g. to size each shard's backend by the
+// number of keys that will pin to it.
+func RouteShard(key uint64, n int) int {
+	return int(splitmix64(key) % uint64(n))
+}
+
+// ShardOf reports which shard a routing key maps to — stable for the
+// group's lifetime, so callers can pin per-key state (e.g. an LLM session
+// created on that shard's pipeline) to the replica that will serve it.
+func (g *Group) ShardOf(key uint64) int {
+	return RouteShard(key, len(g.shards))
+}
+
+// Shards reports the shard count.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// Do submits one request payload routed by key and waits for its
+// response. With ShedWait unset it blocks for queue space (bounded by the
+// request's own context); with ShedWait armed a saturated shard sheds the
+// request with ErrQueueFull after that grace period — degraded mode under
+// overload instead of unbounded queueing.
+func (g *Group) Do(ctx context.Context, key uint64, payload any) Response {
+	t := newTask(ctx, key, payload)
+	if r, ok := g.enqueue(t, true); !ok {
+		return r
+	}
+	return t.wait(t.ctx)
+}
+
+// TryDo is the non-blocking variant: a saturated shard sheds immediately
+// with ErrQueueFull.
+func (g *Group) TryDo(ctx context.Context, key uint64, payload any) Response {
+	t := newTask(ctx, key, payload)
+	if r, ok := g.enqueue(t, false); !ok {
+		return r
+	}
+	return t.wait(t.ctx)
+}
+
+// enqueue routes t to its shard and admits it. The caller keeps waiting
+// on the task only when ok is true; otherwise the returned Response is
+// final and the task has been recycled.
+func (g *Group) enqueue(t *task, block bool) (Response, bool) {
+	s := g.shards[g.ShardOf(t.key)]
+	// Hold the lifecycle read-lock across the send so Close cannot close
+	// the queue mid-send.
+	g.lifecycle.RLock()
+	if g.closed {
+		g.lifecycle.RUnlock()
+		recycle(t)
+		return Response{Err: ErrClosed}, false
+	}
+	t.enqueued = time.Now()
+	select {
+	case s.queue <- t:
+		s.depth.Add(1)
+		g.mQueueDepth.Add(1)
+		g.lifecycle.RUnlock()
+		return Response{}, true
+	default:
+	}
+	if !block {
+		return g.shedTask(t), false
+	}
+	if g.shedWait > 0 {
+		timer := time.NewTimer(g.shedWait)
+		defer timer.Stop()
+		select {
+		case s.queue <- t:
+			s.depth.Add(1)
+			g.mQueueDepth.Add(1)
+			g.lifecycle.RUnlock()
+			return Response{}, true
+		case <-t.ctx.Done():
+			g.lifecycle.RUnlock()
+			recycle(t)
+			return Response{Err: t.ctx.Err()}, false
+		case <-timer.C:
+			return g.shedTask(t), false
+		}
+	}
+	select {
+	case s.queue <- t:
+		s.depth.Add(1)
+		g.mQueueDepth.Add(1)
+		g.lifecycle.RUnlock()
+		return Response{}, true
+	case <-t.ctx.Done():
+		g.lifecycle.RUnlock()
+		recycle(t)
+		return Response{Err: t.ctx.Err()}, false
+	}
+}
+
+// shedTask drops a request in degraded mode: the shard stayed saturated,
+// so the request is counted and refused rather than queued unboundedly.
+// Called with the lifecycle read-lock held; releases it.
+func (g *Group) shedTask(t *task) Response {
+	g.lifecycle.RUnlock()
+	g.shed.Add(1)
+	g.mShed.Inc()
+	recycle(t)
+	return Response{Err: ErrQueueFull}
+}
+
+// Stats summarizes the group's service so far. Percentiles come from a
+// fixed-capacity uniform sampling reservoir, so they stay accurate (and
+// memory stays constant) at millions of requests.
+type Stats struct {
+	Served        int
+	Errors        int
+	Shed          int
+	Abandoned     int
+	Throughput    float64 // requests/second since group start
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+// Stats computes latency percentiles over the sampled service history.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	s := Stats{Served: g.served, Errors: g.errored}
+	qs, max := g.res.quantiles(0.50, 0.95, 0.99)
+	g.mu.Unlock()
+	s.Shed = int(g.shed.Load())
+	s.Abandoned = int(g.abandoned.Load())
+	if s.Served == 0 {
+		return s
+	}
+	s.Throughput = float64(s.Served) / time.Since(g.started).Seconds()
+	s.P50, s.P95, s.P99, s.Max = qs[0], qs[1], qs[2], max
+	return s
+}
+
+// MeetsSLA reports whether the p95 latency stays within the target — the
+// Figure 13 acceptance criterion.
+func (s Stats) MeetsSLA(target time.Duration) bool {
+	return s.Served > 0 && s.P95 <= target
+}
+
+// Close gracefully drains the stack: new requests are rejected, every
+// already-admitted request is still fused and served (partial batches
+// flush), and the workers exit once the queues are empty.
+func (g *Group) Close() {
+	g.lifecycle.Lock()
+	if g.closed {
+		g.lifecycle.Unlock()
+		return
+	}
+	g.closed = true
+	for _, s := range g.shards {
+		close(s.queue)
+	}
+	g.lifecycle.Unlock()
+	g.wg.Wait()
+}

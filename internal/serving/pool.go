@@ -1,0 +1,42 @@
+package serving
+
+import "context"
+
+// Pool is the per-request baseline: a single-shard Group with coalescing
+// disabled, one request per backend execution. It is the deployment shape
+// the paper's co-location study measures (§IV-C2: N hardened replicas
+// answering a shared stream, Privado-style) and the control arm every
+// coalescing benchmark compares against.
+type Pool struct {
+	g *Group
+}
+
+// NewPool starts one worker per backend on a shared admission queue.
+// queueDepth bounds the queue (0 derives a default).
+func NewPool(backends []Backend, queueDepth int, opts ...Option) *Pool {
+	return &Pool{g: NewGroup(backends, GroupConfig{
+		Shards:     1,
+		QueueDepth: queueDepth,
+		Coalesce:   CoalesceConfig{MaxBatch: 1},
+	}, opts...)}
+}
+
+// Do submits a request and waits for its response, blocking for queue
+// space. ctx cancellation abandons the wait (and a queued-but-canceled
+// request is skipped by the workers).
+func (p *Pool) Do(ctx context.Context, payload any) Response {
+	return p.g.Do(ctx, 0, payload)
+}
+
+// TryDo is the non-blocking variant: when the admission queue is full it
+// returns ErrQueueFull immediately instead of waiting, so callers can
+// shed load.
+func (p *Pool) TryDo(ctx context.Context, payload any) Response {
+	return p.g.TryDo(ctx, 0, payload)
+}
+
+// Stats summarizes the pool's service so far.
+func (p *Pool) Stats() Stats { return p.g.Stats() }
+
+// Close drains the queue, stops the workers, and rejects new requests.
+func (p *Pool) Close() { p.g.Close() }

@@ -1,0 +1,65 @@
+package serving
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// reservoir is a fixed-capacity uniform sample of an unbounded latency
+// stream (Vitter's algorithm R). The previous stats path appended every
+// observation to a slice, which grows without bound under sustained
+// traffic; at millions of requests the reservoir keeps Stats() percentiles
+// accurate in O(cap) memory, each observation surviving with probability
+// cap/n. Not safe for concurrent use — the owner's mutex guards it.
+type reservoir struct {
+	samples []time.Duration
+	n       int64 // observations offered so far
+	rng     *rand.Rand
+}
+
+// defaultReservoirCap keeps percentile error far below the p99 resolution
+// anyone reads off a latency report while costing ~32 KiB per group.
+const defaultReservoirCap = 4096
+
+func newReservoir(capacity int, seed int64) *reservoir {
+	if capacity < 1 {
+		capacity = defaultReservoirCap
+	}
+	return &reservoir{
+		samples: make([]time.Duration, 0, capacity),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// add offers one observation to the sample.
+func (r *reservoir) add(d time.Duration) {
+	r.n++
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(cap(r.samples)) {
+		r.samples[j] = d
+	}
+}
+
+// quantiles returns the q-quantiles of the current sample in one sorted
+// pass, plus the sample maximum. Quantile semantics match the previous
+// exact implementation (index ⌊len·q⌋, clamped).
+func (r *reservoir) quantiles(qs ...float64) (out []time.Duration, max time.Duration) {
+	out = make([]time.Duration, len(qs))
+	if len(r.samples) == 0 {
+		return out, 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		idx := int(float64(len(sorted)) * q)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out, sorted[len(sorted)-1]
+}

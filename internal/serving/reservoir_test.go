@@ -1,0 +1,63 @@
+package serving
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	// Until the capacity is reached the reservoir holds every observation,
+	// so quantiles are exact and match the old append-everything stats.
+	r := newReservoir(128, 1)
+	for i := 1; i <= 100; i++ {
+		r.add(time.Duration(i) * time.Millisecond)
+	}
+	qs, max := r.quantiles(0.50, 0.95, 0.99)
+	if want := 51 * time.Millisecond; qs[0] != want { // sorted[⌊100·0.5⌋]
+		t.Fatalf("p50 = %v, want %v", qs[0], want)
+	}
+	if want := 96 * time.Millisecond; qs[1] != want {
+		t.Fatalf("p95 = %v, want %v", qs[1], want)
+	}
+	if want := 100 * time.Millisecond; qs[2] != want { // clamped to last
+		t.Fatalf("p99 = %v, want %v", qs[2], want)
+	}
+	if max != 100*time.Millisecond {
+		t.Fatalf("max = %v", max)
+	}
+}
+
+func TestReservoirMemoryStaysBounded(t *testing.T) {
+	// The whole point of the reservoir: a million observations occupy
+	// exactly cap samples (the old implementation held all of them).
+	r := newReservoir(64, 1)
+	for i := 0; i < 1_000_000; i++ {
+		r.add(time.Duration(i))
+	}
+	if len(r.samples) != 64 || cap(r.samples) != 64 {
+		t.Fatalf("reservoir holds %d/%d samples, want exactly 64", len(r.samples), cap(r.samples))
+	}
+	if r.n != 1_000_000 {
+		t.Fatalf("observation count = %d", r.n)
+	}
+	qs, max := r.quantiles(0.50, 0.95, 0.99)
+	if qs[0] > qs[1] || qs[1] > qs[2] || qs[2] > max {
+		t.Fatalf("quantiles not monotone: %v max %v", qs, max)
+	}
+	// Uniform sampling over 0..1e6-1: the sampled median must land far
+	// from either extreme (deterministic seed, generous bounds).
+	if qs[0] < 200_000 || qs[0] > 800_000 {
+		t.Fatalf("sampled p50 = %d, not representative of uniform stream", qs[0])
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := newReservoir(0, 1) // 0 selects the default capacity
+	if cap(r.samples) != defaultReservoirCap {
+		t.Fatalf("default capacity = %d", cap(r.samples))
+	}
+	qs, max := r.quantiles(0.50)
+	if qs[0] != 0 || max != 0 {
+		t.Fatal("empty reservoir must report zeros")
+	}
+}

@@ -1,297 +1,75 @@
-// Package serving runs secure DLRM inference behind a concurrent replica
-// pool — the deployment shape of the paper's co-location study (§IV-C2):
-// N model replicas answering a shared request stream, with latency
-// percentiles and SLA-bounded throughput measured on real executions of
-// this repository's pipelines (the analytic counterpart is internal/colo).
+// Package serving is the layered, workload-agnostic serving stack for the
+// secure embedding pipelines:
+//
+//   - Backend layer: a Backend executes one *fused* batch of opaque request
+//     payloads (internal/serving/backends adapts dlrm.Pipeline,
+//     llm.Pipeline prefill/decode, and bare core.Generator instances).
+//   - Scheduler layer: a micro-batching coalescer fuses queued requests
+//     into one backend batch under a public flush policy (max-batch or
+//     max-wait, per-request deadlines honored) — the lever behind every
+//     batch-amortized latency claim in the paper: DHE's O(k²) compute
+//     beats memory-bound scans *because* one fused batch shares the
+//     encoder work (Fig. 5/13), and the §IV-D Dual scheme dispatches on
+//     exactly the batch sizes the coalescer produces.
+//   - Dispatch layer: sharded replica groups with consistent request→shard
+//     routing, per-shard queues, graceful drain, and degraded-mode load
+//     shedding once a shard's queue saturates.
+//
+// Security: the scheduler never inspects payloads. Batch composition —
+// which requests fuse, and into batches of what size — depends only on
+// arrival order, queue counts, and the clock, never on embedded ids
+// (§V-B: batch sizes are public in the threat model; the ids are not).
+// The coalescer is audited dynamically in the leakcheck roster
+// ("coalesce") and its flush policy is structurally id-blind: the gather
+// loop only ever reads counts, clocks, and deadlines — payloads stay
+// opaque `any` values it copies into the fused slice.
 package serving
 
 import (
-	"context"
 	"errors"
-	"sort"
-	"sync"
 	"time"
-
-	"secemb/internal/dlrm"
-	"secemb/internal/obs"
-	"secemb/internal/tensor"
 )
 
-// Request is one CTR inference request batch.
-type Request struct {
-	Dense  *tensor.Matrix
-	Sparse [][]uint64
-
-	ctx      context.Context
-	enqueued time.Time
-	resp     chan Response
+// Result is one per-request outcome of a fused Backend execution.
+type Result struct {
+	// Value is the request's slice of the fused output (backend-defined
+	// type, e.g. a 1-row probability matrix for DLRM rows).
+	Value any
+	// Err is a per-request failure (malformed payload, out-of-range id).
+	Err error
 }
 
-// Response carries the prediction or an error.
+// Backend executes fused batches of request payloads. Implementations are
+// stateful (ORAM position maps, DHE inference buffers, KV caches) and are
+// therefore driven by exactly one scheduler goroutine at a time; the
+// dispatch layer never shares a Backend between shards.
+type Backend interface {
+	// MaxBatch is the largest number of requests the backend accepts in
+	// one Execute call (the scheduler also caps fused batches at its own
+	// configured maximum).
+	MaxBatch() int
+	// Execute runs one fused batch and returns exactly one Result per
+	// payload, in payload order. A returned error is batch-wide (the
+	// scheduler delivers it to every request in the batch); per-request
+	// failures belong in the individual Results.
+	Execute(payloads []any) ([]Result, error)
+}
+
+// Response carries one request's answer back to its caller.
 type Response struct {
-	Probs   *tensor.Matrix
+	// Value is the backend-defined result (nil on error).
+	Value any
+	// Latency is the fused-execution time of the batch that served this
+	// request (queue wait excluded; see serving_coalesce_wait_ns).
 	Latency time.Duration
 	Err     error
 }
 
-// Pool serves requests across fixed replicas of a DLRM pipeline.
-// Each replica owns its pipeline instance (ORAM state is mutable, so
-// replicas must not share generators).
-type Pool struct {
-	queue chan *Request
-
-	mu        sync.Mutex // guards latencies/served/errored
-	latencies []time.Duration
-	served    int
-	errored   int
-
-	lifecycle sync.RWMutex // guards closed + queue sends vs Close
-	closed    bool
-
-	wg      sync.WaitGroup
-	cancel  context.CancelFunc
-	started time.Time
-
-	// Metrics; all nil without WithObserver, and nil metrics are no-ops.
-	mQueueDepth *obs.Gauge
-	mQueueWait  *obs.Histogram
-	mLatency    *obs.Histogram
-	mServed     *obs.Counter
-	mErrors     *obs.Counter
-	mRejected   *obs.Counter
-	mCanceled   *obs.Counter
-}
-
-// reqPool recycles Request structs and their response channels across
-// calls: at serving rates the per-request control structures were a
-// steady allocation stream. A Request is returned to the pool only by the
-// caller that received its response (or never handed it to the queue), so
-// a pooled Request is never still referenced by a worker.
-var reqPool = sync.Pool{
-	New: func() any { return &Request{resp: make(chan Response, 1)} },
-}
-
-func newRequest(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) *Request {
-	r := reqPool.Get().(*Request)
-	r.Dense, r.Sparse, r.ctx = dense, sparse, ctx
-	return r
-}
-
-// recycle clears request payload references (so pooled requests don't pin
-// caller batches — the same retention bug fixed in nn.Linear) and returns
-// the struct to the pool.
-func recycle(r *Request) {
-	r.Dense, r.Sparse, r.ctx = nil, nil, nil
-	reqPool.Put(r)
-}
-
 // ErrClosed is returned for requests submitted after Close.
-var ErrClosed = errors.New("serving: pool closed")
+var ErrClosed = errors.New("serving: closed")
 
-// ErrQueueFull is returned by TryPredict when the admission queue is at
-// capacity — the backpressure signal callers shed load on.
-var ErrQueueFull = errors.New("serving: queue full")
-
-// Option configures a Pool at construction.
-type Option func(*Pool)
-
-// WithObserver registers the pool's metrics in reg:
-//
-//	serving_queue_depth            requests waiting for a replica (gauge)
-//	serving_queue_wait_ns          admission-to-dispatch wait (histogram)
-//	serving_latency_ns             pipeline execution latency (histogram)
-//	serving_served_total           successful responses
-//	serving_errors_total           responses carrying a pipeline error
-//	serving_rejected_total         TryPredict backpressure rejections
-//	serving_canceled_total         requests canceled before execution
-func WithObserver(reg *obs.Registry) Option {
-	return func(p *Pool) {
-		p.mQueueDepth = reg.Gauge("serving_queue_depth")
-		p.mQueueWait = reg.Histogram("serving_queue_wait_ns")
-		p.mLatency = reg.Histogram("serving_latency_ns")
-		p.mServed = reg.Counter("serving_served_total")
-		p.mErrors = reg.Counter("serving_errors_total")
-		p.mRejected = reg.Counter("serving_rejected_total")
-		p.mCanceled = reg.Counter("serving_canceled_total")
-	}
-}
-
-// NewPool starts one worker goroutine per pipeline replica. queueDepth
-// bounds the admission queue (back-pressure beyond it).
-func NewPool(replicas []*dlrm.Pipeline, queueDepth int, opts ...Option) *Pool {
-	if len(replicas) == 0 {
-		panic("serving: need at least one replica")
-	}
-	if queueDepth < 1 {
-		queueDepth = len(replicas)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	p := &Pool{
-		queue:   make(chan *Request, queueDepth),
-		cancel:  cancel,
-		started: time.Now(),
-	}
-	for _, o := range opts {
-		o(p)
-	}
-	for _, rep := range replicas {
-		p.wg.Add(1)
-		go p.worker(ctx, rep)
-	}
-	return p
-}
-
-func (p *Pool) worker(ctx context.Context, pipe *dlrm.Pipeline) {
-	defer p.wg.Done()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case req, ok := <-p.queue:
-			if !ok {
-				return
-			}
-			p.mQueueDepth.Add(-1)
-			p.mQueueWait.ObserveDuration(time.Since(req.enqueued))
-			// Skip work for callers that gave up while queued; they are
-			// no longer listening for the response.
-			if req.ctx != nil && req.ctx.Err() != nil {
-				p.mCanceled.Inc()
-				continue
-			}
-			start := time.Now()
-			probs, err := pipe.Predict(req.Dense, req.Sparse)
-			lat := time.Since(start)
-			p.mLatency.ObserveDuration(lat)
-			p.mu.Lock()
-			if err != nil {
-				p.errored++
-			} else {
-				p.latencies = append(p.latencies, lat)
-				p.served++
-			}
-			p.mu.Unlock()
-			if err != nil {
-				p.mErrors.Inc()
-				req.resp <- Response{Err: err, Latency: lat}
-				continue
-			}
-			p.mServed.Inc()
-			req.resp <- Response{Probs: probs, Latency: lat}
-		}
-	}
-}
-
-// Predict submits a request and waits for its response, blocking for queue
-// space. ctx cancellation abandons the wait (and a queued-but-canceled
-// request is skipped by the workers).
-func (p *Pool) Predict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
-	req := newRequest(ctx, dense, sparse)
-	// Hold the lifecycle read-lock across the enqueue so Close cannot
-	// close the queue mid-send.
-	p.lifecycle.RLock()
-	if p.closed {
-		p.lifecycle.RUnlock()
-		recycle(req)
-		return Response{Err: ErrClosed}
-	}
-	req.enqueued = time.Now()
-	select {
-	case <-ctx.Done():
-		p.lifecycle.RUnlock()
-		recycle(req)
-		return Response{Err: ctx.Err()}
-	case p.queue <- req:
-		p.mQueueDepth.Add(1)
-		p.lifecycle.RUnlock()
-	}
-	select {
-	case <-ctx.Done():
-		// The worker may still hold req (and later send on resp); the
-		// struct is abandoned to the GC rather than recycled.
-		return Response{Err: ctx.Err()}
-	case r := <-req.resp:
-		recycle(req)
-		return r
-	}
-}
-
-// TryPredict is the non-blocking variant: when the admission queue is
-// full it returns ErrQueueFull immediately instead of waiting, so callers
-// can shed load.
-func (p *Pool) TryPredict(ctx context.Context, dense *tensor.Matrix, sparse [][]uint64) Response {
-	req := newRequest(ctx, dense, sparse)
-	p.lifecycle.RLock()
-	if p.closed {
-		p.lifecycle.RUnlock()
-		recycle(req)
-		return Response{Err: ErrClosed}
-	}
-	req.enqueued = time.Now()
-	select {
-	case p.queue <- req:
-		p.mQueueDepth.Add(1)
-		p.lifecycle.RUnlock()
-	default:
-		p.lifecycle.RUnlock()
-		p.mRejected.Inc()
-		recycle(req)
-		return Response{Err: ErrQueueFull}
-	}
-	select {
-	case <-ctx.Done():
-		return Response{Err: ctx.Err()}
-	case r := <-req.resp:
-		recycle(req)
-		return r
-	}
-}
-
-// Stats summarizes the pool's service so far.
-type Stats struct {
-	Served        int
-	Errors        int
-	Throughput    float64 // requests/second since pool start
-	P50, P95, P99 time.Duration
-	Max           time.Duration
-}
-
-// Stats computes latency percentiles over everything served so far.
-func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	lats := append([]time.Duration(nil), p.latencies...)
-	served := p.served
-	errored := p.errored
-	p.mu.Unlock()
-	s := Stats{Served: served, Errors: errored}
-	if served == 0 {
-		return s
-	}
-	s.Throughput = float64(served) / time.Since(p.started).Seconds()
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	s.P50 = lats[len(lats)/2]
-	s.P95 = lats[len(lats)*95/100]
-	s.P99 = lats[len(lats)*99/100]
-	s.Max = lats[len(lats)-1]
-	return s
-}
-
-// MeetsSLA reports whether the p95 latency stays within the target — the
-// Figure 13 acceptance criterion.
-func (s Stats) MeetsSLA(target time.Duration) bool {
-	return s.Served > 0 && s.P95 <= target
-}
-
-// Close drains the queue, stops the workers, and rejects new requests.
-func (p *Pool) Close() {
-	p.lifecycle.Lock()
-	if p.closed {
-		p.lifecycle.Unlock()
-		return
-	}
-	p.closed = true
-	close(p.queue)
-	p.lifecycle.Unlock()
-	p.wg.Wait()
-	p.cancel()
-}
+// ErrQueueFull is the degraded-mode load-shedding signal: the target
+// shard's queue is saturated (and stayed saturated past the configured
+// shed wait), so the request was dropped instead of queued. Callers
+// retry against a healthier replica group or surface the overload.
+var ErrQueueFull = errors.New("serving: shard queue saturated")

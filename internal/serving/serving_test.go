@@ -3,129 +3,576 @@ package serving
 import (
 	"context"
 	"errors"
-	"math/rand"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
-	"secemb/internal/core"
-	"secemb/internal/dlrm"
 	"secemb/internal/obs"
-	"secemb/internal/tensor"
 )
 
-// newReplicas builds n independent pipelines of the same trained model
-// (independent generators: ORAM/DHE state must not be shared).
-func newReplicas(t *testing.T, n int, tech core.Technique) ([]*dlrm.Pipeline, dlrm.Config) {
-	t.Helper()
-	cfg := dlrm.Config{
-		DenseDim: 3, EmbDim: 4,
-		BottomHidden: []int{4}, TopHidden: []int{4},
-		Cardinalities: []int{30, 70}, Seed: 1,
-	}
-	m := dlrm.New(cfg, dlrm.DHEVariedEmb)
-	reps := make([]*dlrm.Pipeline, n)
-	for i := range reps {
-		reps[i] = dlrm.Build(m, tech, core.Options{Seed: int64(i + 2)})
-	}
-	return reps, cfg
+// fakeBackend echoes each payload back as its Result.Value, recording the
+// size of every fused batch. Optional knobs wedge an execution (gate),
+// inject batch-wide or per-payload errors, or return a malformed result
+// count — all the behaviors the scheduler must survive.
+type fakeBackend struct {
+	maxBatch int
+	gate     chan struct{} // when non-nil, Execute blocks until it closes
+	entered  chan struct{} // when non-nil, Execute signals entry (buffered)
+	execErr  error         // batch-wide failure
+	perErr   func(p any) error
+	badCount bool // return one Result too few
+
+	mu      sync.Mutex
+	batches []int
 }
 
-func sampleRequest(cfg dlrm.Config, seed int64) (*tensor.Matrix, [][]uint64) {
-	rng := rand.New(rand.NewSource(seed))
-	dense := tensor.NewUniform(4, cfg.DenseDim, 1, rng)
-	sparse := make([][]uint64, len(cfg.Cardinalities))
-	for f, n := range cfg.Cardinalities {
-		sparse[f] = make([]uint64, 4)
-		for r := range sparse[f] {
-			sparse[f][r] = uint64(rng.Intn(n))
-		}
+func (b *fakeBackend) MaxBatch() int {
+	if b.maxBatch < 1 {
+		return 1
 	}
-	return dense, sparse
+	return b.maxBatch
+}
+
+func (b *fakeBackend) Execute(payloads []any) ([]Result, error) {
+	if b.entered != nil {
+		b.entered <- struct{}{}
+	}
+	if b.gate != nil {
+		<-b.gate
+	}
+	b.mu.Lock()
+	b.batches = append(b.batches, len(payloads))
+	b.mu.Unlock()
+	if b.execErr != nil {
+		return nil, b.execErr
+	}
+	out := make([]Result, len(payloads))
+	for i, p := range payloads {
+		if b.perErr != nil {
+			if err := b.perErr(p); err != nil {
+				out[i].Err = err
+				continue
+			}
+		}
+		out[i].Value = p
+	}
+	if b.badCount {
+		out = out[:len(out)-1]
+	}
+	return out, nil
+}
+
+func (b *fakeBackend) batchSizes() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.batches...)
 }
 
 func TestPoolServesCorrectly(t *testing.T) {
-	reps, cfg := newReplicas(t, 2, core.LinearScan)
-	pool := NewPool(reps, 4)
+	be := &fakeBackend{maxBatch: 4}
+	pool := NewPool([]Backend{be}, 4)
 	defer pool.Close()
-	dense, sparse := sampleRequest(cfg, 3)
-	want, err := reps[0].Predict(dense, sparse)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	resp := pool.Predict(context.Background(), dense, sparse)
+	resp := pool.Do(context.Background(), "payload-7")
 	if resp.Err != nil {
 		t.Fatal(resp.Err)
 	}
-	if !tensor.AllClose(resp.Probs, want, 1e-6) {
-		t.Fatal("pooled prediction differs from direct prediction")
+	if resp.Value != "payload-7" {
+		t.Fatalf("Value = %v, want payload-7", resp.Value)
 	}
-	if resp.Latency <= 0 {
-		t.Fatal("latency not measured")
+	// Pool is the per-request baseline: coalescing must stay disabled even
+	// though the backend accepts batches.
+	for _, n := range be.batchSizes() {
+		if n != 1 {
+			t.Fatalf("per-request pool fused a batch of %d", n)
+		}
 	}
 }
 
-func TestPoolConcurrentLoad(t *testing.T) {
-	reps, cfg := newReplicas(t, 3, core.CircuitORAM)
-	pool := NewPool(reps, 8)
-	defer pool.Close()
-	const requests = 40
+func TestGroupCoalescesQueuedRequests(t *testing.T) {
+	// Wedge the worker on a sacrificial request, queue a burst behind it,
+	// then release: greedy gather must fuse the entire queued burst into
+	// one backend execution.
+	be := &fakeBackend{maxBatch: 8, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	g := NewGroup([]Backend{be}, GroupConfig{QueueDepth: 16})
+	defer g.Close()
+
 	var wg sync.WaitGroup
-	errs := make(chan error, requests)
-	for i := 0; i < requests; i++ {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if r := g.Do(context.Background(), 0, "wedge"); r.Err != nil {
+			t.Error(r.Err)
+		}
+	}()
+	<-be.entered // worker is inside Execute for the sacrificial request
+
+	const burst = 4
+	results := make(chan Response, burst)
+	for i := 0; i < burst; i++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(i int) {
 			defer wg.Done()
-			dense, sparse := sampleRequest(cfg, seed)
-			if r := pool.Predict(context.Background(), dense, sparse); r.Err != nil {
-				errs <- r.Err
-			}
-		}(int64(i))
+			results <- g.Do(context.Background(), 0, i)
+		}(i)
 	}
+	// Wait until the whole burst is queued, then release the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.shards[0].queuedApprox() < burst {
+		if time.Now().After(deadline) {
+			t.Fatal("burst never queued")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(be.gate)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
+	close(results)
+
+	seen := map[any]bool{}
+	for r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		seen[r.Value] = true
 	}
-	s := pool.Stats()
-	if s.Served != requests {
-		t.Fatalf("served %d, want %d", s.Served, requests)
+	if len(seen) != burst {
+		t.Fatalf("got %d distinct responses, want %d", len(seen), burst)
 	}
-	if s.Throughput <= 0 || s.P50 <= 0 || s.P95 < s.P50 || s.Max < s.P95 {
-		t.Fatalf("stats inconsistent: %+v", s)
+	sizes := be.batchSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != burst {
+		t.Fatalf("batch sizes = %v, want [1 %d]", sizes, burst)
 	}
 }
 
-func TestPoolCloseRejectsNewWork(t *testing.T) {
-	reps, cfg := newReplicas(t, 1, core.DHE)
-	pool := NewPool(reps, 2)
-	dense, sparse := sampleRequest(cfg, 5)
-	if r := pool.Predict(context.Background(), dense, sparse); r.Err != nil {
+// queuedApprox reports the shard's current queue length (test helper).
+func (s *shard) queuedApprox() int { return len(s.queue) }
+
+func TestMaxWaitFlushesPartialBatch(t *testing.T) {
+	// A lone request with room left in the batch must not wait forever:
+	// the MaxWait deadline flushes the partial batch.
+	be := &fakeBackend{maxBatch: 8}
+	g := NewGroup([]Backend{be}, GroupConfig{
+		Coalesce: CoalesceConfig{MaxWait: 30 * time.Millisecond},
+	})
+	defer g.Close()
+	start := time.Now()
+	if r := g.Do(context.Background(), 0, "solo"); r.Err != nil {
 		t.Fatal(r.Err)
 	}
-	pool.Close()
-	pool.Close() // idempotent
-	if r := pool.Predict(context.Background(), dense, sparse); r.Err != ErrClosed {
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("partial batch took %v to flush", elapsed)
+	}
+	if sizes := be.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batch sizes = %v, want [1]", sizes)
+	}
+}
+
+func TestMaxWaitFusesRequestsInsideWindow(t *testing.T) {
+	// Second request arrives well inside the wait window: the batch fills
+	// and flushes immediately, far before MaxWait.
+	be := &fakeBackend{maxBatch: 2}
+	g := NewGroup([]Backend{be}, GroupConfig{
+		Coalesce: CoalesceConfig{MaxWait: 30 * time.Second},
+	})
+	defer g.Close()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if r := g.Do(context.Background(), 0, i); r.Err != nil {
+				t.Error(r.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("full batch waited %v despite being full", elapsed)
+	}
+	total := 0
+	for _, n := range be.batchSizes() {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("served %d fused requests, want 2", total)
+	}
+}
+
+func TestMemberDeadlineBoundsBatchWait(t *testing.T) {
+	// A batch member's own context deadline caps the coalesce wait for the
+	// whole batch: with room left for a third request, the batch must
+	// still flush at the deadlined member's 150ms — answering the
+	// deadline-free co-member then, not at the 30s MaxWait.
+	be := &fakeBackend{maxBatch: 3}
+	g := NewGroup([]Backend{be}, GroupConfig{
+		QueueDepth: 8,
+		Coalesce:   CoalesceConfig{MaxWait: 30 * time.Second},
+	})
+	defer g.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	free := make(chan Response, 1)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		g.Do(ctx, 0, "deadlined")
+	}()
+	go func() {
+		defer wg.Done()
+		free <- g.Do(context.Background(), 0, "patient")
+	}()
+
+	select {
+	case r := <-free:
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Value != "patient" {
+			t.Fatalf("Value = %v", r.Value)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("deadline-free request held hostage by MaxWait")
+	}
+	wg.Wait()
+}
+
+func TestShardRoutingConsistentAndSpread(t *testing.T) {
+	backends := make([]Backend, 4)
+	for i := range backends {
+		backends[i] = &fakeBackend{maxBatch: 1}
+	}
+	g := NewGroup(backends, GroupConfig{})
+	defer g.Close()
+	if g.Shards() != 4 {
+		t.Fatalf("default shards = %d, want one per backend", g.Shards())
+	}
+	hit := map[int]bool{}
+	for key := uint64(0); key < 64; key++ {
+		s := g.ShardOf(key)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%d) = %d out of range", key, s)
+		}
+		if s != g.ShardOf(key) {
+			t.Fatalf("ShardOf(%d) unstable", key)
+		}
+		hit[s] = true
+	}
+	if len(hit) < 2 {
+		t.Fatalf("64 keys landed on %d shard(s); routing is not spreading", len(hit))
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no backends", func() { NewGroup(nil, GroupConfig{}) })
+	mustPanic("shards > backends", func() {
+		NewGroup([]Backend{&fakeBackend{}}, GroupConfig{Shards: 2})
+	})
+	mustPanic("empty pool", func() { NewPool(nil, 1) })
+}
+
+func TestCloseDrainsAdmittedRequests(t *testing.T) {
+	// Requests admitted before Close must still be served (graceful
+	// drain), while requests after Close get ErrClosed.
+	be := &fakeBackend{maxBatch: 4, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	g := NewGroup([]Backend{be}, GroupConfig{QueueDepth: 8})
+
+	const n = 3
+	var wg sync.WaitGroup
+	results := make(chan Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- g.Do(context.Background(), 0, i)
+		}(i)
+	}
+	<-be.entered // one request executing; the rest queued behind it
+	deadline := time.Now().Add(10 * time.Second)
+	for g.shards[0].queuedApprox() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never queued")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	closed := make(chan struct{})
+	go func() { g.Close(); close(closed) }()
+	close(be.gate)
+	wg.Wait()
+	<-closed
+	close(results)
+	for r := range results {
+		if r.Err != nil {
+			t.Fatalf("admitted request lost in drain: %v", r.Err)
+		}
+	}
+	g.Close() // idempotent
+	if r := g.Do(context.Background(), 0, "late"); r.Err != ErrClosed {
 		t.Fatalf("post-close error = %v, want ErrClosed", r.Err)
 	}
 }
 
-func TestPoolContextCancellation(t *testing.T) {
-	reps, cfg := newReplicas(t, 1, core.DHE)
-	pool := NewPool(reps, 1)
-	defer pool.Close()
+func TestContextCancellationDoesNotHang(t *testing.T) {
+	be := &fakeBackend{maxBatch: 1}
+	g := NewGroup([]Backend{be}, GroupConfig{QueueDepth: 1})
+	defer g.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	dense, sparse := sampleRequest(cfg, 6)
-	// Either the request was admitted before cancellation was observed
-	// (fine) or it errors with context.Canceled — it must not hang.
 	done := make(chan Response, 1)
-	go func() { done <- pool.Predict(ctx, dense, sparse) }()
+	go func() { done <- g.Do(ctx, 0, "x") }()
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("cancelled Predict hung")
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled Do hung")
+	}
+}
+
+// wedgeWithFullQueue blocks the worker inside Execute and parks one request
+// in the single queue slot, returning once queue-full is a stable state.
+func wedgeWithFullQueue(t *testing.T, g *Group, be *fakeBackend, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), 0, "executing")
+	}()
+	<-be.entered
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), 0, "parked")
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for g.shards[0].queuedApprox() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestTryDoShedsWhenSaturated(t *testing.T) {
+	reg := obs.NewRegistry()
+	be := &fakeBackend{maxBatch: 1, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	g := NewGroup([]Backend{be}, GroupConfig{QueueDepth: 1}, WithObserver(reg))
+	defer g.Close()
+	var wg sync.WaitGroup
+	wedgeWithFullQueue(t, g, be, &wg)
+
+	if r := g.TryDo(context.Background(), 0, "shed-me"); !errors.Is(r.Err, ErrQueueFull) {
+		t.Fatalf("error = %v, want ErrQueueFull", r.Err)
+	}
+	if got := reg.Counter("serving_shed_total").Value(); got != 1 {
+		t.Fatalf("serving_shed_total = %d, want 1", got)
+	}
+	if s := g.Stats(); s.Shed != 1 {
+		t.Fatalf("Stats().Shed = %d, want 1", s.Shed)
+	}
+	close(be.gate)
+	wg.Wait()
+}
+
+func TestShedWaitArmsDegradedMode(t *testing.T) {
+	// With ShedWait armed, a blocking Do against a saturated shard gives
+	// up after the grace period instead of queueing unboundedly.
+	be := &fakeBackend{maxBatch: 1, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	g := NewGroup([]Backend{be}, GroupConfig{
+		QueueDepth: 1,
+		ShedWait:   20 * time.Millisecond,
+	})
+	defer g.Close()
+	var wg sync.WaitGroup
+	wedgeWithFullQueue(t, g, be, &wg)
+
+	done := make(chan Response, 1)
+	go func() { done <- g.Do(context.Background(), 0, "degraded") }()
+	select {
+	case r := <-done:
+		if !errors.Is(r.Err, ErrQueueFull) {
+			t.Fatalf("error = %v, want ErrQueueFull", r.Err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("degraded-mode Do never shed")
+	}
+	if s := g.Stats(); s.Shed != 1 {
+		t.Fatalf("Stats().Shed = %d, want 1", s.Shed)
+	}
+	close(be.gate)
+	wg.Wait()
+}
+
+func TestAbandonedRequestIsCountedAndRecycled(t *testing.T) {
+	// A caller that cancels while its request is queued abandons the wait;
+	// the worker must notice (claim fails), count it, and recycle the task
+	// instead of leaking it.
+	reg := obs.NewRegistry()
+	be := &fakeBackend{maxBatch: 1, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	g := NewGroup([]Backend{be}, GroupConfig{QueueDepth: 2}, WithObserver(reg))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), 0, "executing")
+	}()
+	<-be.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Response, 1)
+	go func() { done <- g.Do(ctx, 0, "will-abandon") }()
+	deadline := time.Now().Add(10 * time.Second)
+	for g.shards[0].queuedApprox() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	cancel()
+	r := <-done
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("abandoning caller got %v, want context.Canceled", r.Err)
+	}
+	close(be.gate)
+	wg.Wait()
+	g.Close() // drain: the worker has now seen the abandoned task
+	if s := g.Stats(); s.Abandoned != 1 {
+		t.Fatalf("Stats().Abandoned = %d, want 1", s.Abandoned)
+	}
+	if got := reg.Counter("serving_abandoned_total").Value(); got != 1 {
+		t.Fatalf("serving_abandoned_total = %d, want 1", got)
+	}
+}
+
+func TestBackendBatchErrorReachesEveryCaller(t *testing.T) {
+	wantErr := errors.New("backend down")
+	be := &fakeBackend{maxBatch: 4, execErr: wantErr}
+	g := NewGroup([]Backend{be}, GroupConfig{})
+	defer g.Close()
+	for i := 0; i < 3; i++ {
+		if r := g.Do(context.Background(), 0, i); !errors.Is(r.Err, wantErr) {
+			t.Fatalf("request %d error = %v, want %v", i, r.Err, wantErr)
+		}
+	}
+	if s := g.Stats(); s.Errors != 3 || s.Served != 0 {
+		t.Fatalf("stats = %+v, want 3 errors", s)
+	}
+}
+
+func TestBackendResultCountMismatchIsBatchError(t *testing.T) {
+	be := &fakeBackend{maxBatch: 1, badCount: true}
+	g := NewGroup([]Backend{be}, GroupConfig{})
+	defer g.Close()
+	r := g.Do(context.Background(), 0, "x")
+	if r.Err == nil {
+		t.Fatal("short result slice must produce an error, not a missing response")
+	}
+}
+
+func TestPerRequestErrorsStayPerRequest(t *testing.T) {
+	be := &fakeBackend{maxBatch: 4, perErr: func(p any) error {
+		if p == "bad" {
+			return fmt.Errorf("malformed")
+		}
+		return nil
+	}}
+	g := NewGroup([]Backend{be}, GroupConfig{})
+	defer g.Close()
+	if r := g.Do(context.Background(), 0, "bad"); r.Err == nil {
+		t.Fatal("bad payload must error")
+	}
+	if r := g.Do(context.Background(), 0, "good"); r.Err != nil {
+		t.Fatalf("good payload after bad one failed: %v", r.Err)
+	}
+	if s := g.Stats(); s.Errors != 1 || s.Served != 1 {
+		t.Fatalf("stats after mixed traffic: %+v", s)
+	}
+}
+
+func TestConcurrentLoadAndStats(t *testing.T) {
+	be1, be2 := &fakeBackend{maxBatch: 8}, &fakeBackend{maxBatch: 8}
+	g := NewGroup([]Backend{be1, be2}, GroupConfig{Shards: 2})
+	defer g.Close()
+	const requests = 64
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			if r := g.Do(context.Background(), key, key); r.Err != nil {
+				t.Error(r.Err)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.Served != requests {
+		t.Fatalf("served %d, want %d", s.Served, requests)
+	}
+	if s.Throughput <= 0 || s.P95 < s.P50 || s.P99 < s.P95 || s.Max < s.P99 {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}
+
+func TestMetricsPopulatedUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	be := &fakeBackend{maxBatch: 4}
+	g := NewGroup([]Backend{be}, GroupConfig{}, WithObserver(reg))
+	const requests = 30
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			if r := g.Do(context.Background(), key, key); r.Err != nil {
+				t.Error(r.Err)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	g.Close()
+
+	if got := reg.Counter("serving_served_total").Value(); got != requests {
+		t.Fatalf("serving_served_total = %d, want %d", got, requests)
+	}
+	if got := reg.Histogram("serving_coalesce_wait_ns").Count(); got != requests {
+		t.Fatalf("serving_coalesce_wait_ns count = %d, want %d", got, requests)
+	}
+	// Every fused batch is observed once; batch sizes sum to the requests.
+	bs := reg.HistogramBuckets("serving_batch_size", nil)
+	if bs.Count() == 0 || bs.Count() > requests {
+		t.Fatalf("serving_batch_size count = %d", bs.Count())
+	}
+	if lat := reg.Histogram("serving_latency_ns").Count(); lat != bs.Count() {
+		t.Fatalf("latency histogram count %d != execution count %d", lat, bs.Count())
+	}
+	snap := reg.Snapshot()
+	foundDepth, foundShard := false, false
+	for _, gv := range snap.Gauges {
+		switch {
+		case gv.Name == "serving_queue_depth":
+			foundDepth = true
+			if gv.Value != 0 {
+				t.Fatalf("queue depth after drain = %d", gv.Value)
+			}
+		case strings.HasPrefix(gv.Name, "serving_shard_depth"):
+			foundShard = true
+			if gv.Value != 0 {
+				t.Fatalf("%s after drain = %d", gv.Name, gv.Value)
+			}
+		}
+	}
+	if !foundDepth || !foundShard {
+		t.Fatal("depth gauges missing from snapshot")
 	}
 }
 
@@ -142,149 +589,10 @@ func TestMeetsSLA(t *testing.T) {
 	}
 }
 
-func TestEmptyPoolPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewPool(nil, 1)
-}
-
-func TestPoolSurvivesOutOfRangeIDs(t *testing.T) {
-	reps, cfg := newReplicas(t, 1, core.LinearScan)
-	pool := NewPool(reps, 2)
-	defer pool.Close()
-
-	dense, sparse := sampleRequest(cfg, 9)
-	sparse[1][0] = 99999 // far beyond the 70-row table
-	resp := pool.Predict(context.Background(), dense, sparse)
-	if resp.Err == nil {
-		t.Fatal("out-of-range id must produce an error response, not a crash")
-	}
-	if !errors.Is(resp.Err, core.ErrIDOutOfRange) {
-		t.Fatalf("error = %v, want ErrIDOutOfRange in the chain", resp.Err)
-	}
-
-	// The pool must keep serving after a bad request.
-	dense2, sparse2 := sampleRequest(cfg, 10)
-	if r := pool.Predict(context.Background(), dense2, sparse2); r.Err != nil {
-		t.Fatalf("valid request after bad one failed: %v", r.Err)
-	}
-	s := pool.Stats()
-	if s.Errors != 1 || s.Served != 1 {
-		t.Fatalf("stats after mixed traffic: %+v", s)
-	}
-}
-
-func TestPoolMetricsPopulatedUnderLoad(t *testing.T) {
-	reg := obs.NewRegistry()
-	reps, cfg := newReplicas(t, 2, core.LinearScan)
-	pool := NewPool(reps, 4, WithObserver(reg))
-	const requests = 30
-	var wg sync.WaitGroup
-	for i := 0; i < requests; i++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			dense, sparse := sampleRequest(cfg, seed)
-			if r := pool.Predict(context.Background(), dense, sparse); r.Err != nil {
-				t.Error(r.Err)
-			}
-		}(int64(i))
-	}
-	wg.Wait()
-	pool.Close()
-
-	if got := reg.Counter("serving_served_total").Value(); got != requests {
-		t.Fatalf("serving_served_total=%d, want %d", got, requests)
-	}
-	// All requests drained, so the depth gauge must be registered and back
-	// to zero.
-	snap := reg.Snapshot()
-	foundDepth := false
-	for _, g := range snap.Gauges {
-		if g.Name == "serving_queue_depth" {
-			foundDepth = true
-			if g.Value != 0 {
-				t.Fatalf("queue depth after drain = %d", g.Value)
-			}
-		}
-	}
-	if !foundDepth {
-		t.Fatal("serving_queue_depth gauge missing from snapshot")
-	}
-	lat := reg.Histogram("serving_latency_ns")
-	if lat.Count() != requests {
-		t.Fatalf("latency histogram count=%d, want %d", lat.Count(), requests)
-	}
-	p50, p99 := lat.Quantile(0.50), lat.Quantile(0.99)
-	if p50 <= 0 || p99 < p50 || p99 > lat.Max() {
-		t.Fatalf("latency percentiles inconsistent: p50=%d p99=%d max=%d", p50, p99, lat.Max())
-	}
-	if reg.Histogram("serving_queue_wait_ns").Count() != requests {
-		t.Fatal("queue wait histogram not populated")
-	}
-}
-
-func TestTryPredictShedsLoadWhenFull(t *testing.T) {
-	reg := obs.NewRegistry()
-	// One replica, one queue slot. Wedge the worker on one large
-	// CircuitORAM batch, then burst: the slot holds at most one request, so
-	// the rest of the burst must be shed with ErrQueueFull.
-	reps, cfg := newReplicas(t, 1, core.CircuitORAM)
-	pool := NewPool(reps, 1, WithObserver(reg))
-	defer pool.Close()
-
-	// Two slow requests: the worker dequeues one (~80ms of CircuitORAM
-	// work) while the other parks in the single queue slot, so
-	// queue-is-full is a *stable* state we can observe before asserting —
-	// not a transient pulse a 1-CPU scheduler can hide.
-	const slowBatch = 16384
-	rng := rand.New(rand.NewSource(1))
-	slowDense := tensor.NewUniform(slowBatch, cfg.DenseDim, 1, rng)
-	slowSparse := make([][]uint64, len(cfg.Cardinalities))
-	for f, n := range cfg.Cardinalities {
-		slowSparse[f] = make([]uint64, slowBatch)
-		for r := range slowSparse[f] {
-			slowSparse[f][r] = uint64(rng.Intn(n))
-		}
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if r := pool.Predict(context.Background(), slowDense, slowSparse); r.Err != nil {
-				t.Error(r.Err)
-			}
-		}()
-	}
-	// Queue-wait records at dequeue: count>=1 means the worker is inside a
-	// slow Predict, and depth==1 means the other request holds the slot.
-	deadline := time.Now().Add(30 * time.Second)
-	for reg.Histogram("serving_queue_wait_ns").Count() < 1 ||
-		reg.Gauge("serving_queue_depth").Value() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("timed out waiting for the worker to wedge with a full queue")
-		}
-		time.Sleep(100 * time.Microsecond)
-	}
-	dense, sparse := sampleRequest(cfg, 3)
-	if r := pool.TryPredict(context.Background(), dense, sparse); !errors.Is(r.Err, ErrQueueFull) {
-		t.Fatalf("error = %v, want ErrQueueFull", r.Err)
-	}
-	if got := reg.Counter("serving_rejected_total").Value(); got != 1 {
-		t.Fatalf("serving_rejected_total=%d, want 1", got)
-	}
-	wg.Wait()
-}
-
 func TestStatsEmpty(t *testing.T) {
-	reps, _ := newReplicas(t, 1, core.DHE)
-	pool := NewPool(reps, 1)
-	defer pool.Close()
-	if s := pool.Stats(); s.Served != 0 || s.Throughput != 0 {
-		t.Fatalf("fresh pool stats: %+v", s)
+	g := NewGroup([]Backend{&fakeBackend{}}, GroupConfig{})
+	defer g.Close()
+	if s := g.Stats(); s.Served != 0 || s.Throughput != 0 {
+		t.Fatalf("fresh group stats: %+v", s)
 	}
 }

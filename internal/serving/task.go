@@ -1,0 +1,83 @@
+package serving
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task states. A task starts pending; exactly one side wins the claim —
+// the worker (it will send the response) or the caller (it abandoned the
+// wait). The loser of the race is responsible for nothing further; the
+// winner's counterpart recycles the struct.
+const (
+	taskPending   int32 = iota
+	taskClaimed         // worker won: a response send is imminent
+	taskAbandoned       // caller won: nobody is listening anymore
+)
+
+// task is one queued request: an opaque payload plus the bookkeeping the
+// scheduler needs. The scheduler reads everything except payload — batch
+// composition must stay independent of request contents (§V-B).
+type task struct {
+	payload  any
+	ctx      context.Context
+	key      uint64
+	enqueued time.Time
+	state    atomic.Int32
+	resp     chan Response
+}
+
+// taskPool recycles task structs and their response channels: at serving
+// rates the per-request control structures are otherwise a steady
+// allocation stream. A task returns to the pool from exactly one place —
+// the caller that received its response, a failed enqueue, or the worker
+// that found the caller gone (see finish) — so a pooled task is never
+// still referenced elsewhere.
+var taskPool = sync.Pool{
+	New: func() any { return &task{resp: make(chan Response, 1)} },
+}
+
+func newTask(ctx context.Context, key uint64, payload any) *task {
+	t := taskPool.Get().(*task)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.ctx, t.key, t.payload = ctx, key, payload
+	return t
+}
+
+// recycle clears payload references (so pooled tasks don't pin caller
+// batches) and returns the struct to the pool.
+func recycle(t *task) {
+	t.payload, t.ctx = nil, nil
+	t.state.Store(taskPending)
+	taskPool.Put(t)
+}
+
+// claim is the worker-side half of the race: true means the worker owns
+// response delivery and the caller is (or will be) listening.
+func (t *task) claim() bool {
+	return t.state.CompareAndSwap(taskPending, taskClaimed)
+}
+
+// wait blocks for the response. If ctx expires first the task is marked
+// abandoned and the worker recycles it after execution — previously this
+// path silently leaked the pooled struct to the GC. If the worker claimed
+// the task in the same instant, the response is already in flight and is
+// delivered instead of the cancellation.
+func (t *task) wait(ctx context.Context) Response {
+	select {
+	case r := <-t.resp:
+		recycle(t)
+		return r
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(taskPending, taskAbandoned) {
+			return Response{Err: ctx.Err()}
+		}
+		r := <-t.resp // worker won the claim; the send is guaranteed
+		recycle(t)
+		return r
+	}
+}

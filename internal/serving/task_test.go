@@ -1,0 +1,59 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestTaskClaimRace(t *testing.T) {
+	// Worker wins: claim succeeds once, the caller receives the response
+	// even if its context is already canceled (the send is guaranteed).
+	tk := newTask(context.Background(), 0, "p")
+	if !tk.claim() {
+		t.Fatal("first claim must win")
+	}
+	if tk.claim() {
+		t.Fatal("second claim must lose")
+	}
+	tk.resp <- Response{Value: "served"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := tk.wait(ctx); r.Value != "served" {
+		t.Fatalf("claimed task must deliver the in-flight response, got %+v", r)
+	}
+}
+
+func TestTaskAbandonBeatsClaim(t *testing.T) {
+	// Caller wins: wait returns the cancellation, and the worker's later
+	// claim fails — its cue to recycle instead of sending.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk := newTask(ctx, 0, "p")
+	if r := tk.wait(ctx); !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("abandoned wait returned %+v", r)
+	}
+	if tk.claim() {
+		t.Fatal("claim after abandonment must fail")
+	}
+	recycle(tk)
+}
+
+func TestRecycleClearsReferences(t *testing.T) {
+	tk := newTask(context.Background(), 3, "payload")
+	recycle(tk)
+	if tk.payload != nil || tk.ctx != nil {
+		t.Fatal("recycle must drop payload and context references")
+	}
+	if tk.state.Load() != taskPending {
+		t.Fatal("recycled task must be pending again")
+	}
+}
+
+func TestNewTaskNilContext(t *testing.T) {
+	tk := newTask(nil, 0, "p") //nolint:staticcheck // nil ctx is the documented default
+	if tk.ctx == nil {
+		t.Fatal("nil ctx must default to Background")
+	}
+	recycle(tk)
+}
