@@ -1,14 +1,14 @@
 GO ?= go
 
 .PHONY: check ci vet obliviouslint build test race fmt-check fuzz-short leakcheck \
-	benchdiff bench bench-baseline bench-all
+	soak-short benchdiff bench bench-baseline bench-all
 
 check: vet obliviouslint build test race
 
 # ci mirrors .github/workflows/ci.yml exactly — same targets, same order —
 # so a green `make ci` locally means a green pipeline, and the two can't
 # drift: every workflow job is a single `make` invocation of these targets.
-ci: fmt-check vet obliviouslint build test race fuzz-short leakcheck bench benchdiff
+ci: fmt-check vet obliviouslint build test race fuzz-short leakcheck soak-short bench benchdiff
 
 # vet layers the strict in-repo analyzers (shadow, unusedresult) on top of
 # the stock go vet suite.
@@ -30,7 +30,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/tensor ./internal/nn ./internal/obs ./internal/serving \
-		./internal/serving/backends ./internal/core ./internal/dlrm
+		./internal/serving/backends ./internal/core ./internal/dlrm ./internal/wire \
+		./internal/leakcheck
 
 # fmt-check fails (listing offenders) when any file needs gofmt.
 fmt-check:
@@ -50,6 +51,18 @@ fuzz-short:
 # dynamic roster, so static claims of coverage can't outrun the harness.
 leakcheck:
 	$(GO) run ./cmd/leakcheck -src . -out leakcheck_report.json
+
+# soak-short is the CI-scale front-door soak: a self-hosted secembd over
+# the Dual-DHE group, a few hundred concurrent h2c connections for a few
+# seconds, gated on p99 latency and shed rate. The full acceptance run
+# (≥1000 conns, ≥60s — see README) uses the same command with bigger
+# -conns/-duration.
+SOAK_CONNS ?= 256
+SOAK_DURATION ?= 5s
+soak-short:
+	$(GO) run ./cmd/secembd -soak -technique dual -rows 1024 -dim 32 -threshold 4 \
+		-backends 2 -conns $(SOAK_CONNS) -duration $(SOAK_DURATION) -batch 2 \
+		-max-p99 500ms -max-shed 0.05 -min-requests 1000
 
 # benchdiff gates BENCH_hotpath.json: >15% ns/op regression vs the
 # committed baseline, or any allocation on a zero-alloc path, fails.

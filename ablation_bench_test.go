@@ -28,8 +28,8 @@ func BenchmarkAblationScanOrder(b *testing.B) {
 		for i := range ids {
 			ids[i] = uint64(i * 101 % rows)
 		}
-		perQuery := core.NewLinearScan(tbl, core.Options{})
-		batched := core.NewLinearScanBatched(tbl, core.Options{})
+		perQuery := core.MustNew(core.LinearScan, tbl.Rows, tbl.Cols, core.Options{Table: tbl})
+		batched := core.MustNew(core.LinearScanBatched, tbl.Rows, tbl.Cols, core.Options{Table: tbl})
 		b.Run(fmt.Sprintf("perQuery/batch=%d", batch), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				perQuery.Generate(ids)
@@ -109,7 +109,7 @@ func BenchmarkAblationRecursionCutoff(b *testing.B) {
 // a prefill-sized batch from its DHE side.
 func BenchmarkAblationDualThreshold(b *testing.B) {
 	d := dhe.New(dhe.Config{K: 128, Hidden: []int{64}, Dim: 64, Seed: 5}, rand.New(rand.NewSource(5)))
-	g := core.NewDual(core.NewDHE(d, 1<<13, core.Options{}), 1, core.Options{Seed: 6})
+	g := core.NewDual(core.MustNew(core.DHE, 1<<13, d.Dim, core.Options{DHE: d}), 1, core.Options{Seed: 6})
 	decode := []uint64{42}
 	prefill := make([]uint64, 64)
 	b.Run("decodeBatch1_oram", func(b *testing.B) {

@@ -122,10 +122,10 @@ func BenchmarkGenerate(b *testing.B) {
 	for _, rows := range []int{1 << 10, 1 << 14, 1 << 17} {
 		tbl := benchTable(rows, dim)
 		gens := map[string]core.Generator{
-			"Lookup":      core.NewLookup(tbl, core.Options{}),
-			"LinearScan":  core.NewLinearScan(tbl, core.Options{}),
-			"CircuitORAM": core.NewCircuitORAM(tbl, core.Options{Seed: 2}),
-			"DHEVaried":   core.NewDHEVaried(rows, dim, core.Options{Seed: 3}),
+			"Lookup":      core.MustNew(core.Lookup, rows, dim, core.Options{Table: tbl}),
+			"LinearScan":  core.MustNew(core.LinearScan, rows, dim, core.Options{Table: tbl}),
+			"CircuitORAM": core.MustNew(core.CircuitORAM, rows, dim, core.Options{Table: tbl, Seed: 2}),
+			"DHEVaried":   core.MustNew(core.DHE, rows, dim, core.Options{Seed: 3}),
 		}
 		ids := make([]uint64, batch)
 		for i := range ids {
@@ -166,7 +166,7 @@ func BenchmarkCircuitORAMAccess(b *testing.B) {
 func BenchmarkDHEGenerate(b *testing.B) {
 	for _, batch := range []int{1, 32, 256} {
 		d := dhe.New(dhe.VariedConfig(64, 1_000_000, 6), rand.New(rand.NewSource(6)))
-		g := core.NewDHE(d, 1_000_000, core.Options{})
+		g := core.MustNew(core.DHE, 1_000_000, d.Dim, core.Options{DHE: d})
 		ids := make([]uint64, batch)
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -183,9 +183,9 @@ func BenchmarkLLMPipeline(b *testing.B) {
 		name string
 		gen  core.Generator
 	}{
-		{"Lookup", core.NewLookup(tbl, core.Options{})},
-		{"CircuitORAM", core.NewCircuitORAM(tbl, core.Options{Seed: 8})},
-		{"DHE", core.NewDHE(dhe.New(dhe.LLMConfig(cfg.Dim, 9), rand.New(rand.NewSource(9))), cfg.Vocab, core.Options{})},
+		{"Lookup", core.MustNew(core.Lookup, tbl.Rows, tbl.Cols, core.Options{Table: tbl})},
+		{"CircuitORAM", core.MustNew(core.CircuitORAM, tbl.Rows, tbl.Cols, core.Options{Table: tbl, Seed: 8})},
+		{"DHE", core.MustNew(core.DHE, cfg.Vocab, cfg.Dim, core.Options{DHE: dhe.New(dhe.LLMConfig(cfg.Dim, 9), rand.New(rand.NewSource(9)))})},
 	} {
 		p := llm.NewRandomPipeline(cfg, tc.gen)
 		prompt := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}}

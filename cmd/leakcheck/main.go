@@ -15,7 +15,7 @@
 // Usage:
 //
 //	leakcheck [-rows 512] [-dim 16] [-batch 8] [-seed 1]
-//	          [-gens lookup,scan,scanb,path,circuit,dhe,dual,coalesce]
+//	          [-gens lookup,scan,scanb,path,circuit,dhe,dual,coalesce,wire]
 //	          [-src .] [-out leakcheck_report.json]
 package main
 
@@ -75,6 +75,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Fastest when -batch is a multiple of the coalesce batch (4): every
 	// fused batch fills and flushes without waiting out the flush timer.
 	factories = append(factories, leakcheck.CoalescedFactory(*rows, *dim, *seed))
+	// The network front door: panel batches traverse the wire codec, the
+	// h2c server and the serving stack; the padded response size the
+	// client observes joins the trace, so an id-dependent response size
+	// (or backend access) diverges.
+	factories = append(factories, leakcheck.WireFactory(*rows, *dim, *seed))
 
 	// Roster sync runs against the full factory set, before any -gens
 	// narrowing: a directive is valid as long as *some* leakcheck run can

@@ -1,0 +1,302 @@
+// Command secembd is the network front door for the secure embedding
+// serving stack: an HTTP/2 (h2c) server speaking the internal/wire binary
+// protocol over a sharded serving.Group of oblivious embedding backends.
+//
+// Serve mode (default) builds the configured technique — the §IV-D
+// Dual-DHE hybrid by default — replicated across -backends workers in
+// -shards replica groups, and serves /v1/embed with fixed-bucket response
+// padding, HMAC connection tokens, per-connection backpressure, and
+// load-shedding that maps serving.ErrQueueFull / draining onto 429/503
+// with Retry-After. SIGINT/SIGTERM triggers a two-stage graceful drain:
+// health checks and new requests go 503 for -drain-grace (load balancers
+// route away), then the listener closes, in-flight requests finish, and
+// the serving group drains its queues.
+//
+// Soak mode (-soak) is the load generator: it holds -conns concurrent
+// connections (each its own TCP connection) against -target for
+// -duration, then reports p50/p99 latency, shed rate and bytes/request,
+// exiting non-zero when the -max-p99 / -max-shed / -min-requests gate
+// fails. With no -target it self-hosts an in-process server first — the
+// CI `make soak-short` path.
+//
+// Usage:
+//
+//	secembd [-addr :9090] [-technique dual] [-rows 4096] [-dim 64] ...
+//	secembd -soak [-target host:port] -conns 1000 -duration 60s ...
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/obs"
+	"secemb/internal/serving"
+	"secemb/internal/serving/backends"
+	"secemb/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type config struct {
+	// serve
+	addr       string
+	technique  string
+	rows, dim  int
+	threshold  int
+	nBackends  int
+	shards     int
+	maxBatch   int
+	queueDepth int
+	maxWait    time.Duration
+	shedWait   time.Duration
+	connStr    int
+	timeout    time.Duration
+	drainGrace time.Duration
+	tokenKey   string
+	seed       int64
+
+	// soak
+	soak        bool
+	target      string
+	conns       int
+	duration    time.Duration
+	batch       int
+	maxP99      time.Duration
+	maxShed     float64
+	minRequests int64
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("secembd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := &config{}
+	fs.StringVar(&c.addr, "addr", ":9090", "serve: listen address")
+	fs.StringVar(&c.technique, "technique", "dual", "serve: dual or a core technique key (scan, scanb, path, circuit, dhe, lookup)")
+	fs.IntVar(&c.rows, "rows", 4096, "serve: embedding table cardinality")
+	fs.IntVar(&c.dim, "dim", 64, "serve: embedding dimension")
+	fs.IntVar(&c.threshold, "threshold", 4, "serve: dual-scheme batch threshold (≤ uses ORAM, > uses DHE)")
+	fs.IntVar(&c.nBackends, "backends", 4, "serve: backend replicas (one coalescing worker each)")
+	fs.IntVar(&c.shards, "shards", 0, "serve: replica groups (0 → one per backend)")
+	fs.IntVar(&c.maxBatch, "max-batch", 64, "serve: public per-request id cap (largest padding bucket)")
+	fs.IntVar(&c.queueDepth, "queue-depth", 0, "serve: per-shard queue depth (0 → derived)")
+	fs.DurationVar(&c.maxWait, "max-wait", 200*time.Microsecond, "serve: coalescing hold for partial batches (0 → greedy)")
+	fs.DurationVar(&c.shedWait, "shed-wait", 2*time.Millisecond, "serve: grace before a saturated shard sheds with 429 (0 → block)")
+	fs.IntVar(&c.connStr, "conn-streams", 0, "serve: per-connection concurrent stream cap (0 → default)")
+	fs.DurationVar(&c.timeout, "timeout", 2*time.Second, "serve: per-request deadline in the serving stack")
+	fs.DurationVar(&c.drainGrace, "drain-grace", time.Second, "serve: 503 period before the listener closes on SIGTERM")
+	fs.StringVar(&c.tokenKey, "token-key", "", "hex HMAC key; serve: require tokens / soak: mint them (empty in serve mode → generate and log, tokens optional)")
+	fs.Int64Var(&c.seed, "seed", 1, "serve: representation seed / soak: id stream seed")
+
+	fs.BoolVar(&c.soak, "soak", false, "run the load generator instead of serving")
+	fs.StringVar(&c.target, "target", "", "soak: server address (empty → self-host an in-process server)")
+	fs.IntVar(&c.conns, "conns", 1000, "soak: concurrent connections")
+	fs.DurationVar(&c.duration, "duration", 60*time.Second, "soak: run length")
+	fs.IntVar(&c.batch, "batch", 2, "soak: ids per request")
+	fs.DurationVar(&c.maxP99, "max-p99", 250*time.Millisecond, "soak gate: fail when p99 exceeds this (0 → ungated)")
+	fs.Float64Var(&c.maxShed, "max-shed", 0.05, "soak gate: fail when the shed fraction exceeds this (negative → ungated)")
+	fs.Int64Var(&c.minRequests, "min-requests", 1, "soak gate: fail when fewer requests completed")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseFlags(args, stderr)
+	if err != nil {
+		return 2
+	}
+	if c.soak {
+		return runSoak(c, stdout, stderr)
+	}
+	return runServe(c, stdout, stderr)
+}
+
+// buildGroup constructs the replicated serving stack for the configured
+// technique. Backends are stateful, so every replica gets its own
+// generator (same seed → same representation values).
+func buildGroup(c *config, reg *obs.Registry) (*serving.Group, error) {
+	bes := make([]serving.Backend, c.nBackends)
+	for i := range bes {
+		gen, err := buildGenerator(c)
+		if err != nil {
+			return nil, err
+		}
+		bes[i] = backends.NewEmbedding(gen, c.maxBatch)
+	}
+	opts := []serving.Option{}
+	if reg != nil {
+		opts = append(opts, serving.WithObserver(reg))
+	}
+	return serving.NewGroup(bes, serving.GroupConfig{
+		Shards:     c.shards,
+		QueueDepth: c.queueDepth,
+		Coalesce:   serving.CoalesceConfig{MaxWait: c.maxWait},
+		ShedWait:   c.shedWait,
+	}, opts...), nil
+}
+
+func buildGenerator(c *config) (core.Generator, error) {
+	opts := core.Options{Seed: c.seed}
+	if c.technique == "dual" {
+		dheGen, err := core.New(core.DHE, c.rows, c.dim, opts)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDual(dheGen, c.threshold, opts), nil
+	}
+	tech, err := core.ParseTechnique(c.technique)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(tech, c.rows, c.dim, opts)
+}
+
+func resolveKey(c *config, stdout io.Writer) (wire.Key, bool, error) {
+	if c.tokenKey != "" {
+		k, err := wire.ParseKey(c.tokenKey)
+		return k, true, err
+	}
+	// Generate a key so operators can connect authenticated clients later,
+	// but don't require tokens nobody was given.
+	var k wire.Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return k, false, err
+	}
+	fmt.Fprintf(stdout, "secembd: generated token key %s (tokens not required; pass -token-key to enforce)\n", k)
+	return k, false, nil
+}
+
+func runServe(c *config, stdout, stderr io.Writer) int {
+	key, require, err := resolveKey(c, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "secembd:", err)
+		return 2
+	}
+	reg := obs.NewRegistry()
+	group, err := buildGroup(c, reg)
+	if err != nil {
+		fmt.Fprintln(stderr, "secembd:", err)
+		return 2
+	}
+	srv := wire.NewServer(wire.ServerConfig{
+		Group:        group,
+		Dim:          c.dim,
+		MaxBatch:     c.maxBatch,
+		Key:          key,
+		RequireToken: require,
+		ConnStreams:  c.connStr,
+		Timeout:      c.timeout,
+		Reg:          reg,
+	})
+	addr, err := srv.Listen(c.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "secembd:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "secembd: serving %s %dx%d on %s (%d backends, %d shards, max-batch %d)\n",
+		c.technique, c.rows, c.dim, addr, c.nBackends, group.Shards(), c.maxBatch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintf(stdout, "secembd: draining (grace %v)\n", c.drainGrace)
+	srv.StartDrain()
+	time.Sleep(c.drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.DrainAll(ctx); err != nil {
+		fmt.Fprintln(stderr, "secembd: drain:", err)
+		return 1
+	}
+	st := group.Stats()
+	fmt.Fprintf(stdout, "secembd: drained; served=%d errors=%d shed=%d p99=%v\n",
+		st.Served, st.Errors, st.Shed, st.P99)
+	return 0
+}
+
+func runSoak(c *config, stdout, stderr io.Writer) int {
+	var key wire.Key
+	if c.tokenKey != "" {
+		k, err := wire.ParseKey(c.tokenKey)
+		if err != nil {
+			fmt.Fprintln(stderr, "secembd:", err)
+			return 2
+		}
+		key = k
+	}
+
+	target := c.target
+	var cleanup func()
+	if target == "" {
+		// Self-hosted soak: spin the full serve stack in-process so the
+		// run exercises the real network path end to end.
+		group, err := buildGroup(c, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "secembd:", err)
+			return 2
+		}
+		srv := wire.NewServer(wire.ServerConfig{
+			Group:        group,
+			Dim:          c.dim,
+			MaxBatch:     c.maxBatch,
+			Key:          key,
+			RequireToken: c.tokenKey != "",
+			ConnStreams:  c.connStr,
+			Timeout:      c.timeout,
+		})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "secembd:", err)
+			return 2
+		}
+		target = addr
+		cleanup = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.DrainAll(ctx)
+		}
+		fmt.Fprintf(stdout, "secembd: self-hosted %s %dx%d on %s\n", c.technique, c.rows, c.dim, addr)
+	}
+
+	fmt.Fprintf(stdout, "secembd: soaking %s: %d conns × %v, batch %d\n", target, c.conns, c.duration, c.batch)
+	rep, err := wire.RunSoak(context.Background(), wire.SoakConfig{
+		Addr:     target,
+		Key:      key,
+		Conns:    c.conns,
+		Duration: c.duration,
+		Batch:    c.batch,
+		IDSpace:  c.rows,
+		Timeout:  c.timeout + 5*time.Second,
+		Seed:     c.seed,
+	})
+	if cleanup != nil {
+		cleanup()
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "secembd:", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, rep)
+	gate := wire.SoakGate{
+		MaxP99:      c.maxP99,
+		MaxShedRate: c.maxShed,
+		MinRequests: c.minRequests,
+	}
+	if err := gate.Check(rep); err != nil {
+		fmt.Fprintln(stderr, "secembd:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "secembd: soak gate passed")
+	return 0
+}

@@ -49,7 +49,7 @@ func main() {
 
 	// Deploy: the trained DHE serves token embeddings in the pipeline.
 	d, _ := core.RepDHE(model.Tok)
-	pipeline := llm.FromModel(model, core.NewDHE(d, cfg.Vocab, core.Options{}))
+	pipeline := llm.FromModel(model, core.MustNew(core.DHE, cfg.Vocab, d.Dim, core.Options{DHE: d}))
 
 	prompt := corpus.Generate(8, rand.New(rand.NewSource(34)))
 	session, outs, err := pipeline.Generate([][]int{prompt}, 10)

@@ -25,11 +25,11 @@ func main() {
 
 	tracer := memtrace.NewEnabled()
 	gens := []core.Generator{
-		core.NewLookup(table, core.Options{Tracer: tracer}),
-		core.NewLinearScan(table, core.Options{Tracer: tracer}),
-		core.NewPathORAM(table, core.Options{Tracer: tracer, Seed: 1}),
-		core.NewCircuitORAM(table, core.Options{Tracer: tracer, Seed: 2}),
-		core.NewDHEVaried(rows, dim, core.Options{Tracer: tracer, Seed: 3}),
+		core.MustNew(core.Lookup, rows, dim, core.Options{Table: table, Tracer: tracer}),
+		core.MustNew(core.LinearScan, rows, dim, core.Options{Table: table, Tracer: tracer}),
+		core.MustNew(core.PathORAM, rows, dim, core.Options{Table: table, Tracer: tracer, Seed: 1}),
+		core.MustNew(core.CircuitORAM, rows, dim, core.Options{Table: table, Tracer: tracer, Seed: 2}),
+		core.MustNew(core.DHE, rows, dim, core.Options{Tracer: tracer, Seed: 3}),
 	}
 
 	reference, _ := gens[0].Generate(queries)

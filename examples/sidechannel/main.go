@@ -38,10 +38,10 @@ func main() {
 	table := tensor.NewGaussian(rows, dim, 0.1, rand.New(rand.NewSource(5)))
 	tracer := memtrace.NewEnabled()
 	gens := []core.Generator{
-		core.NewLookup(table, core.Options{Tracer: tracer}),
-		core.NewLinearScan(table, core.Options{Tracer: tracer}),
-		core.NewCircuitORAM(table, core.Options{Tracer: tracer, Seed: 6}),
-		core.NewDHEVaried(rows, dim, core.Options{Tracer: tracer, Seed: 7}),
+		core.MustNew(core.Lookup, rows, dim, core.Options{Table: table, Tracer: tracer}),
+		core.MustNew(core.LinearScan, rows, dim, core.Options{Table: table, Tracer: tracer}),
+		core.MustNew(core.CircuitORAM, rows, dim, core.Options{Table: table, Tracer: tracer, Seed: 6}),
+		core.MustNew(core.DHE, rows, dim, core.Options{Tracer: tracer, Seed: 7}),
 	}
 	fmt.Printf("querying %d distinct secrets; a fully leaky scheme reveals log2(%d) = 4 bits\n\n", secrets, secrets)
 	fmt.Println("technique                    leaked bits (first-touch MI)")

@@ -89,14 +89,14 @@ func TestLLMDualStory(t *testing.T) {
 	}
 	prompts := [][]int{{3, 4, 5, 6}}
 
-	pureDHE := llm.FromModel(model, core.NewDHE(d, cfg.Vocab, core.Options{}))
+	pureDHE := llm.FromModel(model, core.MustNew(core.DHE, cfg.Vocab, d.Dim, core.Options{DHE: d}))
 	_, want, err := pureDHE.Generate(prompts, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	tracer := memtrace.NewEnabled()
-	dual := core.NewDual(core.NewDHE(d, cfg.Vocab, core.Options{Tracer: tracer}), 1,
+	dual := core.NewDual(core.MustNew(core.DHE, cfg.Vocab, d.Dim, core.Options{DHE: d, Tracer: tracer}), 1,
 		core.Options{Seed: 11, Tracer: tracer})
 	pDual := llm.FromModel(model, dual)
 	tracer.Reset()

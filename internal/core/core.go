@@ -41,6 +41,10 @@ const (
 	CircuitORAM
 	// DHE computes embeddings with Deep Hash Embedding.
 	DHE
+	// LinearScanBatched is the batch-amortized scan variant: one table
+	// stream per batch instead of one per query (this repository's scan
+	// ablation; same masked work and security argument as LinearScan).
+	LinearScanBatched
 )
 
 // String names the technique as in the paper's tables.
@@ -56,6 +60,8 @@ func (t Technique) String() string {
 		return "Circuit ORAM"
 	case DHE:
 		return "DHE"
+	case LinearScanBatched:
+		return "Linear Scan (batched)"
 	}
 	return "unknown"
 }
@@ -74,13 +80,15 @@ func (t Technique) Key() string {
 		return "circuit"
 	case DHE:
 		return "dhe"
+	case LinearScanBatched:
+		return "scanb"
 	}
 	return "unknown"
 }
 
 // ParseTechnique resolves a Key back to its Technique.
 func ParseTechnique(key string) (Technique, error) {
-	for _, t := range []Technique{Lookup, LinearScan, PathORAM, CircuitORAM, DHE} {
+	for _, t := range []Technique{Lookup, LinearScan, LinearScanBatched, PathORAM, CircuitORAM, DHE} {
 		if t.Key() == key {
 			return t, nil
 		}

@@ -22,44 +22,42 @@ func mustGen(t *testing.T, g Generator, ids []uint64) *tensor.Matrix {
 	return out
 }
 
-// storageMakers builds every generator that *stores* the given table.
-var storageMakers = []struct {
-	name string
-	mk   func(tbl *tensor.Matrix, opts Options) Generator
-}{
-	{"Lookup", NewLookup},
-	{"LinearScan", NewLinearScan},
-	{"PathORAM", NewPathORAM},
-	{"CircuitORAM", NewCircuitORAM},
+// storageTechs lists every technique that *stores* the given table.
+var storageTechs = []Technique{Lookup, LinearScan, LinearScanBatched, PathORAM, CircuitORAM}
+
+// newStorage builds a storage-technique generator over tbl through the v1
+// constructor.
+func newStorage(tech Technique, tbl *tensor.Matrix, opts Options) Generator {
+	opts.Table = tbl
+	return MustNew(tech, tbl.Rows, tbl.Cols, opts)
 }
 
 func TestStorageGeneratorsAgree(t *testing.T) {
 	tbl := testTable(200, 8, 1)
-	ref := NewLookup(tbl, Options{})
+	ref := newStorage(Lookup, tbl, Options{})
 	ids := []uint64{0, 7, 199, 7, 42}
 	want := mustGen(t, ref, ids)
-	for _, m := range storageMakers[1:] {
-		g := m.mk(tbl, Options{Seed: 2})
+	for _, tech := range storageTechs[1:] {
+		g := newStorage(tech, tbl, Options{Seed: 2})
 		got := mustGen(t, g, ids)
 		if !tensor.AllClose(got, want, 0) {
-			t.Fatalf("%s output differs from direct lookup", m.name)
+			t.Fatalf("%v output differs from direct lookup", tech)
 		}
 	}
 }
 
 func TestGeneratorMetadata(t *testing.T) {
 	tbl := testTable(64, 4, 3)
-	techs := []Technique{Lookup, LinearScan, PathORAM, CircuitORAM}
-	for i, m := range storageMakers {
-		g := m.mk(tbl, Options{})
+	for _, tech := range storageTechs {
+		g := newStorage(tech, tbl, Options{})
 		if g.Rows() != 64 || g.Dim() != 4 {
-			t.Fatalf("%s metadata wrong: rows=%d dim=%d", m.name, g.Rows(), g.Dim())
+			t.Fatalf("%v metadata wrong: rows=%d dim=%d", tech, g.Rows(), g.Dim())
 		}
-		if g.Technique() != techs[i] {
-			t.Fatalf("%s Technique()=%v", m.name, g.Technique())
+		if g.Technique() != tech {
+			t.Fatalf("%v Technique()=%v", tech, g.Technique())
 		}
 		if g.NumBytes() <= 0 {
-			t.Fatalf("%s NumBytes=%d", m.name, g.NumBytes())
+			t.Fatalf("%v NumBytes=%d", tech, g.NumBytes())
 		}
 	}
 }
@@ -68,7 +66,7 @@ func TestTechniqueStringsAndSecurity(t *testing.T) {
 	if Lookup.Secure() {
 		t.Fatal("Lookup must not be secure")
 	}
-	for _, tech := range []Technique{LinearScan, PathORAM, CircuitORAM, DHE} {
+	for _, tech := range []Technique{LinearScan, LinearScanBatched, PathORAM, CircuitORAM, DHE} {
 		if !tech.Secure() {
 			t.Fatalf("%v must be secure", tech)
 		}
@@ -83,27 +81,27 @@ func TestTechniqueStringsAndSecurity(t *testing.T) {
 
 func TestOutOfRangeErrors(t *testing.T) {
 	tbl := testTable(10, 2, 4)
-	for _, m := range storageMakers {
-		out, err := m.mk(tbl, Options{}).Generate([]uint64{3, 10})
+	for _, tech := range storageTechs {
+		out, err := newStorage(tech, tbl, Options{}).Generate([]uint64{3, 10})
 		if out != nil || err == nil {
-			t.Fatalf("%s: expected error for out-of-range id, got out=%v err=%v", m.name, out, err)
+			t.Fatalf("%v: expected error for out-of-range id, got out=%v err=%v", tech, out, err)
 		}
 		if !errors.Is(err, ErrIDOutOfRange) {
-			t.Fatalf("%s: error %v must wrap ErrIDOutOfRange", m.name, err)
+			t.Fatalf("%v: error %v must wrap ErrIDOutOfRange", tech, err)
 		}
 		var re *IDRangeError
 		if !errors.As(err, &re) || re.Index != 1 || re.ID != 10 || re.Rows != 10 {
-			t.Fatalf("%s: IDRangeError details wrong: %+v", m.name, re)
+			t.Fatalf("%v: IDRangeError details wrong: %+v", tech, re)
 		}
 	}
 	// DHE bounds the virtual table the same way.
-	if _, err := NewDHEVaried(100, 8, Options{}).Generate([]uint64{100}); !errors.Is(err, ErrIDOutOfRange) {
+	if _, err := MustNew(DHE, 100, 8, Options{}).Generate([]uint64{100}); !errors.Is(err, ErrIDOutOfRange) {
 		t.Fatalf("DHE: expected ErrIDOutOfRange, got %v", err)
 	}
 }
 
 func TestDHEGeneratorBasics(t *testing.T) {
-	g := NewDHEVaried(1000, 8, Options{Seed: 5})
+	g := MustNew(DHE, 1000, 8, Options{Seed: 5})
 	out := mustGen(t, g, []uint64{1, 2, 1})
 	if out.Rows != 3 || out.Cols != 8 {
 		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
@@ -117,7 +115,7 @@ func TestDHEGeneratorBasics(t *testing.T) {
 	if _, ok := Underlying(g); !ok {
 		t.Fatal("Underlying must expose the DHE")
 	}
-	if _, ok := Underlying(NewLookup(testTable(4, 2, 1), Options{})); ok {
+	if _, ok := Underlying(newStorage(Lookup, testTable(4, 2, 1), Options{})); ok {
 		t.Fatal("Underlying must reject non-DHE generators")
 	}
 }
@@ -128,8 +126,8 @@ func TestDHEToTableRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	d := dhe.New(dhe.Config{K: 32, Hidden: []int{16}, Dim: 4, Seed: 6}, rng)
 	const rows = 50
-	gDHE := NewDHE(d, rows, Options{})
-	gScan := NewLinearScan(d.ToTable(rows), Options{})
+	gDHE := MustNew(DHE, rows, d.Dim, Options{DHE: d})
+	gScan := newStorage(LinearScan, d.ToTable(rows), Options{})
 	ids := []uint64{0, 13, 49}
 	if !tensor.AllClose(mustGen(t, gDHE, ids), mustGen(t, gScan, ids), 0) {
 		t.Fatal("DHE and its materialized table disagree")
@@ -140,9 +138,9 @@ func TestFootprintOrdering(t *testing.T) {
 	// Table VI's qualitative ordering at a representative size:
 	// ORAM > table = scan ≫ DHE.
 	tbl := testTable(1<<13, 16, 7)
-	look := NewLookup(tbl, Options{})
-	oramGen := NewCircuitORAM(tbl, Options{})
-	dheGen := NewDHEVaried(1<<13, 16, Options{})
+	look := newStorage(Lookup, tbl, Options{})
+	oramGen := newStorage(CircuitORAM, tbl, Options{})
+	dheGen := MustNew(DHE, 1<<13, 16, Options{})
 	if oramGen.NumBytes() <= look.NumBytes() {
 		t.Fatal("ORAM must cost more memory than the raw table")
 	}
@@ -157,7 +155,7 @@ func TestFootprintOrdering(t *testing.T) {
 
 func TestORAMStatsExposed(t *testing.T) {
 	tbl := testTable(128, 4, 8)
-	g := NewPathORAM(tbl, Options{})
+	g := newStorage(PathORAM, tbl, Options{})
 	s, ok := ORAMStats(g)
 	if !ok || s == nil {
 		t.Fatal("ORAMStats must work for ORAM generators")
@@ -166,7 +164,7 @@ func TestORAMStatsExposed(t *testing.T) {
 	if s.Accesses < 2 {
 		t.Fatalf("stats not advancing: %+v", s)
 	}
-	if _, ok := ORAMStats(NewLookup(tbl, Options{})); ok {
+	if _, ok := ORAMStats(newStorage(Lookup, tbl, Options{})); ok {
 		t.Fatal("ORAMStats must reject non-ORAM generators")
 	}
 }
@@ -174,19 +172,22 @@ func TestORAMStatsExposed(t *testing.T) {
 func TestThreadsSettable(t *testing.T) {
 	tbl := testTable(64, 4, 9)
 	ids := []uint64{5, 6, 7, 8}
-	for _, m := range storageMakers {
-		g := m.mk(tbl, Options{Threads: 1})
+	for _, tech := range storageTechs {
+		g := newStorage(tech, tbl, Options{Threads: 1})
 		a := mustGen(t, g, ids)
+		// Batched-scan output aliases the generator's reusable slab; keep a
+		// copy across the re-threaded run.
+		a = a.Clone()
 		g.SetThreads(4)
 		b := mustGen(t, g, ids)
 		if !tensor.AllClose(a, b, 0) {
-			t.Fatalf("%s: thread count changed results", m.name)
+			t.Fatalf("%v: thread count changed results", tech)
 		}
 	}
 }
 
 func TestFootprintRatioNaNOnEmpty(t *testing.T) {
-	g := NewDHEVaried(1000, 8, Options{})
+	g := MustNew(DHE, 1000, 8, Options{})
 	if FootprintRatio(g) <= 0 {
 		t.Fatal("ratio must be positive for real generators")
 	}

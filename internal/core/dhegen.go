@@ -31,33 +31,6 @@ func newDHEGen(d *dhe.DHE, rows int, opts Options) *dheGen {
 	return &dheGen{d: d, inf: inf, rows: rows, tracer: opts.Tracer, region: opts.region("dhe")}
 }
 
-// NewDHE wraps a (possibly trained) DHE as a generator for a virtual table
-// of `rows` entries.
-//
-// Deprecated: use New(DHE, rows, d.Dim, Options{DHE: d}).
-func NewDHE(d *dhe.DHE, rows int, opts Options) Generator {
-	opts.DHE = d
-	return mustNew(DHE, rows, d.Dim, opts)
-}
-
-// NewDHEUniform builds an untrained Uniform-architecture DHE generator
-// (k=1024, 512-256-dim decoder) — the fixed architecture of Table IV.
-//
-// Deprecated: use New(DHE, rows, dim, Options{DHEArch: ArchUniform}).
-func NewDHEUniform(rows, dim int, opts Options) Generator {
-	opts.DHE, opts.DHEArch = nil, ArchUniform
-	return mustNew(DHE, rows, dim, opts)
-}
-
-// NewDHEVaried builds an untrained Varied-architecture DHE generator,
-// scaled down with the table size per Table IV.
-//
-// Deprecated: use New(DHE, rows, dim, Options{DHEArch: ArchVaried}).
-func NewDHEVaried(rows, dim int, opts Options) Generator {
-	opts.DHE, opts.DHEArch = nil, ArchVaried
-	return mustNew(DHE, rows, dim, opts)
-}
-
 // Generate computes the batch through the DHE's dense forward pass.
 //
 // secemb:secret ids

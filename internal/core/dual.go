@@ -32,9 +32,10 @@ func NewDual(dheGen Generator, threshold int, opts Options) *Dual {
 		panic("core: NewDual requires a DHE generator")
 	}
 	table := d.ToTable(dheGen.Rows())
+	opts.Table = table
 	return &Dual{
 		dhe:       dheGen,
-		oram:      NewCircuitORAM(table, opts),
+		oram:      MustNew(CircuitORAM, table.Rows, table.Cols, opts),
 		threshold: threshold,
 	}
 }

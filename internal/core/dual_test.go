@@ -14,7 +14,7 @@ func testDual(t *testing.T, threshold int, tracer *memtrace.Tracer) *Dual {
 	t.Helper()
 	rng := rand.New(rand.NewSource(9))
 	d := dhe.New(dhe.Config{K: 32, Hidden: []int{16}, Dim: 4, Seed: 9}, rng)
-	g := NewDHE(d, 128, Options{Tracer: tracer})
+	g := MustNew(DHE, 128, d.Dim, Options{DHE: d, Tracer: tracer})
 	return NewDual(g, threshold, Options{Seed: 10, Tracer: tracer})
 }
 
@@ -143,14 +143,14 @@ func TestDualRequiresDHE(t *testing.T) {
 			t.Fatal("expected panic for non-DHE generator")
 		}
 	}()
-	NewDual(NewLookup(tbl, Options{}), 1, Options{})
+	NewDual(newStorage(Lookup, tbl, Options{}), 1, Options{})
 }
 
 func TestScanBatchedMatchesScan(t *testing.T) {
 	tbl := testTable(200, 8, 2)
 	ids := []uint64{0, 42, 199, 42}
-	a := mustGen(t, NewLinearScan(tbl, Options{}), ids)
-	b := mustGen(t, NewLinearScanBatched(tbl, Options{}), ids)
+	a := mustGen(t, newStorage(LinearScan, tbl, Options{}), ids)
+	b := mustGen(t, newStorage(LinearScanBatched, tbl, Options{}), ids)
 	if !tensor.AllClose(a, b, 0) {
 		t.Fatal("batched scan must match per-query scan exactly")
 	}
@@ -159,7 +159,7 @@ func TestScanBatchedMatchesScan(t *testing.T) {
 func TestScanBatchedTraceDeterministic(t *testing.T) {
 	tbl := testTable(64, 4, 3)
 	tracer := memtrace.NewEnabled()
-	g := NewLinearScanBatched(tbl, Options{Tracer: tracer, Threads: 1})
+	g := newStorage(LinearScanBatched, tbl, Options{Tracer: tracer, Threads: 1})
 	probe := func(ids []uint64) memtrace.Trace {
 		tracer.Reset()
 		g.Generate(ids)
@@ -178,8 +178,8 @@ func TestScanBatchedTraceDeterministic(t *testing.T) {
 
 func TestScanBatchedMetadata(t *testing.T) {
 	tbl := testTable(32, 4, 4)
-	g := NewLinearScanBatched(tbl, Options{})
-	if g.Rows() != 32 || g.Dim() != 4 || g.Technique() != LinearScan || g.NumBytes() != tbl.NumBytes() {
+	g := newStorage(LinearScanBatched, tbl, Options{})
+	if g.Rows() != 32 || g.Dim() != 4 || g.Technique() != LinearScanBatched || g.NumBytes() != tbl.NumBytes() {
 		t.Fatal("metadata wrong")
 	}
 	g.SetThreads(2)

@@ -13,7 +13,7 @@ import (
 // generator and query it without leaking the indices.
 func Example() {
 	table := tensor.NewGaussian(1000, 16, 0.1, rand.New(rand.NewSource(1)))
-	gen := core.NewLinearScan(table, core.Options{})
+	gen := core.MustNew(core.LinearScan, 1000, 16, core.Options{Table: table})
 	emb, err := gen.Generate([]uint64{42, 7})
 	fmt.Println(emb.Rows, emb.Cols, gen.Technique().Secure(), err)
 	// Output: 2 16 true <nil>
@@ -33,12 +33,12 @@ func ExampleNew() {
 	// Output: Linear Scan 100 8
 }
 
-// ExampleNewDHE builds a compute-based generator: constant memory
+// ExampleNew_dhe builds a compute-based generator: constant memory
 // footprint regardless of the virtual table size.
-func ExampleNewDHE() {
+func ExampleNew_dhe() {
 	d := dhe.New(dhe.Config{K: 64, Hidden: []int{32}, Dim: 16, Seed: 1},
 		rand.New(rand.NewSource(1)))
-	gen := core.NewDHE(d, 10_000_000, core.Options{})
+	gen := core.MustNew(core.DHE, 10_000_000, d.Dim, core.Options{DHE: d})
 	emb, _ := gen.Generate([]uint64{9_999_999})
 	fmt.Println(emb.Rows, emb.Cols, gen.NumBytes() < 1<<20)
 	// Output: 1 16 true
@@ -50,7 +50,7 @@ func ExampleNewDHE() {
 func ExampleNewDual() {
 	d := dhe.New(dhe.Config{K: 32, Hidden: []int{16}, Dim: 8, Seed: 2},
 		rand.New(rand.NewSource(2)))
-	dual := core.NewDual(core.NewDHE(d, 512, core.Options{}), 1, core.Options{Seed: 3})
+	dual := core.NewDual(core.MustNew(core.DHE, 512, d.Dim, core.Options{DHE: d}), 1, core.Options{Seed: 3})
 	fmt.Println(dual.Active(1), dual.Active(256))
 	// Output: Circuit ORAM DHE
 }

@@ -20,8 +20,8 @@ func smallCoreDHE(seed int64) *dhe.DHE {
 // pool and may carry stale contents from a previous (larger) batch.
 func TestScanBatchedReusesBuffersCorrectly(t *testing.T) {
 	tbl := testTable(128, 8, 21)
-	ref := NewLookup(tbl, Options{})
-	g := NewLinearScanBatched(tbl, Options{})
+	ref := newStorage(Lookup, tbl, Options{})
+	g := newStorage(LinearScanBatched, tbl, Options{})
 	for _, n := range []int{5, 64, 1, 17, 64} {
 		ids := make([]uint64, n)
 		for i := range ids {
@@ -40,7 +40,7 @@ func TestScanBatchedReusesBuffersCorrectly(t *testing.T) {
 // by the next Generate on the same instance.
 func TestScanBatchedOutputValidUntilNextGenerate(t *testing.T) {
 	tbl := testTable(64, 4, 22)
-	g := NewLinearScanBatched(tbl, Options{})
+	g := newStorage(LinearScanBatched, tbl, Options{})
 	first := mustGen(t, g, []uint64{3, 9}).Clone() // copy: retained past next call
 	mustGen(t, g, []uint64{50, 60})
 	again := mustGen(t, g, []uint64{3, 9})
@@ -51,7 +51,7 @@ func TestScanBatchedOutputValidUntilNextGenerate(t *testing.T) {
 
 func TestScanBatchedSteadyStateAllocs(t *testing.T) {
 	tbl := testTable(256, 16, 23)
-	g := NewLinearScanBatched(tbl, Options{})
+	g := newStorage(LinearScanBatched, tbl, Options{})
 	ids := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
 	mustGen(t, g, ids) // prime the size-class pool
 	allocs := testing.AllocsPerRun(20, func() {
@@ -71,7 +71,7 @@ func TestScanBatchedSteadyStateAllocs(t *testing.T) {
 // inference clone, so repeated calls must not allocate fresh layer outputs.
 func TestDHEGenSteadyStateAllocs(t *testing.T) {
 	d := smallCoreDHE(24)
-	g := NewDHE(d, 1000, Options{})
+	g := MustNew(DHE, 1000, d.Dim, Options{DHE: d})
 	ids := []uint64{5, 10, 15, 20}
 	mustGen(t, g, ids) // size the inference workspace
 	allocs := testing.AllocsPerRun(20, func() {
@@ -89,7 +89,7 @@ func TestDHEGenSteadyStateAllocs(t *testing.T) {
 // Underlying must still expose the original instance.
 func TestDHEGenDoesNotDisturbTraining(t *testing.T) {
 	d := smallCoreDHE(25)
-	g := NewDHE(d, 1000, Options{})
+	g := MustNew(DHE, 1000, d.Dim, Options{DHE: d})
 	ids := []uint64{1, 2, 3}
 	want, err := g.Generate(ids)
 	if err != nil {
@@ -139,7 +139,7 @@ func TestBufPoolClassesAndRecycling(t *testing.T) {
 
 func BenchmarkScanBatchedGenerate(b *testing.B) {
 	tbl := testTable(4096, 16, 31)
-	g := NewLinearScanBatched(tbl, Options{})
+	g := newStorage(LinearScanBatched, tbl, Options{})
 	ids := make([]uint64, 64)
 	for i := range ids {
 		ids[i] = uint64((i * 61) % 4096)
@@ -160,7 +160,7 @@ func BenchmarkDHEGenGenerate(b *testing.B) {
 	for _, batch := range []int{1, 64} {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
 			d := smallCoreDHE(32)
-			g := NewDHE(d, 100000, Options{})
+			g := MustNew(DHE, 100000, d.Dim, Options{DHE: d})
 			ids := make([]uint64, batch)
 			for i := range ids {
 				ids[i] = uint64(i * 17)

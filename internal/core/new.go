@@ -26,9 +26,9 @@ const (
 // untrained DHE) when Options doesn't supply representations, and — when
 // Options.Obs is set — returns the generator pre-wrapped with Instrument.
 //
-// The per-technique constructors (NewLookup, NewLinearScan, NewPathORAM,
-// NewCircuitORAM, NewDHE, NewDHEUniform, NewDHEVaried) remain as thin
-// deprecated wrappers over this function.
+// This is the v1 surface: the per-technique constructors that predated it
+// were removed; Options carries everything technique-specific (Table for
+// the storage techniques, DHE/DHEArch for DHE).
 func New(tech Technique, rows, dim int, opts Options) (Generator, error) {
 	if rows <= 0 || dim <= 0 {
 		return nil, fmt.Errorf("core: invalid shape %dx%d for %v", rows, dim, tech)
@@ -52,7 +52,7 @@ func New(tech Technique, rows, dim int, opts Options) (Generator, error) {
 			return nil, fmt.Errorf("core: DHE dim %d != requested dim %d", d.Dim, dim)
 		}
 		g = newDHEGen(d, rows, opts)
-	case Lookup, LinearScan, PathORAM, CircuitORAM:
+	case Lookup, LinearScan, LinearScanBatched, PathORAM, CircuitORAM:
 		table := opts.Table
 		if table == nil {
 			table = tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(opts.Seed)))
@@ -66,6 +66,8 @@ func New(tech Technique, rows, dim int, opts Options) (Generator, error) {
 			g = newLookupGen(table, opts)
 		case LinearScan:
 			g = newScanGen(table, opts)
+		case LinearScanBatched:
+			g = newScanBatchedGen(table, opts)
 		case PathORAM:
 			g = newORAMGen(table, PathORAM, opts)
 		case CircuitORAM:
@@ -80,10 +82,11 @@ func New(tech Technique, rows, dim int, opts Options) (Generator, error) {
 	return g, nil
 }
 
-// mustNew backs the deprecated wrappers: their inputs are
-// programmer-supplied shapes, so a construction failure is a config bug,
-// not request data.
-func mustNew(tech Technique, rows, dim int, opts Options) Generator {
+// MustNew is New for programmer-supplied shapes: a construction failure is
+// a config bug, not request data, so it panics instead of returning an
+// error. Examples, benchmarks and tests use it; services validating
+// untrusted configuration call New.
+func MustNew(tech Technique, rows, dim int, opts Options) Generator {
 	g, err := New(tech, rows, dim, opts)
 	if err != nil {
 		panic(err)

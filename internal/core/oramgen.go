@@ -37,24 +37,6 @@ func newORAMGen(table *tensor.Matrix, tech Technique, opts Options) *oramGen {
 	return &oramGen{o: o, rows: table.Rows, dim: table.Cols, tech: tech}
 }
 
-// NewPathORAM stores table in a Path ORAM (paper config: Z=4, stash 150,
-// recursion beyond 2^16 blocks).
-//
-// Deprecated: use New(PathORAM, table.Rows, table.Cols, Options{Table: table}).
-func NewPathORAM(table *tensor.Matrix, opts Options) Generator {
-	opts.Table = table
-	return mustNew(PathORAM, table.Rows, table.Cols, opts)
-}
-
-// NewCircuitORAM stores table in a Circuit ORAM (paper config: Z=4, stash
-// 10, recursion beyond 2^12 blocks).
-//
-// Deprecated: use New(CircuitORAM, table.Rows, table.Cols, Options{Table: table}).
-func NewCircuitORAM(table *tensor.Matrix, opts Options) Generator {
-	opts.Table = table
-	return mustNew(CircuitORAM, table.Rows, table.Cols, opts)
-}
-
 // tableToBlocks reinterprets each float32 row as an ORAM payload of raw
 // uint32 words.
 func tableToBlocks(table *tensor.Matrix) [][]uint32 {

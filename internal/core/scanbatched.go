@@ -29,16 +29,13 @@ type scanBatchedGen struct {
 	out tensor.Matrix
 }
 
-// NewLinearScanBatched wraps table as a batch-amortized linear-scan
-// generator.
-func NewLinearScanBatched(table *tensor.Matrix, opts Options) Generator {
-	g := &scanBatchedGen{
+func newScanBatchedGen(table *tensor.Matrix, opts Options) *scanBatchedGen {
+	return &scanBatchedGen{
 		table:   table,
 		tracer:  opts.Tracer,
 		region:  opts.region("scanb"),
 		threads: opts.Threads,
 	}
-	return Instrument(g, opts.Obs)
 }
 
 // Generate streams the table once for the whole batch, blending rows into
@@ -74,6 +71,6 @@ func (g *scanBatchedGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 
 func (g *scanBatchedGen) Rows() int            { return g.table.Rows }
 func (g *scanBatchedGen) Dim() int             { return g.table.Cols }
-func (g *scanBatchedGen) Technique() Technique { return LinearScan }
+func (g *scanBatchedGen) Technique() Technique { return LinearScanBatched }
 func (g *scanBatchedGen) NumBytes() int64      { return g.table.NumBytes() }
 func (g *scanBatchedGen) SetThreads(n int)     { g.threads = n }

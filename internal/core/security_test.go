@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"secemb/internal/memtrace"
-	"secemb/internal/tensor"
 )
 
 // traceOf runs one batch through g and returns the recorded trace.
@@ -30,10 +29,10 @@ func TestDeterministicTechniquesTraceEquality(t *testing.T) {
 		mk   func(tracer *memtrace.Tracer) Generator
 	}{
 		{"LinearScan", func(tr *memtrace.Tracer) Generator {
-			return NewLinearScan(tbl, Options{Tracer: tr, Threads: 1})
+			return newStorage(LinearScan, tbl, Options{Tracer: tr, Threads: 1})
 		}},
 		{"DHE", func(tr *memtrace.Tracer) Generator {
-			return NewDHEVaried(300, 8, Options{Tracer: tr, Seed: 2})
+			return MustNew(DHE, 300, 8, Options{Tracer: tr, Seed: 2})
 		}},
 	}
 	for _, c := range cases {
@@ -60,7 +59,7 @@ func TestDeterministicTechniquesTraceEquality(t *testing.T) {
 func TestLookupTraceLeaks(t *testing.T) {
 	tbl := testTable(100, 4, 2)
 	tracer := memtrace.NewEnabled()
-	g := NewLookup(tbl, Options{Tracer: tracer, Threads: 1})
+	g := newStorage(Lookup, tbl, Options{Tracer: tracer, Threads: 1})
 	tr := traceOf(tracer, g, []uint64{42, 7})
 	want := memtrace.Trace{{Region: "lookup", Block: 42, Op: memtrace.Read}, {Region: "lookup", Block: 7, Op: memtrace.Read}}
 	if !tr.Equal(want) {
@@ -88,10 +87,10 @@ func TestLookupMutualInformationFull(t *testing.T) {
 		return memtrace.MutualInformationBits(leak)
 	}
 
-	if mi := measure(NewLookup(tbl, Options{Tracer: tracer, Threads: 1})); mi < 3.9 {
+	if mi := measure(newStorage(Lookup, tbl, Options{Tracer: tracer, Threads: 1})); mi < 3.9 {
 		t.Fatalf("lookup MI %.2f bits, expected ≈ log2(16)=4", mi)
 	}
-	if mi := measure(NewLinearScan(tbl, Options{Tracer: tracer, Threads: 1})); mi > 1e-9 {
+	if mi := measure(newStorage(LinearScan, tbl, Options{Tracer: tracer, Threads: 1})); mi > 1e-9 {
 		t.Fatalf("linear scan MI %.4f bits, expected 0", mi)
 	}
 }
@@ -101,13 +100,10 @@ func TestLookupMutualInformationFull(t *testing.T) {
 // full distributional tests live in internal/oram).
 func TestORAMGeneratorsAccessShape(t *testing.T) {
 	tbl := testTable(256, 4, 4)
-	for _, m := range []struct {
-		name string
-		mk   func(tbl *tensor.Matrix, opts Options) Generator
-	}{{"PathORAM", NewPathORAM}, {"CircuitORAM", NewCircuitORAM}} {
-		t.Run(m.name, func(t *testing.T) {
+	for _, tech := range []Technique{PathORAM, CircuitORAM} {
+		t.Run(tech.Key(), func(t *testing.T) {
 			tracer := memtrace.NewEnabled()
-			g := m.mk(tbl, Options{Tracer: tracer, Seed: 5})
+			g := newStorage(tech, tbl, Options{Tracer: tracer, Seed: 5})
 			count := func(ids []uint64) int {
 				return len(traceOf(tracer, g, ids))
 			}
@@ -126,7 +122,7 @@ func TestORAMGeneratorsAccessShape(t *testing.T) {
 func TestScanTraceCoversWholeTablePerQuery(t *testing.T) {
 	tbl := testTable(50, 4, 6)
 	tracer := memtrace.NewEnabled()
-	g := NewLinearScan(tbl, Options{Tracer: tracer, Threads: 1})
+	g := newStorage(LinearScan, tbl, Options{Tracer: tracer, Threads: 1})
 	tr := traceOf(tracer, g, []uint64{0, 49})
 	if len(tr) != 100 {
 		t.Fatalf("scan touched %d blocks, want 2 queries × 50 rows", len(tr))

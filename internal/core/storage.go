@@ -24,14 +24,6 @@ func newLookupGen(table *tensor.Matrix, opts Options) *lookupGen {
 	}
 }
 
-// NewLookup wraps table (rows×dim) as a direct-lookup generator.
-//
-// Deprecated: use New(Lookup, table.Rows, table.Cols, Options{Table: table}).
-func NewLookup(table *tensor.Matrix, opts Options) Generator {
-	opts.Table = table
-	return mustNew(Lookup, table.Rows, table.Cols, opts)
-}
-
 // Generate gathers the requested rows directly — the insecure baseline.
 // The two waived leaks below are the point of this generator's existence:
 // the dynamic audit (internal/leakcheck) asserts they stay observable.
@@ -79,14 +71,6 @@ func newScanGen(table *tensor.Matrix, opts Options) *scanGen {
 		region:  opts.region("scan"),
 		threads: opts.Threads,
 	}
-}
-
-// NewLinearScan wraps table (rows×dim) as a linear-scan generator.
-//
-// Deprecated: use New(LinearScan, table.Rows, table.Cols, Options{Table: table}).
-func NewLinearScan(table *tensor.Matrix, opts Options) Generator {
-	opts.Table = table
-	return mustNew(LinearScan, table.Rows, table.Cols, opts)
 }
 
 // Generate serves every query with a full oblivious table scan.

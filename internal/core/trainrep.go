@@ -80,7 +80,7 @@ func BuildGenerator(rep TrainableRep, rows int, tech Technique, opts Options) Ge
 			panic("core: DHE technique requires a DHE-trained representation")
 		}
 		opts.DHE = d
-		return mustNew(DHE, rows, d.Dim, opts)
+		return MustNew(DHE, rows, d.Dim, opts)
 	}
 	var table *tensor.Matrix
 	if w, ok := TableWeights(rep); ok {
@@ -91,7 +91,7 @@ func BuildGenerator(rep TrainableRep, rows int, tech Technique, opts Options) Ge
 		panic("core: unknown trainable representation")
 	}
 	opts.Table = table
-	return mustNew(tech, table.Rows, table.Cols, opts)
+	return MustNew(tech, table.Rows, table.Cols, opts)
 }
 
 func toInts(ids []uint64) []int {

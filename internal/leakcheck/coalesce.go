@@ -32,7 +32,7 @@ func CoalescedFactory(rows, dim int, seed int64) Factory {
 		Secure: true,
 		New: func(tr *memtrace.Tracer) (core.Generator, error) {
 			table := tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(seed)))
-			gen := core.NewLinearScanBatched(table, core.Options{Tracer: tr, Threads: 1})
+			gen := core.MustNew(core.LinearScanBatched, rows, dim, core.Options{Table: table, Tracer: tr, Threads: 1})
 			return newCoalescedGen(gen), nil
 		},
 	}

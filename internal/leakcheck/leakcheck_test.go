@@ -292,7 +292,7 @@ func TestCoalesceAuditTeeth(t *testing.T) {
 		Secure: true, // claims security; the audit must prove otherwise
 		New: func(tr *memtrace.Tracer) (core.Generator, error) {
 			table := tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(seed)))
-			return &idFlushGen{inner: core.NewLinearScanBatched(table, core.Options{Tracer: tr, Threads: 1})}, nil
+			return &idFlushGen{inner: core.MustNew(core.LinearScanBatched, rows, dim, core.Options{Table: table, Tracer: tr, Threads: 1})}, nil
 		},
 	}
 	panel := Panel{

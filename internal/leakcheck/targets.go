@@ -1,11 +1,8 @@
 package leakcheck
 
 import (
-	"math/rand"
-
 	"secemb/internal/core"
 	"secemb/internal/memtrace"
-	"secemb/internal/tensor"
 )
 
 // Standard factories for the repository's generators. All run
@@ -20,19 +17,6 @@ func TechniqueFactory(tech core.Technique, rows, dim int, seed int64) Factory {
 		Secure: tech.Secure(),
 		New: func(tr *memtrace.Tracer) (core.Generator, error) {
 			return core.New(tech, rows, dim, core.Options{Seed: seed, Tracer: tr, Threads: 1})
-		},
-	}
-}
-
-// BatchedScanFactory audits the batch-amortized linear scan, which is not
-// reachable through core.New.
-func BatchedScanFactory(rows, dim int, seed int64) Factory {
-	return Factory{
-		Name:   "scanb",
-		Secure: true,
-		New: func(tr *memtrace.Tracer) (core.Generator, error) {
-			table := tensor.NewGaussian(rows, dim, 0.02, rand.New(rand.NewSource(seed)))
-			return core.NewLinearScanBatched(table, core.Options{Tracer: tr, Threads: 1}), nil
 		},
 	}
 }
@@ -65,7 +49,7 @@ func StandardFactories(rows, dim int, seed int64) []Factory {
 	return []Factory{
 		TechniqueFactory(core.Lookup, rows, dim, seed),
 		TechniqueFactory(core.LinearScan, rows, dim, seed),
-		BatchedScanFactory(rows, dim, seed),
+		TechniqueFactory(core.LinearScanBatched, rows, dim, seed),
 		TechniqueFactory(core.PathORAM, rows, dim, seed),
 		TechniqueFactory(core.CircuitORAM, rows, dim, seed),
 		TechniqueFactory(core.DHE, rows, dim, seed),

@@ -16,8 +16,11 @@ func twinPipelines(t *testing.T) (*Pipeline, *Pipeline) {
 	t.Helper()
 	cfg := Config{Vocab: 300, Dim: 16, Heads: 2, Layers: 2, MaxSeq: 16, Seed: 21}
 	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(2)))
-	a := NewRandomPipeline(cfg, core.NewLookup(tbl, core.Options{}))
-	b := NewRandomPipeline(cfg, core.NewLookup(tbl.Clone(), core.Options{}))
+	a := NewRandomPipeline(cfg, core.MustNew(core.Lookup, tbl.Rows, tbl.Cols, core.Options{Table: tbl}))
+	b := NewRandomPipeline(cfg, func() core.Generator {
+		c := tbl.Clone()
+		return core.MustNew(core.Lookup, c.Rows, c.Cols, core.Options{Table: c})
+	}())
 	return a, b
 }
 

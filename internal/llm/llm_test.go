@@ -157,7 +157,7 @@ func TestTrainingImprovesPerplexityDHE(t *testing.T) {
 func TestPipelineMatchesModel(t *testing.T) {
 	m := tinyModel(TableTok, 11)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	prompt := []int{3, 14, 15, 9, 2}
 	s := p.NewSession(1)
 	got := mustPrefill(t, s, [][]int{prompt})
@@ -173,7 +173,7 @@ func TestDecodeMatchesFullForward(t *testing.T) {
 	// sequence through the trainable path.
 	m := tinyModel(TableTok, 12)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	prompt := []int{7, 8, 9}
 	s := p.NewSession(1)
 	s.Prefill([][]int{prompt})
@@ -196,9 +196,9 @@ func TestGenerateDeterministicAcrossGenerators(t *testing.T) {
 	prompts := [][]int{{5, 6, 7}, {10, 11, 12}}
 	var ref [][]int
 	for i, gen := range []core.Generator{
-		core.NewLookup(w, core.Options{}),
-		core.NewLinearScan(w, core.Options{}),
-		core.NewCircuitORAM(w, core.Options{Seed: 14}),
+		core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}),
+		core.MustNew(core.LinearScan, w.Rows, w.Cols, core.Options{Table: w}),
+		core.MustNew(core.CircuitORAM, w.Rows, w.Cols, core.Options{Table: w, Seed: 14}),
 	} {
 		p := FromModel(m, gen)
 		_, out, err := p.Generate(prompts, 6)
@@ -222,7 +222,7 @@ func TestGenerateDeterministicAcrossGenerators(t *testing.T) {
 func TestSessionTimingRecorded(t *testing.T) {
 	m := tinyModel(TableTok, 15)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	s, outs, err := p.Generate([][]int{{1, 2, 3, 4}}, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +249,7 @@ func TestGreedyNextUsesArgmax(t *testing.T) {
 func TestPrefillErrors(t *testing.T) {
 	m := tinyModel(TableTok, 16)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	s := p.NewSession(1)
 	mustPrefill(t, s, [][]int{{1}})
 	if _, err := s.Prefill([][]int{{2}}); err == nil {
@@ -283,7 +283,7 @@ func TestNumBytesTiedVsUntied(t *testing.T) {
 func TestRandomPipelineRuns(t *testing.T) {
 	cfg := Config{Vocab: 300, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 16, Seed: 18}
 	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(1)))
-	p := NewRandomPipeline(cfg, core.NewLookup(tbl, core.Options{}))
+	p := NewRandomPipeline(cfg, core.MustNew(core.Lookup, tbl.Rows, tbl.Cols, core.Options{Table: tbl}))
 	s, outs, err := p.Generate([][]int{{1, 2}}, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -318,7 +318,7 @@ func TestLLMCheckpointRoundTrip(t *testing.T) {
 func TestGenerateSampled(t *testing.T) {
 	m := tinyModel(TableTok, 50)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	prompts := [][]int{{3, 4, 5}}
 	rng := rand.New(rand.NewSource(51))
 	s, outs, err := p.GenerateSampled(prompts, 6, 5, 1.0, rng)
@@ -348,7 +348,7 @@ func TestMultiStepDecodeMatchesFullForward(t *testing.T) {
 	// sequence through the trainable path at every step.
 	m := tinyModel(TableTok, 52)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	prompt := []int{2, 9, 4}
 	s := p.NewSession(1)
 	s.Prefill([][]int{prompt})
@@ -371,7 +371,7 @@ func TestBatchedPrefillPerSequenceConsistency(t *testing.T) {
 	// prefill gives it (no cross-sequence contamination).
 	m := tinyModel(TableTok, 53)
 	w, _ := core.TableWeights(m.Tok)
-	p := FromModel(m, core.NewLookup(w, core.Options{}))
+	p := FromModel(m, core.MustNew(core.Lookup, w.Rows, w.Cols, core.Options{Table: w}))
 	prompts := [][]int{{1, 2}, {30, 31, 32}, {60}}
 	s := p.NewSession(3)
 	batched := mustPrefill(t, s, prompts)

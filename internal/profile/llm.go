@@ -29,10 +29,10 @@ func ProfileLLM(vocab, dim int, batches []int, reps int, seed int64) LLMResult {
 	tbl := tensor.NewGaussian(vocab, dim, 0.02, rng)
 	res := LLMResult{Vocab: vocab, Dim: dim, Batches: batches}
 
-	lookup := core.NewLookup(tbl, core.Options{})
-	scan := core.NewLinearScan(tbl, core.Options{})
-	circ := core.NewCircuitORAM(tbl, core.Options{Seed: seed})
-	d := core.NewDHE(newLLMDHE(dim, seed), vocab, core.Options{})
+	lookup := core.MustNew(core.Lookup, vocab, dim, core.Options{Table: tbl})
+	scan := core.MustNew(core.LinearScan, vocab, dim, core.Options{Table: tbl})
+	circ := core.MustNew(core.CircuitORAM, vocab, dim, core.Options{Table: tbl, Seed: seed})
+	d := core.MustNew(core.DHE, vocab, dim, core.Options{DHE: newLLMDHE(dim, seed)})
 
 	for _, b := range batches {
 		res.LookupNs = append(res.LookupNs, measureGenerator(lookup, b, reps))

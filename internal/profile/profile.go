@@ -106,14 +106,14 @@ func ProfileConfig(dim int, kind DHEKind, cfg ExecConfig, sizes []int, reps int,
 	res := Result{Dim: dim, Kind: kind, Config: cfg, Sizes: sizes}
 	for _, n := range sizes {
 		tbl := tensor.NewGaussian(n, dim, 0.1, newRng(seed+int64(n)))
-		scan := core.NewLinearScan(tbl, core.Options{Threads: 1})
+		scan := core.MustNew(core.LinearScan, n, dim, core.Options{Table: tbl, Threads: 1})
 		scanNs := measureGenerator(scan, cfg.Batch, reps) / threadSpeedup(cfg.Threads, scanThreadExponent)
 
 		var dheGen core.Generator
 		if kind == Uniform {
-			dheGen = core.NewDHEUniform(n, dim, core.Options{Seed: seed, Threads: 1})
+			dheGen = core.MustNew(core.DHE, n, dim, core.Options{DHEArch: core.ArchUniform, Seed: seed, Threads: 1})
 		} else {
-			dheGen = core.NewDHEVaried(n, dim, core.Options{Seed: seed, Threads: 1})
+			dheGen = core.MustNew(core.DHE, n, dim, core.Options{DHEArch: core.ArchVaried, Seed: seed, Threads: 1})
 		}
 		dheNs := measureGenerator(dheGen, cfg.Batch, reps) / threadSpeedup(cfg.Threads, dheThreadExponent)
 

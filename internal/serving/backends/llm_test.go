@@ -13,7 +13,7 @@ func testLLMPipeline(t *testing.T) *llm.Pipeline {
 	t.Helper()
 	cfg := llm.Config{Vocab: 200, Dim: 16, Heads: 2, Layers: 1, MaxSeq: 16, Seed: 31}
 	tbl := tensor.NewGaussian(cfg.Vocab, cfg.Dim, 0.02, rand.New(rand.NewSource(3)))
-	return llm.NewRandomPipeline(cfg, core.NewLookup(tbl, core.Options{}))
+	return llm.NewRandomPipeline(cfg, core.MustNew(core.Lookup, tbl.Rows, tbl.Cols, core.Options{Table: tbl}))
 }
 
 func TestLLMPrefillThenDecodeThroughAdapters(t *testing.T) {

@@ -120,7 +120,7 @@ func (g *Group) execute(be Backend, batch []*task, payloads []any) {
 		// their own cancellation cause in case they are still racing.
 		if err := t.ctx.Err(); err != nil {
 			g.mCanceled.Inc()
-			g.finish(t, Response{Err: err})
+			g.finish(t, Response{Err: err, QueueWait: now.Sub(t.enqueued), Shard: t.shard})
 			continue
 		}
 		live = append(live, t)
@@ -148,16 +148,17 @@ func (g *Group) execute(be Backend, batch []*task, payloads []any) {
 	}
 	g.mu.Unlock()
 	for i, t := range live {
+		wait := now.Sub(t.enqueued)
 		switch {
 		case err != nil:
 			g.mErrors.Inc()
-			g.finish(t, Response{Err: err, Latency: lat})
+			g.finish(t, Response{Err: err, Latency: lat, QueueWait: wait, Shard: t.shard})
 		case results[i].Err != nil:
 			g.mErrors.Inc()
-			g.finish(t, Response{Err: results[i].Err, Latency: lat})
+			g.finish(t, Response{Err: results[i].Err, Latency: lat, QueueWait: wait, Shard: t.shard})
 		default:
 			g.mServed.Inc()
-			g.finish(t, Response{Value: results[i].Value, Latency: lat})
+			g.finish(t, Response{Value: results[i].Value, Latency: lat, QueueWait: wait, Shard: t.shard})
 		}
 	}
 }

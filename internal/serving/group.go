@@ -251,14 +251,16 @@ func (g *Group) TryDo(ctx context.Context, key uint64, payload any) Response {
 // on the task only when ok is true; otherwise the returned Response is
 // final and the task has been recycled.
 func (g *Group) enqueue(t *task, block bool) (Response, bool) {
-	s := g.shards[g.ShardOf(t.key)]
+	t.shard = g.ShardOf(t.key)
+	s := g.shards[t.shard]
 	// Hold the lifecycle read-lock across the send so Close cannot close
 	// the queue mid-send.
 	g.lifecycle.RLock()
 	if g.closed {
 		g.lifecycle.RUnlock()
+		shard := t.shard
 		recycle(t)
-		return Response{Err: ErrClosed}, false
+		return Response{Err: ErrClosed, Shard: shard}, false
 	}
 	t.enqueued = time.Now()
 	select {
@@ -283,8 +285,9 @@ func (g *Group) enqueue(t *task, block bool) (Response, bool) {
 			return Response{}, true
 		case <-t.ctx.Done():
 			g.lifecycle.RUnlock()
+			err, shard := t.ctx.Err(), t.shard
 			recycle(t)
-			return Response{Err: t.ctx.Err()}, false
+			return Response{Err: err, Shard: shard}, false
 		case <-timer.C:
 			return g.shedTask(t), false
 		}
@@ -297,8 +300,9 @@ func (g *Group) enqueue(t *task, block bool) (Response, bool) {
 		return Response{}, true
 	case <-t.ctx.Done():
 		g.lifecycle.RUnlock()
+		err, shard := t.ctx.Err(), t.shard
 		recycle(t)
-		return Response{Err: t.ctx.Err()}, false
+		return Response{Err: err, Shard: shard}, false
 	}
 }
 
@@ -309,8 +313,9 @@ func (g *Group) shedTask(t *task) Response {
 	g.lifecycle.RUnlock()
 	g.shed.Add(1)
 	g.mShed.Inc()
+	shard := t.shard
 	recycle(t)
-	return Response{Err: ErrQueueFull}
+	return Response{Err: ErrQueueFull, Shard: shard}
 }
 
 // Stats summarizes the group's service so far. Percentiles come from a

@@ -55,14 +55,27 @@ type Backend interface {
 	Execute(payloads []any) ([]Result, error)
 }
 
-// Response carries one request's answer back to its caller.
+// Response carries one request's answer back to its caller. This is the
+// v1 response surface: every field is stable, and the wire layer
+// (internal/wire) serializes QueueWait, Shard and Status() verbatim.
 type Response struct {
-	// Value is the backend-defined result (nil on error).
+	// Value is the backend-defined result (nil on error). Hot-path
+	// backends may hand out views of fused outputs; see each backend's
+	// ownership contract.
 	Value any
+	// Err is the request's failure, classified by Status()/StatusOf.
+	Err error
 	// Latency is the fused-execution time of the batch that served this
-	// request (queue wait excluded; see serving_coalesce_wait_ns).
+	// request (queue wait excluded). Zero when the request never reached
+	// a backend (shed, closed, canceled while queued).
 	Latency time.Duration
-	Err     error
+	// QueueWait is the admission-to-flush wait: how long the request sat
+	// in its shard queue (plus coalescing hold) before executing. Zero
+	// when the request was refused at admission.
+	QueueWait time.Duration
+	// Shard is the replica group the routing key mapped to — always set,
+	// even for refused requests, so callers can attribute shed load.
+	Shard int
 }
 
 // ErrClosed is returned for requests submitted after Close.

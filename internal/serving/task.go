@@ -24,6 +24,7 @@ type task struct {
 	payload  any
 	ctx      context.Context
 	key      uint64
+	shard    int // routed shard index; set before any response is built
 	enqueued time.Time
 	state    atomic.Int32
 	resp     chan Response

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"secemb/internal/serving"
+	"secemb/internal/tensor"
+)
+
+// ClientConfig shapes a wire client.
+type ClientConfig struct {
+	// Addr is the server's host:port.
+	Addr string
+	// Key mints connection tokens (must match the server's when it
+	// requires tokens).
+	Key Key
+	// TokenTTL is how far ahead minted tokens expire (tokens are reminted
+	// when less than half the TTL remains). 0 → 1 minute.
+	TokenTTL time.Duration
+	// Timeout bounds each Embed round trip. 0 → no client deadline.
+	Timeout time.Duration
+}
+
+// Client speaks the wire protocol over h2c. Each Client owns its own
+// Transport — and therefore its own TCP connection pool — so a soak
+// harness holding N Clients holds N real connections. A single Client is
+// safe for concurrent use: its streams multiplex onto the connection.
+type Client struct {
+	cfg ClientConfig
+	hc  *http.Client
+	url string
+
+	mu    sync.Mutex // guards token
+	token Token
+}
+
+// Result is one Embed outcome as observed on the wire.
+type Result struct {
+	// Status is the server's taxonomy code for the request.
+	Status serving.Status
+	// Shard is the replica group that served (or refused) the request.
+	Shard int
+	// QueueWait is the server-reported queue wait.
+	QueueWait time.Duration
+	// Flags echoes the response frame's flag bits (FlagAuthFailed, …).
+	Flags uint8
+	// Rows holds the embeddings on StatusOK, nil otherwise.
+	Rows *tensor.Matrix
+	// BytesOut and BytesIn are the request and (padded) response frame
+	// sizes actually transferred.
+	BytesOut, BytesIn int
+	// RetryAfter echoes the server's backoff hint on retryable statuses.
+	RetryAfter time.Duration
+}
+
+// NewClient builds a client for addr. The transport speaks h2c with prior
+// knowledge, matching the server side of NewServer.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.TokenTTL <= 0 {
+		cfg.TokenTTL = time.Minute
+	}
+	var protos http.Protocols
+	protos.SetUnencryptedHTTP2(true)
+	tr := &http.Transport{Protocols: &protos}
+	return &Client{
+		cfg: cfg,
+		hc:  &http.Client{Transport: tr, Timeout: cfg.Timeout},
+		url: "http://" + cfg.Addr + "/v1/embed",
+	}
+}
+
+// Close releases the client's pooled connections.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// freshToken returns the cached token, reminting once less than half the
+// TTL remains.
+func (c *Client) freshToken() Token {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if time.Unix(c.token.Expiry, 0).Sub(now) < c.cfg.TokenTTL/2 {
+		c.token = NewToken(c.cfg.Key, now.Add(c.cfg.TokenTTL))
+	}
+	return c.token
+}
+
+// Embed requests embeddings for ids routed by key. A non-nil error means
+// the round trip itself failed (transport error, undecodable frame);
+// server-side refusals come back as a Result with a non-OK Status.
+func (c *Client) Embed(ctx context.Context, key uint64, ids []uint64) (*Result, error) {
+	frame, err := AppendRequest(nil, &Request{
+		Op:    OpEmbed,
+		Token: c.freshToken(),
+		Key:   key,
+		IDs:   ids,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: read response: %w", err)
+	}
+	resp, err := ParseResponse(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: HTTP %d: %w", httpResp.StatusCode, err)
+	}
+	res := &Result{
+		Status:    serving.Status(resp.Status),
+		Shard:     int(resp.Shard),
+		Flags:     resp.Flags,
+		QueueWait: time.Duration(resp.QueueWait) * time.Microsecond,
+		Rows:      resp.Rows,
+		BytesOut:  len(frame),
+		BytesIn:   resp.PaddedLen,
+	}
+	if ra := httpResp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := time.ParseDuration(ra + "s"); err == nil {
+			res.RetryAfter = secs
+		}
+	}
+	return res, nil
+}
+
+// Health probes /healthz; it returns nil when the server is accepting.
+func (c *Client) Health(ctx context.Context) error {
+	u := "http://" + c.cfg.Addr + "/healthz"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("wire: healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

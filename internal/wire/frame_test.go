@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"secemb/internal/tensor"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var k Key
+	k[0] = 7
+	tok := NewToken(k, time.Unix(4102444800, 0)) // far future
+	want := &Request{
+		Op:    OpEmbed,
+		Token: tok,
+		Key:   0xdeadbeefcafe,
+		IDs:   []uint64{3, 1, 4, 1, 5, 9, 2, 6},
+	}
+	buf, err := AppendRequest(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRequest(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != want.Op || got.Key != want.Key || got.Token != want.Token {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	if len(got.IDs) != len(want.IDs) {
+		t.Fatalf("ids: got %v", got.IDs)
+	}
+	for i := range want.IDs {
+		if got.IDs[i] != want.IDs[i] {
+			t.Fatalf("id %d: got %d want %d", i, got.IDs[i], want.IDs[i])
+		}
+	}
+}
+
+func TestParseRequestRejects(t *testing.T) {
+	tok := NewToken(Key{}, time.Now())
+	good, err := AppendRequest(nil, &Request{Op: OpEmbed, Token: tok, IDs: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		max  int
+	}{
+		{"empty", nil, 0},
+		{"truncated", good[:len(good)-1], 0},
+		{"trailing", append(append([]byte{}, good...), 0), 0},
+		{"bad_version", func() []byte {
+			b := append([]byte{}, good...)
+			b[prefixLen] = 99
+			return b
+		}(), 0},
+		{"over_cap", good, 2},
+		{"bad_prefix", func() []byte {
+			b := append([]byte{}, good...)
+			b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseRequest(tc.buf, tc.max); err == nil {
+				t.Fatal("parse accepted a malformed frame")
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	rows := tensor.NewGaussian(5, 8, 1.0, rand.New(rand.NewSource(1)))
+	buf, err := AppendResponse(nil, 0, 3, 0, 12345, rows, 5, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FrameLen(8, 8); len(buf) != want {
+		t.Fatalf("frame is %d bytes, want bucket size %d", len(buf), want)
+	}
+	got, err := ParseResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != 0 || got.Shard != 3 || got.QueueWait != 12345 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Rows.Rows != 5 || got.Rows.Cols != 8 {
+		t.Fatalf("rows %dx%d, want 5x8", got.Rows.Rows, got.Rows.Cols)
+	}
+	for i := range rows.Data {
+		if got.Rows.Data[i] != rows.Data[i] {
+			t.Fatalf("data[%d]: got %v want %v", i, got.Rows.Data[i], rows.Data[i])
+		}
+	}
+	if got.PaddedLen != len(buf) {
+		t.Fatalf("PaddedLen %d, want %d", got.PaddedLen, len(buf))
+	}
+}
+
+// Error responses occupy exactly the same frame size as successes for the
+// same public count — outcome is size-invisible.
+func TestResponsePaddingUniform(t *testing.T) {
+	const capRows, dim = 64, 16
+	for count := 1; count <= capRows; count++ {
+		rows := tensor.New(count, dim)
+		okFrame, err := AppendResponse(nil, 0, 0, 0, 0, rows, count, capRows, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errFrame, err := AppendResponse(nil, 4, 0, 0, 0, nil, count, capRows, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(okFrame) != len(errFrame) {
+			t.Fatalf("count %d: ok frame %dB, error frame %dB — outcome leaks in size",
+				count, len(okFrame), len(errFrame))
+		}
+		if want := FrameLen(BucketRows(count, capRows), dim); len(okFrame) != want {
+			t.Fatalf("count %d: frame %dB, want %dB", count, len(okFrame), want)
+		}
+	}
+}
+
+func TestBucketRows(t *testing.T) {
+	cases := []struct{ count, capRows, want int }{
+		{1, 64, 1}, {2, 64, 2}, {3, 64, 4}, {4, 64, 4}, {5, 64, 8},
+		{8, 64, 8}, {9, 64, 16}, {33, 64, 64}, {64, 64, 64},
+		{65, 64, 64},  // clamped to cap
+		{100, 48, 48}, // non-power-of-two cap clamps too
+		{0, 64, 1},
+	}
+	for _, tc := range cases {
+		if got := BucketRows(tc.count, tc.capRows); got != tc.want {
+			t.Errorf("BucketRows(%d, %d) = %d, want %d", tc.count, tc.capRows, got, tc.want)
+		}
+	}
+}
+
+func TestTokenVerify(t *testing.T) {
+	var k, k2 Key
+	k[5], k2[5] = 1, 2
+	now := time.Now()
+	tok := NewToken(k, now.Add(time.Minute))
+	if !tok.Verify(k, now) {
+		t.Fatal("valid token rejected")
+	}
+	if tok.Verify(k2, now) {
+		t.Fatal("token verified under the wrong key")
+	}
+	if tok.Verify(k, now.Add(2*time.Minute)) {
+		t.Fatal("expired token verified")
+	}
+	forged := tok
+	forged.Expiry += 3600 // extend lifetime without re-MACing
+	if forged.Verify(k, now) {
+		t.Fatal("forged expiry verified")
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	var k Key
+	for i := range k {
+		k[i] = byte(i)
+	}
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatal("hex round trip mismatch")
+	}
+	if _, err := ParseKey("abc"); err == nil {
+		t.Fatal("short key accepted")
+	}
+}

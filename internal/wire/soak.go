@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"secemb/internal/serving"
+)
+
+// SoakConfig shapes a soak/load run against a wire server.
+type SoakConfig struct {
+	// Addr is the target server.
+	Addr string
+	// Key mints tokens for every connection.
+	Key Key
+	// Conns is how many concurrent connections (one worker + one Client —
+	// hence one TCP connection — each) the run holds open.
+	Conns int
+	// Duration is how long the run lasts.
+	Duration time.Duration
+	// Batch is the ids per request.
+	Batch int
+	// IDSpace bounds the random ids ([0, IDSpace)); match the served
+	// table's row count.
+	IDSpace int
+	// Timeout bounds each request round trip. 0 → 5s.
+	Timeout time.Duration
+	// Seed makes the id streams reproducible.
+	Seed int64
+}
+
+// SoakReport aggregates a run.
+type SoakReport struct {
+	Conns      int           `json:"conns"`
+	Duration   time.Duration `json:"duration"`
+	Requests   int64         `json:"requests"`
+	OK         int64         `json:"ok"`
+	Shed       int64         `json:"shed"`   // 429/503: overloaded or unavailable
+	Errors     int64         `json:"errors"` // transport failures + non-retryable non-OK
+	P50        time.Duration `json:"p50"`
+	P99        time.Duration `json:"p99"`
+	Max        time.Duration `json:"max"`
+	Throughput float64       `json:"throughput_rps"`
+	BytesIn    int64         `json:"bytes_in"`
+	BytesOut   int64         `json:"bytes_out"`
+}
+
+// ShedRate is the fraction of requests refused with a retryable status.
+func (r *SoakReport) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+// ErrorRate is the fraction of requests that failed outright.
+func (r *SoakReport) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 1
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// BytesPerRequest is the mean padded response size observed.
+func (r *SoakReport) BytesPerRequest() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.BytesIn) / float64(r.Requests)
+}
+
+func (r *SoakReport) String() string {
+	return fmt.Sprintf(
+		"soak: %d conns × %v: %d requests (%.0f rps), ok=%d shed=%d (%.2f%%) errors=%d, p50=%v p99=%v max=%v, %.0f B/resp",
+		r.Conns, r.Duration.Round(time.Millisecond), r.Requests, r.Throughput,
+		r.OK, r.Shed, 100*r.ShedRate(), r.Errors, r.P50, r.P99, r.Max, r.BytesPerRequest())
+}
+
+// SoakGate is the pass/fail criteria applied to a report.
+type SoakGate struct {
+	// MaxP99 fails the run when the p99 latency exceeds it. 0 → ungated.
+	MaxP99 time.Duration
+	// MaxShedRate fails the run when more than this fraction of requests
+	// were shed. Negative → ungated (shedding under deliberate overload is
+	// the point).
+	MaxShedRate float64
+	// MaxErrorRate fails the run when more than this fraction of requests
+	// errored outright. The zero value gates at 0 — any hard error fails.
+	MaxErrorRate float64
+	// MinRequests fails the run when fewer requests completed (a stuck
+	// server passes every rate gate by doing nothing). 0 → ungated.
+	MinRequests int64
+}
+
+// Check applies the gate; a non-nil error describes the first violated
+// criterion.
+func (g SoakGate) Check(r *SoakReport) error {
+	if g.MinRequests > 0 && r.Requests < g.MinRequests {
+		return fmt.Errorf("soak gate: %d requests completed, need ≥%d", r.Requests, g.MinRequests)
+	}
+	if g.MaxP99 > 0 && r.P99 > g.MaxP99 {
+		return fmt.Errorf("soak gate: p99 %v exceeds %v", r.P99, g.MaxP99)
+	}
+	if g.MaxShedRate >= 0 && r.ShedRate() > g.MaxShedRate {
+		return fmt.Errorf("soak gate: shed rate %.2f%% exceeds %.2f%%", 100*r.ShedRate(), 100*g.MaxShedRate)
+	}
+	if r.ErrorRate() > g.MaxErrorRate {
+		return fmt.Errorf("soak gate: error rate %.2f%% exceeds %.2f%% (%d errors)",
+			100*r.ErrorRate(), 100*g.MaxErrorRate, r.Errors)
+	}
+	return nil
+}
+
+// soakSampleCap bounds the per-worker latency sample (uniform reservoir),
+// keeping memory constant however long the run.
+const soakSampleCap = 4096
+
+// soakWorker is one connection's tally.
+type soakWorker struct {
+	requests, ok, shed, errs int64
+	bytesIn, bytesOut        int64
+	sample                   []time.Duration
+	seen                     int64
+	rng                      *rand.Rand
+}
+
+func (w *soakWorker) observe(d time.Duration) {
+	w.seen++
+	if len(w.sample) < soakSampleCap {
+		w.sample = append(w.sample, d)
+		return
+	}
+	if i := w.rng.Int63n(w.seen); i < soakSampleCap {
+		w.sample[i] = d
+	}
+}
+
+// RunSoak holds cfg.Conns concurrent connections against cfg.Addr for
+// cfg.Duration, each worker issuing back-to-back Embed requests with its
+// own Client (own transport, own TCP connection). It returns the merged
+// report; apply a SoakGate to pass/fail it.
+func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Conns < 1 || cfg.Duration <= 0 || cfg.Batch < 1 || cfg.IDSpace < 1 {
+		return nil, fmt.Errorf("wire: soak needs conns ≥1, duration >0, batch ≥1, idspace ≥1")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	workers := make([]*soakWorker, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		w := &soakWorker{rng: rand.New(rand.NewSource(cfg.Seed + int64(i)))}
+		workers[i] = w
+		wg.Add(1)
+		go func(i int, w *soakWorker) {
+			defer wg.Done()
+			client := NewClient(ClientConfig{Addr: cfg.Addr, Key: cfg.Key, Timeout: timeout})
+			defer client.Close()
+			ids := make([]uint64, cfg.Batch)
+			key := uint64(i)
+			for runCtx.Err() == nil {
+				for j := range ids {
+					ids[j] = uint64(w.rng.Intn(cfg.IDSpace))
+				}
+				t0 := time.Now()
+				res, err := client.Embed(runCtx, key, ids)
+				if err != nil {
+					if runCtx.Err() != nil {
+						return // run over; an aborted in-flight call is not an error
+					}
+					w.requests++
+					w.errs++
+					continue
+				}
+				w.requests++
+				w.bytesIn += int64(res.BytesIn)
+				w.bytesOut += int64(res.BytesOut)
+				switch {
+				case res.Status.Retryable():
+					w.shed++
+					if res.RetryAfter > 0 {
+						select {
+						case <-time.After(res.RetryAfter):
+						case <-runCtx.Done():
+						}
+					}
+				case res.Status != serving.StatusOK:
+					w.errs++
+				default:
+					w.ok++
+					w.observe(time.Since(t0))
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &SoakReport{Conns: cfg.Conns, Duration: elapsed}
+	var merged []time.Duration
+	for _, w := range workers {
+		rep.Requests += w.requests
+		rep.OK += w.ok
+		rep.Shed += w.shed
+		rep.Errors += w.errs
+		rep.BytesIn += w.bytesIn
+		rep.BytesOut += w.bytesOut
+		merged = append(merged, w.sample...)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(merged) > 0 {
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		rep.P50 = merged[len(merged)/2]
+		rep.P99 = merged[len(merged)*99/100]
+		rep.Max = merged[len(merged)-1]
+	}
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// macLen is the token MAC size (HMAC-SHA256).
+const macLen = sha256.Size
+
+// Key is the shared connection-token secret. The front door and its
+// clients hold the same 32-byte key; a request whose token MAC does not
+// verify (or whose expiry has passed) is rejected before it reaches the
+// serving stack.
+type Key [32]byte
+
+// ParseKey decodes a 64-hex-digit key string.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("wire: key must be %d hex bytes", len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// String renders the key as hex (for -token-key flags).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Token authenticates a connection: an expiry plus an HMAC over it. The
+// token is bearer-style and bound to nothing but time, so its only secret
+// is the shared key — ids never enter the MAC input.
+type Token struct {
+	MAC    [macLen]byte
+	Expiry int64 // unix seconds
+}
+
+// tokenContext domain-separates the MAC from any other use of the key.
+const tokenContext = "secemb-wire-token-v1"
+
+func tokenMAC(k Key, expiry int64) [macLen]byte {
+	m := hmac.New(sha256.New, k[:])
+	m.Write([]byte(tokenContext))
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], uint64(expiry))
+	m.Write(e[:])
+	var out [macLen]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// NewToken mints a token valid until expiry.
+func NewToken(k Key, expiry time.Time) Token {
+	e := expiry.Unix()
+	return Token{MAC: tokenMAC(k, e), Expiry: e}
+}
+
+// Verify checks the token's MAC (constant-time) and that it has not
+// expired as of now.
+func (t Token) Verify(k Key, now time.Time) bool {
+	want := tokenMAC(k, t.Expiry)
+	return hmac.Equal(want[:], t.MAC[:]) && now.Unix() <= t.Expiry
+}
