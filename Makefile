@@ -53,14 +53,15 @@ leakcheck:
 	$(GO) run ./cmd/leakcheck -src . -out leakcheck_report.json
 
 # soak-short is the CI-scale front-door soak: a self-hosted secembd over
-# the Dual-DHE group, a few hundred concurrent h2c connections for a few
-# seconds, gated on p99 latency and shed rate. The full acceptance run
+# the Dual-DHE group, a few hundred concurrent TLS+h2 connections (-tls
+# self-signs an ephemeral cert, exercising the deployment transport) for a
+# few seconds, gated on p99 latency and shed rate. The full acceptance run
 # (≥1000 conns, ≥60s — see README) uses the same command with bigger
 # -conns/-duration.
 SOAK_CONNS ?= 256
 SOAK_DURATION ?= 5s
 soak-short:
-	$(GO) run ./cmd/secembd -soak -technique dual -rows 1024 -dim 32 -threshold 4 \
+	$(GO) run ./cmd/secembd -soak -tls -technique dual -rows 1024 -dim 32 -threshold 4 \
 		-backends 2 -conns $(SOAK_CONNS) -duration $(SOAK_DURATION) -batch 2 \
 		-max-p99 500ms -max-shed 0.05 -min-requests 1000
 

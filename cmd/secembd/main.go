@@ -6,28 +6,34 @@
 // Dual-DHE hybrid by default — replicated across -backends workers in
 // -shards replica groups, and serves /v1/embed with fixed-bucket response
 // padding, HMAC connection tokens, per-connection backpressure, and
-// load-shedding that maps serving.ErrQueueFull / draining onto 429/503
-// with Retry-After. SIGINT/SIGTERM triggers a two-stage graceful drain:
-// health checks and new requests go 503 for -drain-grace (load balancers
-// route away), then the listener closes, in-flight requests finish, and
-// the serving group drains its queues.
+// load-shedding that maps serving.ErrQueueFull / draining onto the wire
+// status byte with an in-frame backoff hint (the HTTP layer always
+// answers 200 so outcomes are invisible outside the padded frame).
+// -tls-cert/-tls-key terminate TLS on the listener; without them the
+// server speaks cleartext h2c and must sit behind an encrypting tunnel —
+// request frames carry the secret ids. SIGINT/SIGTERM triggers a
+// two-stage graceful drain: health checks and new requests go 503 for
+// -drain-grace (load balancers route away), then the listener closes,
+// in-flight requests finish, and the serving group drains its queues.
 //
 // Soak mode (-soak) is the load generator: it holds -conns concurrent
 // connections (each its own TCP connection) against -target for
 // -duration, then reports p50/p99 latency, shed rate and bytes/request,
 // exiting non-zero when the -max-p99 / -max-shed / -min-requests gate
 // fails. With no -target it self-hosts an in-process server first — the
-// CI `make soak-short` path.
+// CI `make soak-short` path; add -tls to self-host with an ephemeral
+// self-signed certificate so the run exercises the TLS+h2 path.
 //
 // Usage:
 //
-//	secembd [-addr :9090] [-technique dual] [-rows 4096] [-dim 64] ...
-//	secembd -soak [-target host:port] -conns 1000 -duration 60s ...
+//	secembd [-addr :9090] [-technique dual] [-rows 4096] [-dim 64] [-tls-cert c.pem -tls-key k.pem] ...
+//	secembd -soak [-target host:port] [-tls [-tls-insecure]] -conns 1000 -duration 60s ...
 package main
 
 import (
 	"context"
 	"crypto/rand"
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +70,8 @@ type config struct {
 	drainGrace time.Duration
 	tokenKey   string
 	seed       int64
+	tlsCert    string
+	tlsKey     string
 
 	// soak
 	soak        bool
@@ -74,6 +82,8 @@ type config struct {
 	maxP99      time.Duration
 	maxShed     float64
 	minRequests int64
+	useTLS      bool
+	tlsInsecure bool
 }
 
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
@@ -94,10 +104,14 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&c.connStr, "conn-streams", 0, "serve: per-connection concurrent stream cap (0 → default)")
 	fs.DurationVar(&c.timeout, "timeout", 2*time.Second, "serve: per-request deadline in the serving stack")
 	fs.DurationVar(&c.drainGrace, "drain-grace", time.Second, "serve: 503 period before the listener closes on SIGTERM")
-	fs.StringVar(&c.tokenKey, "token-key", "", "hex HMAC key; serve: require tokens / soak: mint them (empty in serve mode → generate and log, tokens optional)")
+	fs.StringVar(&c.tokenKey, "token-key", "", "hex HMAC key; serve: require tokens / soak: mint them (empty in serve mode → tokens optional)")
 	fs.Int64Var(&c.seed, "seed", 1, "serve: representation seed / soak: id stream seed")
+	fs.StringVar(&c.tlsCert, "tls-cert", "", "serve: PEM certificate file; with -tls-key, terminate TLS on the listener")
+	fs.StringVar(&c.tlsKey, "tls-key", "", "serve: PEM private key file for -tls-cert")
 
 	fs.BoolVar(&c.soak, "soak", false, "run the load generator instead of serving")
+	fs.BoolVar(&c.useTLS, "tls", false, "soak: dial TLS (self-hosted runs mint an ephemeral self-signed cert)")
+	fs.BoolVar(&c.tlsInsecure, "tls-insecure", false, "soak: skip certificate verification against an external -target")
 	fs.StringVar(&c.target, "target", "", "soak: server address (empty → self-host an in-process server)")
 	fs.IntVar(&c.conns, "conns", 1000, "soak: concurrent connections")
 	fs.DurationVar(&c.duration, "duration", 60*time.Second, "soak: run length")
@@ -167,18 +181,39 @@ func resolveKey(c *config, stdout io.Writer) (wire.Key, bool, error) {
 		k, err := wire.ParseKey(c.tokenKey)
 		return k, true, err
 	}
-	// Generate a key so operators can connect authenticated clients later,
-	// but don't require tokens nobody was given.
+	// No operator key → tokens are not required. A random key still backs
+	// the server so nothing ever verifies against a guessable zero key; it
+	// is deliberately never printed — long-lived secret material does not
+	// belong in stdout/journald.
 	var k wire.Key
 	if _, err := rand.Read(k[:]); err != nil {
 		return k, false, err
 	}
-	fmt.Fprintf(stdout, "secembd: generated token key %s (tokens not required; pass -token-key to enforce)\n", k)
+	fmt.Fprintln(stdout, "secembd: tokens not required (pass -token-key to enforce)")
 	return k, false, nil
+}
+
+// resolveServeTLS loads the listener TLS config, or explains what running
+// without one means.
+func resolveServeTLS(c *config, stdout io.Writer) (*tls.Config, error) {
+	if c.tlsCert == "" && c.tlsKey == "" {
+		fmt.Fprintln(stdout, "secembd: WARNING: serving cleartext h2c — request frames carry secret ids; "+
+			"deploy behind an encrypting tunnel/mesh, or pass -tls-cert/-tls-key to terminate TLS here")
+		return nil, nil
+	}
+	if c.tlsCert == "" || c.tlsKey == "" {
+		return nil, fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	return wire.LoadServerTLS(c.tlsCert, c.tlsKey)
 }
 
 func runServe(c *config, stdout, stderr io.Writer) int {
 	key, require, err := resolveKey(c, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "secembd:", err)
+		return 2
+	}
+	tlsCfg, err := resolveServeTLS(c, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "secembd:", err)
 		return 2
@@ -195,6 +230,7 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 		MaxBatch:     c.maxBatch,
 		Key:          key,
 		RequireToken: require,
+		TLS:          tlsCfg,
 		ConnStreams:  c.connStr,
 		Timeout:      c.timeout,
 		Reg:          reg,
@@ -204,8 +240,12 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "secembd:", err)
 		return 2
 	}
-	fmt.Fprintf(stdout, "secembd: serving %s %dx%d on %s (%d backends, %d shards, max-batch %d)\n",
-		c.technique, c.rows, c.dim, addr, c.nBackends, group.Shards(), c.maxBatch)
+	proto := "h2c"
+	if tlsCfg != nil {
+		proto = "tls"
+	}
+	fmt.Fprintf(stdout, "secembd: serving %s %dx%d on %s/%s (%d backends, %d shards, max-batch %d)\n",
+		c.technique, c.rows, c.dim, addr, proto, c.nBackends, group.Shards(), c.maxBatch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -237,10 +277,24 @@ func runSoak(c *config, stdout, stderr io.Writer) int {
 	}
 
 	target := c.target
+	var clientTLS *tls.Config
+	if c.useTLS && target != "" {
+		clientTLS = &tls.Config{InsecureSkipVerify: c.tlsInsecure}
+	}
 	var cleanup func()
 	if target == "" {
 		// Self-hosted soak: spin the full serve stack in-process so the
-		// run exercises the real network path end to end.
+		// run exercises the real network path end to end; with -tls that
+		// includes TLS termination via an ephemeral self-signed cert.
+		var serverTLS *tls.Config
+		if c.useTLS {
+			var err error
+			serverTLS, clientTLS, err = wire.SelfSignedTLS()
+			if err != nil {
+				fmt.Fprintln(stderr, "secembd:", err)
+				return 2
+			}
+		}
 		group, err := buildGroup(c, nil)
 		if err != nil {
 			fmt.Fprintln(stderr, "secembd:", err)
@@ -252,6 +306,7 @@ func runSoak(c *config, stdout, stderr io.Writer) int {
 			MaxBatch:     c.maxBatch,
 			Key:          key,
 			RequireToken: c.tokenKey != "",
+			TLS:          serverTLS,
 			ConnStreams:  c.connStr,
 			Timeout:      c.timeout,
 		})
@@ -279,6 +334,7 @@ func runSoak(c *config, stdout, stderr io.Writer) int {
 		IDSpace:  c.rows,
 		Timeout:  c.timeout + 5*time.Second,
 		Seed:     c.seed,
+		TLS:      clientTLS,
 	})
 	if cleanup != nil {
 		cleanup()

@@ -82,9 +82,12 @@ func (s Status) String() string {
 	return "unknown"
 }
 
-// HTTPStatus maps the code onto the HTTP status the front door answers
-// with: 429 for shed load and 503 for draining (both with Retry-After),
-// 400 for malformed requests, 504 for expired deadlines.
+// HTTPStatus is the REST-equivalent mapping of the code: 429 for shed
+// load, 503 for draining, 400 for malformed requests, 504 for expired
+// deadlines. It exists for diagnostics and any future unpadded endpoint —
+// the binary front door deliberately does NOT answer with it (every
+// /v1/embed outcome is HTTP 200; the Status byte travels inside the
+// padded frame so outcomes are invisible at the HTTP layer).
 func (s Status) HTTPStatus() int {
 	switch s {
 	case StatusOK:

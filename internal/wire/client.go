@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,12 +26,26 @@ type ClientConfig struct {
 	TokenTTL time.Duration
 	// Timeout bounds each Embed round trip. 0 → no client deadline.
 	Timeout time.Duration
+	// TLS, when non-nil, dials the server over TLS (ALPN h2) instead of
+	// cleartext h2c; it must trust the server's certificate (see
+	// SelfSignedTLS for the loopback pairing).
+	TLS *tls.Config
+	// MaxResponseBytes caps how much of a response Embed will buffer; a
+	// longer response is an error, not an allocation — the frame header's
+	// rows/dim fields are server-controlled and must not let a hostile
+	// server balloon client memory. 0 → DefaultMaxResponseBytes.
+	MaxResponseBytes int
 }
 
-// Client speaks the wire protocol over h2c. Each Client owns its own
-// Transport — and therefore its own TCP connection pool — so a soak
-// harness holding N Clients holds N real connections. A single Client is
-// safe for concurrent use: its streams multiplex onto the connection.
+// DefaultMaxResponseBytes bounds response reads (64 MiB — far above any
+// realistic bucket×dim frame, far below harm).
+const DefaultMaxResponseBytes = 64 << 20
+
+// Client speaks the wire protocol over HTTP/2 — TLS when configured, h2c
+// otherwise. Each Client owns its own Transport — and therefore its own
+// TCP connection pool — so a soak harness holding N Clients holds N real
+// connections. A single Client is safe for concurrent use: its streams
+// multiplex onto the connection.
 type Client struct {
 	cfg ClientConfig
 	hc  *http.Client
@@ -55,23 +70,36 @@ type Result struct {
 	// BytesOut and BytesIn are the request and (padded) response frame
 	// sizes actually transferred.
 	BytesOut, BytesIn int
-	// RetryAfter echoes the server's backoff hint on retryable statuses.
+	// RetryAfter echoes the server's in-frame backoff hint on retryable
+	// statuses.
 	RetryAfter time.Duration
 }
 
-// NewClient builds a client for addr. The transport speaks h2c with prior
-// knowledge, matching the server side of NewServer.
+// NewClient builds a client for addr. With cfg.TLS set the transport
+// dials TLS and negotiates h2 via ALPN; without it, h2c with prior
+// knowledge — matching the two modes of NewServer.
 func NewClient(cfg ClientConfig) *Client {
 	if cfg.TokenTTL <= 0 {
 		cfg.TokenTTL = time.Minute
 	}
+	if cfg.MaxResponseBytes <= 0 {
+		cfg.MaxResponseBytes = DefaultMaxResponseBytes
+	}
 	var protos http.Protocols
-	protos.SetUnencryptedHTTP2(true)
-	tr := &http.Transport{Protocols: &protos}
+	scheme := "http://"
+	tr := &http.Transport{}
+	if cfg.TLS != nil {
+		protos.SetHTTP2(true)
+		tr.TLSClientConfig = cfg.TLS
+		scheme = "https://"
+	} else {
+		protos.SetUnencryptedHTTP2(true)
+	}
+	tr.Protocols = &protos
 	return &Client{
 		cfg: cfg,
 		hc:  &http.Client{Transport: tr, Timeout: cfg.Timeout},
-		url: "http://" + cfg.Addr + "/v1/embed",
+		url: scheme + cfg.Addr + "/v1/embed",
 	}
 }
 
@@ -113,34 +141,35 @@ func (c *Client) Embed(ctx context.Context, key uint64, ids []uint64) (*Result, 
 		return nil, err
 	}
 	defer httpResp.Body.Close()
-	body, err := io.ReadAll(httpResp.Body)
+	// A hostile or buggy server must not be able to balloon this read:
+	// cap it before buffering, then let ParseResponse's length checks
+	// bound any decode allocation by what was actually received.
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, int64(c.cfg.MaxResponseBytes)+1))
 	if err != nil {
 		return nil, fmt.Errorf("wire: read response: %w", err)
+	}
+	if len(body) > c.cfg.MaxResponseBytes {
+		return nil, fmt.Errorf("%w: response exceeds %d bytes", ErrFrameSize, c.cfg.MaxResponseBytes)
 	}
 	resp, err := ParseResponse(body)
 	if err != nil {
 		return nil, fmt.Errorf("wire: HTTP %d: %w", httpResp.StatusCode, err)
 	}
-	res := &Result{
-		Status:    serving.Status(resp.Status),
-		Shard:     int(resp.Shard),
-		Flags:     resp.Flags,
-		QueueWait: time.Duration(resp.QueueWait) * time.Microsecond,
-		Rows:      resp.Rows,
-		BytesOut:  len(frame),
-		BytesIn:   resp.PaddedLen,
-	}
-	if ra := httpResp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := time.ParseDuration(ra + "s"); err == nil {
-			res.RetryAfter = secs
-		}
-	}
-	return res, nil
+	return &Result{
+		Status:     serving.Status(resp.Status),
+		Shard:      int(resp.Shard),
+		Flags:      resp.Flags,
+		QueueWait:  time.Duration(resp.QueueWait) * time.Microsecond,
+		Rows:       resp.Rows,
+		BytesOut:   len(frame),
+		BytesIn:    resp.PaddedLen,
+		RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond,
+	}, nil
 }
 
 // Health probes /healthz; it returns nil when the server is accepting.
 func (c *Client) Health(ctx context.Context) error {
-	u := "http://" + c.cfg.Addr + "/healthz"
+	u := c.url[:len(c.url)-len("/v1/embed")] + "/healthz"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err

@@ -1,15 +1,22 @@
 // Package wire is the network front door's binary protocol: a
 // length-prefixed request codec, HMAC connection tokens, and fixed-bucket
-// response padding, served over cleartext HTTP/2 (h2c) by Server and
-// consumed by Client.
+// response padding, served over HTTP/2 by Server and consumed by Client —
+// TLS (ALPN h2) when ServerConfig.TLS is set, cleartext h2c otherwise.
 //
 // Security: the response a client observes on the network — its size and
 // its framing — must not depend on the embedded ids. Every response is
 // padded up to a bucket determined solely by the request's id *count*,
 // which is public in the threat model (§V-B: batch sizes are public; the
-// ids are not), and error responses pad to the same bucket as successes so
-// the outcome is size-invisible too. The full request path is audited
-// dynamically by the "wire" target in the leakcheck roster.
+// ids are not), and error responses pad to the same bucket as successes,
+// answer the same HTTP status (200), and carry the same headers, so the
+// outcome is invisible outside the frame body too. The full request path
+// is audited dynamically by the "wire" target in the leakcheck roster.
+//
+// Scope: padding hides ids from an observer who sees only ciphertext
+// sizes and timing. Request frames carry the ids themselves, so over
+// cleartext h2c an on-path observer reads them (and the bearer token)
+// directly — deploy h2c only inside an encrypting tunnel or service mesh,
+// or set ServerConfig.TLS/ClientConfig.TLS to terminate TLS here.
 package wire
 
 import (
@@ -39,8 +46,8 @@ const (
 	// count(2).
 	reqHeaderLen = 1 + 1 + macLen + 8 + 8 + 2
 	// respHeaderLen: version(1) + status(1) + shard(1) + flags(1) +
-	// queue-wait µs(4) + rows(2) + dim(2).
-	respHeaderLen = 1 + 1 + 1 + 1 + 4 + 2 + 2
+	// queue-wait µs(4) + rows(2) + dim(2) + retry-after ms(2).
+	respHeaderLen = 1 + 1 + 1 + 1 + 4 + 2 + 2 + 2
 	// prefixLen is the u32 length prefix on both frame kinds.
 	prefixLen = 4
 )
@@ -130,15 +137,20 @@ func ParseRequest(buf []byte, maxIDs int) (*Request, error) {
 	return r, nil
 }
 
-// Response is one decoded embed response.
+// Response is one decoded embed response (and, on the encode side, the
+// header AppendResponse serializes).
 type Response struct {
 	Status    uint8 // serving.Status byte
 	Shard     uint8
 	Flags     uint8
 	QueueWait uint32 // microseconds, saturating
-	Rows      *tensor.Matrix
+	// RetryAfterMS is the server's backoff hint for retryable statuses,
+	// milliseconds (0 → none). It rides inside the padded frame — never a
+	// header — so its presence cannot distinguish outcomes on the wire.
+	RetryAfterMS uint16
+	Rows         *tensor.Matrix
 	// PaddedLen is the on-the-wire frame length including prefix and
-	// padding — what a network observer sees.
+	// padding — what a network observer sees. Decode-only.
 	PaddedLen int
 }
 
@@ -170,10 +182,10 @@ func FrameLen(bucketRows, dim int) int {
 	return prefixLen + respHeaderLen + 4*bucketRows*dim
 }
 
-// AppendResponse encodes one response frame onto dst, padded with zeros to
-// the bucket for (count, capRows) at dimension dim. rows may be nil (error
-// responses); when non-nil its row data is serialized as f32 big-endian.
-// The layout is:
+// AppendResponse encodes r onto dst as one response frame, padded with
+// zeros to the bucket for (count, capRows) at dimension dim. r.Rows may be
+// nil (error responses); when non-nil its row data is serialized as f32
+// big-endian. r.PaddedLen is ignored. The layout is:
 //
 //	u32  length of the remainder (always the padded size)
 //	u8   version
@@ -183,28 +195,30 @@ func FrameLen(bucketRows, dim int) int {
 //	u32  queue wait, microseconds (saturating)
 //	u16  rows
 //	u16  dim
+//	u16  retry-after hint, milliseconds
 //	f32× row data
 //	0×   zero padding up to the bucket size
-func AppendResponse(dst []byte, status, shard, flags uint8, queueWaitUS uint32, rows *tensor.Matrix, count, capRows, dim int) ([]byte, error) {
+func AppendResponse(dst []byte, r *Response, count, capRows, dim int) ([]byte, error) {
 	bucket := BucketRows(count, capRows)
 	total := FrameLen(bucket, dim)
 	nr := 0
-	if rows != nil {
-		nr = rows.Rows
-		if rows.Cols != dim {
-			return dst, fmt.Errorf("%w: %d-col rows for dim %d", ErrBadFrame, rows.Cols, dim)
+	if r.Rows != nil {
+		nr = r.Rows.Rows
+		if r.Rows.Cols != dim {
+			return dst, fmt.Errorf("%w: %d-col rows for dim %d", ErrBadFrame, r.Rows.Cols, dim)
 		}
 		if nr > bucket {
 			return dst, fmt.Errorf("%w: %d rows exceed bucket %d", ErrBadFrame, nr, bucket)
 		}
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(total-prefixLen))
-	dst = append(dst, Version, status, shard, flags)
-	dst = binary.BigEndian.AppendUint32(dst, queueWaitUS)
+	dst = append(dst, Version, r.Status, r.Shard, r.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, r.QueueWait)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(nr))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(dim))
-	if rows != nil {
-		for _, v := range rows.Data[:nr*dim] {
+	dst = binary.BigEndian.AppendUint16(dst, r.RetryAfterMS)
+	if r.Rows != nil {
+		for _, v := range r.Rows.Data[:nr*dim] {
 			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(v))
 		}
 	}
@@ -227,11 +241,12 @@ func ParseResponse(buf []byte) (*Response, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, p[0])
 	}
 	r := &Response{
-		Status:    p[1],
-		Shard:     p[2],
-		Flags:     p[3],
-		QueueWait: binary.BigEndian.Uint32(p[4:]),
-		PaddedLen: len(buf),
+		Status:       p[1],
+		Shard:        p[2],
+		Flags:        p[3],
+		QueueWait:    binary.BigEndian.Uint32(p[4:]),
+		RetryAfterMS: binary.BigEndian.Uint16(p[12:]),
+		PaddedLen:    len(buf),
 	}
 	nr := int(binary.BigEndian.Uint16(p[8:]))
 	dim := int(binary.BigEndian.Uint16(p[10:]))

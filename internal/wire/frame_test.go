@@ -76,7 +76,8 @@ func TestParseRequestRejects(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	rows := tensor.NewGaussian(5, 8, 1.0, rand.New(rand.NewSource(1)))
-	buf, err := AppendResponse(nil, 0, 3, 0, 12345, rows, 5, 64, 8)
+	hdr := &Response{Shard: 3, QueueWait: 12345, RetryAfterMS: 50, Rows: rows}
+	buf, err := AppendResponse(nil, hdr, 5, 64, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Status != 0 || got.Shard != 3 || got.QueueWait != 12345 {
+	if got.Status != 0 || got.Shard != 3 || got.QueueWait != 12345 || got.RetryAfterMS != 50 {
 		t.Fatalf("header mismatch: %+v", got)
 	}
 	if got.Rows.Rows != 5 || got.Rows.Cols != 8 {
@@ -109,11 +110,11 @@ func TestResponsePaddingUniform(t *testing.T) {
 	const capRows, dim = 64, 16
 	for count := 1; count <= capRows; count++ {
 		rows := tensor.New(count, dim)
-		okFrame, err := AppendResponse(nil, 0, 0, 0, 0, rows, count, capRows, dim)
+		okFrame, err := AppendResponse(nil, &Response{Rows: rows}, count, capRows, dim)
 		if err != nil {
 			t.Fatal(err)
 		}
-		errFrame, err := AppendResponse(nil, 4, 0, 0, 0, nil, count, capRows, dim)
+		errFrame, err := AppendResponse(nil, &Response{Status: 4, RetryAfterMS: 50}, count, capRows, dim)
 		if err != nil {
 			t.Fatal(err)
 		}

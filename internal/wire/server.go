@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"io"
 	"net"
@@ -36,12 +37,20 @@ type ServerConfig struct {
 	Key Key
 	// RequireToken rejects requests whose token fails Verify.
 	RequireToken bool
+	// TLS, when non-nil, terminates TLS on the listener (ALPN h2 +
+	// http/1.1; see LoadServerTLS / SelfSignedTLS). When nil the server
+	// speaks cleartext h2c and MUST sit behind an encrypting tunnel or
+	// mesh — request frames carry the secret ids and the bearer token in
+	// the clear, so outside such a tunnel an on-path observer reads the
+	// very secrets the response padding protects, and can replay the
+	// token until it expires.
+	TLS *tls.Config
 	// ConnStreams caps concurrently-served requests per client connection
 	// (per-connection backpressure: excess streams are answered 429
 	// immediately instead of queueing server-side). 0 → DefaultConnStreams.
 	ConnStreams int
-	// RetryAfter is the hint attached to 429/503 responses.
-	// 0 → DefaultRetryAfter.
+	// RetryAfter is the backoff hint carried inside the padded frame on
+	// retryable (overloaded/unavailable) outcomes. 0 → DefaultRetryAfter.
 	RetryAfter time.Duration
 	// Timeout bounds each request's time in the serving stack (queue wait
 	// included). 0 → no server-imposed deadline.
@@ -59,8 +68,8 @@ const (
 	DefaultRetryAfter  = 50 * time.Millisecond
 )
 
-// Server is the h2c front door: it terminates the binary protocol and
-// dispatches into a serving.Group. One Server owns its http.Server; Close
+// Server is the HTTP/2 front door (TLS or h2c): it terminates the binary
+// protocol and dispatches into a serving.Group. One Server owns its http.Server; Close
 // (or Shutdown) both stops accepting and marks the instance draining so
 // in-flight requests finish while new ones are refused with 503.
 type Server struct {
@@ -83,16 +92,24 @@ type connKeyType struct{}
 
 var connKey connKeyType
 
-// NewServer builds the front door. The returned server speaks HTTP/1.1
-// and cleartext HTTP/2 (h2c) on the same port; soak-scale clients use h2c
-// so thousands of logical connections multiplex onto a few sockets — or
-// one socket each, for per-connection backpressure testing.
+// NewServer builds the front door. With cfg.TLS set the server terminates
+// TLS and negotiates HTTP/2 via ALPN; without it the server speaks
+// HTTP/1.1 and cleartext HTTP/2 (h2c) on the same port — see
+// ServerConfig.TLS for the tunnel requirement that mode carries. Either
+// way, soak-scale clients multiplex thousands of logical connections onto
+// a few sockets — or one socket each, for per-connection backpressure
+// testing.
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.Group == nil {
 		panic("wire: ServerConfig.Group is required")
 	}
 	if cfg.Dim < 1 {
 		panic("wire: ServerConfig.Dim is required")
+	}
+	if n := cfg.Group.Shards(); n > 256 {
+		// The response frame's shard field is one byte; silently truncating
+		// indices ≥256 would misattribute shards on the wire.
+		panic("wire: group has " + strconv.Itoa(n) + " shards; the wire shard field caps at 256")
 	}
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = DefaultMaxBatch
@@ -126,7 +143,8 @@ func NewServer(cfg ServerConfig) *Server {
 
 	var protos http.Protocols
 	protos.SetHTTP1(true)
-	protos.SetUnencryptedHTTP2(true)
+	protos.SetHTTP2(true)
+	protos.SetUnencryptedHTTP2(cfg.TLS == nil)
 	s.srv = &http.Server{
 		Handler:   mux,
 		Protocols: &protos,
@@ -139,8 +157,14 @@ func NewServer(cfg ServerConfig) *Server {
 	return s
 }
 
-// Serve accepts connections on ln until Shutdown or Close.
-func (s *Server) Serve(ln net.Listener) error { return s.srv.Serve(ln) }
+// Serve accepts connections on ln until Shutdown or Close, wrapping ln
+// with TLS when the server was configured with a TLS config.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.cfg.TLS != nil {
+		ln = tls.NewListener(ln, serverTLS(s.cfg.TLS))
+	}
+	return s.srv.Serve(ln)
+}
 
 // Listen binds addr and serves in a background goroutine, returning the
 // bound address (useful with ":0").
@@ -149,7 +173,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	go func() { _ = s.srv.Serve(ln) }()
+	go func() { _ = s.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
 
@@ -189,9 +213,11 @@ func (s *Server) maxRequestLen() int64 {
 }
 
 // handleEmbed is the v1 embed endpoint. Every outcome — success, shed,
-// draining, auth failure, malformed count — answers with a response frame
-// padded to the bucket of the request's public id count, so outcome and
-// ids are equally invisible in response sizes.
+// draining, auth failure, malformed count — answers HTTP 200 with an
+// identical header set and a response frame padded to the bucket of the
+// request's public id count: the outcome lives only in the frame's status
+// byte, so neither the status line, the headers, nor the response size
+// distinguishes outcomes or ids on the wire.
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mRequests.Inc()
@@ -199,24 +225,10 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.draining.Load() {
-		s.reject(w, "draining", serving.StatusUnavailable, FlagDraining, 1)
-		return
-	}
 
-	// Per-connection backpressure: each connection gets a fixed stream
-	// budget; a connection that overruns it sheds locally without touching
-	// the shared serving queues.
-	if cs, ok := r.Context().Value(connKey).(*connStreams); ok {
-		select {
-		case cs.sem <- struct{}{}:
-			defer func() { <-cs.sem }()
-		default:
-			s.reject(w, "overload", serving.StatusOverloaded, 0, 1)
-			return
-		}
-	}
-
+	// Parse before any outcome decision: every rejection of a parseable
+	// request — draining, backpressure, auth — pads to the bucket of the
+	// request's real count, so no outcome shows up as a size change.
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxRequestLen()+1))
 	if err != nil {
 		s.reject(w, "malformed", serving.StatusInvalidArgument, 0, 1)
@@ -233,9 +245,26 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	count := len(req.IDs)
+	if s.draining.Load() {
+		s.reject(w, "draining", serving.StatusUnavailable, FlagDraining, count)
+		return
+	}
 	if s.cfg.RequireToken && !req.Token.Verify(s.cfg.Key, time.Now()) {
 		s.reject(w, "auth", serving.StatusInvalidArgument, FlagAuthFailed, count)
 		return
+	}
+
+	// Per-connection backpressure: each connection gets a fixed stream
+	// budget; a connection that overruns it sheds locally without touching
+	// the shared serving queues.
+	if cs, ok := r.Context().Value(connKey).(*connStreams); ok {
+		select {
+		case cs.sem <- struct{}{}:
+			defer func() { <-cs.sem }()
+		default:
+			s.reject(w, "overload", serving.StatusOverloaded, 0, count)
+			return
+		}
 	}
 
 	ctx := r.Context()
@@ -266,32 +295,59 @@ func (s *Server) reject(w http.ResponseWriter, reason string, st serving.Status,
 	s.writeFrame(w, st, 0, flags, 0, nil, count)
 }
 
+// writeFrame answers with a padded frame. The HTTP layer is deliberately
+// outcome-invariant: always status 200, always the same headers — under
+// h2c the plaintext status line is constant, and under TLS the HEADERS
+// frame size is too. The serving status, and the retry backoff hint for
+// retryable outcomes, travel only inside the padded body.
 func (s *Server) writeFrame(w http.ResponseWriter, st serving.Status, shard, flags uint8, waitUS uint32, rows *tensor.Matrix, count int) {
-	frame, err := AppendResponse(nil, uint8(st), shard, flags, waitUS, rows, count, s.cfg.MaxBatch, s.cfg.Dim)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	hdr := &Response{
+		Status:    uint8(st),
+		Shard:     shard,
+		Flags:     flags,
+		QueueWait: waitUS,
+		Rows:      rows,
 	}
-	code := st.HTTPStatus()
+	if st.Retryable() {
+		hdr.RetryAfterMS = saturateMS(s.cfg.RetryAfter)
+	}
+	frame, err := AppendResponse(nil, hdr, count, s.cfg.MaxBatch, s.cfg.Dim)
+	if err != nil {
+		// Unreachable without a programming error (dim/bucket mismatch);
+		// answer a constant-size internal frame rather than a variable one.
+		hdr.Status, hdr.Rows = uint8(serving.StatusInternal), nil
+		frame, _ = AppendResponse(nil, hdr, count, s.cfg.MaxBatch, s.cfg.Dim)
+	}
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Content-Length", strconv.Itoa(len(frame)))
-	if st.Retryable() {
-		h.Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-	}
-	w.WriteHeader(code)
+	w.WriteHeader(http.StatusOK)
 	n, _ := w.Write(frame)
 	s.mBytesOut.Add(int64(n))
 }
 
 // retryAfterSeconds renders a Retry-After header value (integer seconds,
-// minimum 1 — the header has no sub-second form).
+// minimum 1 — the header has no sub-second form). Only /healthz uses it;
+// the embed path keeps its backoff hint inside the padded frame.
 func retryAfterSeconds(d time.Duration) string {
 	secs := int(d / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// saturateMS converts a backoff hint to whole milliseconds, saturating at
+// the frame field's u16 range and rounding sub-millisecond hints up to 1.
+func saturateMS(d time.Duration) uint16 {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		return 1
+	}
+	if ms > int64(^uint16(0)) {
+		return ^uint16(0)
+	}
+	return uint16(ms)
 }
 
 func saturateUS(d time.Duration) uint32 {

@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"math/rand"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -75,6 +78,125 @@ func TestEmbedRoundTrip(t *testing.T) {
 	if want := FrameLen(BucketRows(len(ids), 16), testDim); res.BytesIn != want {
 		t.Fatalf("response is %dB, want padded %dB", res.BytesIn, want)
 	}
+}
+
+// TestTLSRoundTrip drives the same path over real TLS (ALPN h2): the
+// transport the deployment docs require for the padding guarantee to mean
+// anything.
+func TestTLSRoundTrip(t *testing.T) {
+	srvTLS, cliTLS, err := SelfSignedTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key Key
+	key[1] = 4
+	s, addr, table := testStack(t, ServerConfig{Key: key, RequireToken: true, TLS: srvTLS})
+	defer func() { _ = s.DrainAll(context.Background()) }()
+
+	c := NewClient(ClientConfig{Addr: addr, Key: key, Timeout: 5 * time.Second, TLS: cliTLS})
+	defer c.Close()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ids := []uint64{2, 7}
+	res, err := c.Embed(context.Background(), 1, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serving.StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	for i, id := range ids {
+		want, got := table.Row(int(id)), res.Rows.Row(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d col %d mismatch over TLS", i, j)
+			}
+		}
+	}
+	// A cleartext h2c client against the TLS listener must fail, not fall
+	// back silently.
+	plain := NewClient(ClientConfig{Addr: addr, Key: key, Timeout: 2 * time.Second})
+	defer plain.Close()
+	if _, err := plain.Embed(context.Background(), 1, ids); err == nil {
+		t.Fatal("cleartext client succeeded against a TLS listener")
+	}
+}
+
+// TestOutcomeHTTPInvisible pins the HTTP-layer contract of DESIGN §12.2:
+// every embed outcome answers status 200 with an identical header set —
+// the outcome lives only inside the padded frame, so neither the status
+// line nor a conditional Retry-After distinguishes outcomes on the wire.
+func TestOutcomeHTTPInvisible(t *testing.T) {
+	var key, wrong Key
+	key[0], wrong[0] = 1, 2
+	s, addr, _ := testStack(t, ServerConfig{Key: key, RequireToken: true})
+	defer func() { _ = s.DrainAll(context.Background()) }()
+
+	post := func(k Key) *http.Response {
+		t.Helper()
+		frame, err := AppendRequest(nil, &Request{
+			Op:    OpEmbed,
+			Token: NewToken(k, time.Now().Add(time.Minute)),
+			IDs:   []uint64{1, 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post("http://"+addr+"/v1/embed", "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	okResp := post(key)
+	authResp := post(wrong)
+	s.StartDrain()
+	drainResp := post(key)
+
+	for name, resp := range map[string]*http.Response{"ok": okResp, "auth": authResp, "draining": drainResp} {
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s outcome answered HTTP %d, want 200 for every outcome", name, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			t.Errorf("%s outcome carries Retry-After header %q — backoff hints belong inside the frame", name, ra)
+		}
+		if cl, want := resp.ContentLength, okResp.ContentLength; cl != want {
+			t.Errorf("%s outcome Content-Length %d != success %d", name, cl, want)
+		}
+	}
+}
+
+// TestClientResponseReadCap: the client refuses to buffer a response
+// larger than its cap instead of trusting server-controlled sizes.
+func TestClientResponseReadCap(t *testing.T) {
+	s, addr, _ := testStack(t, ServerConfig{})
+	defer func() { _ = s.DrainAll(context.Background()) }()
+	c := NewClient(ClientConfig{Addr: addr, Timeout: 5 * time.Second, MaxResponseBytes: 16})
+	defer c.Close()
+	_, err := c.Embed(context.Background(), 1, []uint64{1})
+	if !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("got %v, want ErrFrameSize for an over-cap response", err)
+	}
+}
+
+// TestShardCapRejected: the response frame's shard field is one byte, so
+// configs whose shard indices would truncate are refused at construction.
+func TestShardCapRejected(t *testing.T) {
+	bes := make([]serving.Backend, 257)
+	for i := range bes {
+		bes[i] = &slowBackend{dim: testDim}
+	}
+	g := serving.NewGroup(bes, serving.GroupConfig{QueueDepth: 1})
+	defer g.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer accepted a 257-shard group; shard bytes would truncate")
+		}
+	}()
+	NewServer(ServerConfig{Group: g, Dim: testDim})
 }
 
 func TestEmbedRejectsBadToken(t *testing.T) {

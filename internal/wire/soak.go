@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"crypto/tls"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -31,6 +32,9 @@ type SoakConfig struct {
 	Timeout time.Duration
 	// Seed makes the id streams reproducible.
 	Seed int64
+	// TLS, when non-nil, makes every worker dial over TLS (see
+	// ClientConfig.TLS).
+	TLS *tls.Config
 }
 
 // SoakReport aggregates a run.
@@ -163,7 +167,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		wg.Add(1)
 		go func(i int, w *soakWorker) {
 			defer wg.Done()
-			client := NewClient(ClientConfig{Addr: cfg.Addr, Key: cfg.Key, Timeout: timeout})
+			client := NewClient(ClientConfig{Addr: cfg.Addr, Key: cfg.Key, Timeout: timeout, TLS: cfg.TLS})
 			defer client.Close()
 			ids := make([]uint64, cfg.Batch)
 			key := uint64(i)

@@ -35,6 +35,11 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // Token authenticates a connection: an expiry plus an HMAC over it. The
 // token is bearer-style and bound to nothing but time, so its only secret
 // is the shared key — ids never enter the MAC input.
+//
+// Being a bearer credential, anyone who observes a token can replay it
+// until its expiry: tokens are only meaningful over TLS (or inside an
+// encrypting tunnel), where an on-path observer cannot read them. Keep
+// TTLs short; channel-bound tokens are a possible v2 hardening.
 type Token struct {
 	MAC    [macLen]byte
 	Expiry int64 // unix seconds
