@@ -65,23 +65,36 @@ soak-short:
 		-backends 2 -conns $(SOAK_CONNS) -duration $(SOAK_DURATION) -batch 2 \
 		-max-p99 500ms -max-shed 0.05 -min-requests 1000
 
-# benchdiff gates BENCH_hotpath.json: >15% ns/op regression vs the
+# benchdiff gates BENCH_hotpath.json: ns/op regression vs the
 # committed baseline, or any allocation on a zero-alloc path, fails.
+# The CI limit is 25%, above the tool's 15% default: repeated captures
+# of identical code on this shared 1-CPU host spread ±15–25% ns/op
+# (CPU steal), so 15% false-positives on noise. Real hot-path
+# regressions we care about (a dropped unroll, an accidental float
+# fallback, an alloc) show up far above 25% — and the zero-alloc gate
+# is exact regardless.
 benchdiff:
-	$(GO) run ./cmd/benchdiff -file BENCH_hotpath.json
+	$(GO) run ./cmd/benchdiff -file BENCH_hotpath.json -max-regress 0.25
 
 # bench refreshes the "current" section of BENCH_hotpath.json from the
-# hot-path benchmarks (best of -count=3 per benchmark). bench-baseline
-# records the same run under the "baseline" label — run it once before an
-# optimization so before/after land in the same committed artifact.
+# hot-path benchmarks (benchfmt keeps the best rep per benchmark).
+# bench-baseline records the same run under the "baseline" label — run it
+# once before an optimization so before/after land in the same committed
+# artifact. Many short reps instead of few long ones: on a shared 1-CPU
+# host, multi-second CPU-steal stalls poison whole reps, and the min over
+# six 0.5s reps rides them out where min-of-three 1s reps cannot (same
+# total runtime).
 BENCH_PKGS = ./internal/tensor ./internal/dhe ./internal/core ./internal/serving/backends
-BENCH_FLAGS = -bench=. -benchmem -run='^$$' -count=3
+BENCH_FLAGS = -bench=. -benchmem -run='^$$' -count=6 -benchtime=0.5s
 
+# SECEMB_AUTOTUNE=1 makes each bench package's TestMain run the startup
+# kernel autotuner first, so recorded numbers reflect the tuned
+# production configuration.
 bench:
-	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchfmt -out BENCH_hotpath.json -label current
+	SECEMB_AUTOTUNE=1 $(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchfmt -out BENCH_hotpath.json -label current
 
 bench-baseline:
-	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchfmt -out BENCH_hotpath.json -label baseline
+	SECEMB_AUTOTUNE=1 $(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchfmt -out BENCH_hotpath.json -label baseline
 
 bench-all:
-	$(GO) test -bench=. -benchmem ./...
+	SECEMB_AUTOTUNE=1 $(GO) test -bench=. -benchmem ./...

@@ -51,7 +51,17 @@ func main() {
 	wait := flag.Duration("wait", 2*time.Millisecond, "serving mode: max coalesce wait before a partial batch flushes")
 	metrics := flag.Bool("metrics", false, "print an observability snapshot (per-technique counts, latency percentiles) after the runs")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and pprof on this address during the runs")
+	autotune := flag.String("autotune", "on", "probe matmul kernel configs before timing (on/off)")
 	flag.Parse()
+
+	switch *autotune {
+	case "on":
+		tensor.Autotune()
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "-autotune must be on or off, got %q\n", *autotune)
+		os.Exit(2)
+	}
 
 	var reg *obs.Registry
 	if *metrics || *metricsAddr != "" {

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	leakcheck [-rows 512] [-dim 16] [-batch 8] [-seed 1]
-//	          [-gens lookup,scan,scanb,path,circuit,dhe,dual,coalesce,wire]
+//	          [-gens lookup,scan,scanb,path,circuit,dhe,dhe-int8,dual,coalesce,wire]
 //	          [-src .] [-out leakcheck_report.json]
 package main
 
@@ -66,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	factories := leakcheck.StandardFactories(*rows, *dim, *seed)
+	// The quantized DHE hot path: identical dense sweep, packed int8 SWAR
+	// inner product. Audited separately from dhe because the kernels (and
+	// the activation-quantization step) are a different code path.
+	factories = append(factories, leakcheck.Int8DHEFactory(*rows, *dim, *seed))
 	// The hybrid dispatches on batch size; threshold = batch puts the
 	// panel in its ORAM regime (the DHE regime is already covered by the
 	// dhe target, which shares the representation).

@@ -23,6 +23,7 @@ func TestLeakyFixtureFails(t *testing.T) {
 		"leaky.go:22:", "obliviouslint/branch",
 		"leaky.go:34:", "obliviouslint/loop",
 		"leaky.go:48:", "obliviouslint/call",
+		"leaky.go:59:", "obliviouslint/index",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

@@ -44,8 +44,10 @@ import (
 
 	"secemb/internal/core"
 	"secemb/internal/obs"
+	"secemb/internal/profile"
 	"secemb/internal/serving"
 	"secemb/internal/serving/backends"
+	"secemb/internal/tensor"
 	"secemb/internal/wire"
 )
 
@@ -72,6 +74,9 @@ type config struct {
 	seed       int64
 	tlsCert    string
 	tlsKey     string
+	autotune   string
+	tuneFile   string
+	int8       bool
 
 	// soak
 	soak        bool
@@ -108,6 +113,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.Int64Var(&c.seed, "seed", 1, "serve: representation seed / soak: id stream seed")
 	fs.StringVar(&c.tlsCert, "tls-cert", "", "serve: PEM certificate file; with -tls-key, terminate TLS on the listener")
 	fs.StringVar(&c.tlsKey, "tls-key", "", "serve: PEM private key file for -tls-cert")
+	fs.StringVar(&c.autotune, "autotune", "on", "serve: probe matmul kernel configs at startup (on/off)")
+	fs.StringVar(&c.tuneFile, "tune-file", "", "serve: persist/reuse the autotuned kernel config at this path (skips the probe when the recorded machine matches)")
+	fs.BoolVar(&c.int8, "int8", true, "serve: quantized int8 DHE decoder when the accuracy gate passes (dhe and dual techniques)")
 
 	fs.BoolVar(&c.soak, "soak", false, "run the load generator instead of serving")
 	fs.BoolVar(&c.useTLS, "tls", false, "soak: dial TLS (self-hosted runs mint an ephemeral self-signed cert)")
@@ -142,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 func buildGroup(c *config, reg *obs.Registry) (*serving.Group, error) {
 	bes := make([]serving.Backend, c.nBackends)
 	for i := range bes {
-		gen, err := buildGenerator(c)
+		gen, err := buildGenerator(c, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -160,8 +168,39 @@ func buildGroup(c *config, reg *obs.Registry) (*serving.Group, error) {
 	}, opts...), nil
 }
 
-func buildGenerator(c *config) (core.Generator, error) {
-	opts := core.Options{Seed: c.seed}
+// setupTuning applies the startup kernel autotuner policy: reuse a
+// matching -tune-file when given, otherwise run the ~100ms probe (unless
+// -autotune=off), and persist the winner back to -tune-file. The probe
+// measures public architecture shapes only — nothing secret-dependent.
+func setupTuning(c *config, stdout io.Writer) error {
+	if c.autotune != "on" && c.autotune != "off" {
+		return fmt.Errorf("-autotune must be on or off, got %q", c.autotune)
+	}
+	if c.tuneFile != "" {
+		installed, err := profile.InstallTuneFile(c.tuneFile)
+		if err != nil {
+			return fmt.Errorf("-tune-file: %v", err)
+		}
+		if installed {
+			fmt.Fprintf(stdout, "secembd: kernel config loaded from %s: %+v\n", c.tuneFile, tensor.CurrentTune())
+			return nil
+		}
+	}
+	if c.autotune == "off" {
+		return nil
+	}
+	tc := tensor.Autotune()
+	fmt.Fprintf(stdout, "secembd: kernel autotune: %+v\n", tc)
+	if c.tuneFile != "" {
+		if err := profile.SaveTuneFile(c.tuneFile, profile.CurrentMachineTune()); err != nil {
+			return fmt.Errorf("-tune-file: %v", err)
+		}
+	}
+	return nil
+}
+
+func buildGenerator(c *config, reg *obs.Registry) (core.Generator, error) {
+	opts := core.Options{Seed: c.seed, Int8: c.int8, Obs: reg}
 	if c.technique == "dual" {
 		dheGen, err := core.New(core.DHE, c.rows, c.dim, opts)
 		if err != nil {
@@ -218,7 +257,14 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "secembd:", err)
 		return 2
 	}
+	if terr := setupTuning(c, stdout); terr != nil {
+		fmt.Fprintln(stderr, "secembd:", terr)
+		return 2
+	}
 	reg := obs.NewRegistry()
+	// Publish the installed kernel config (tensor_tune_* gauges) and the
+	// pool/tune metrics into this server's registry.
+	tensor.SetObserver(reg)
 	group, err := buildGroup(c, reg)
 	if err != nil {
 		fmt.Fprintln(stderr, "secembd:", err)

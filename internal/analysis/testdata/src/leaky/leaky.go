@@ -47,3 +47,14 @@ func record(addr uint64) {}
 func TraceLeak(id uint64) {
 	record(id) // want `obliviouslint/call: secret-tainted argument escapes into unannotated function record`
 }
+
+// QuantScaleLeak is the int8-kernel failure mode: dequantizing through a
+// scale table indexed by the secret accumulator value. The correct kernel
+// indexes scales by the (public) output column only; indexing by anything
+// derived from the quantized data re-opens the lookup side channel the
+// quantization was supposed to stay clear of.
+//
+// secemb:secret q return
+func QuantScaleLeak(scales []float32, q int32) float32 {
+	return float32(q) * scales[q&15] // want `obliviouslint/index: index depends on secret-tainted value`
+}

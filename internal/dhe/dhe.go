@@ -49,6 +49,19 @@ type DHE struct {
 	ws        *nn.Workspace
 	encBuf    []float32
 	encMat    *tensor.Matrix
+
+	// Int8 serving state (EnableInt8): a quantized decoder sharing this
+	// DHE's weights, used by inference-mode Generate when the accuracy
+	// gate accepted it. Clones share the packed weights but own their
+	// layer structs and workspaces.
+	int8dec *nn.Sequential
+	int8on  bool
+
+	// mat is the cached materialization clone ToTable reuses across calls
+	// (lazily built; nil until the first ToTable on a training-mode DHE),
+	// and idBuf its reusable chunk id scratch.
+	mat   *DHE
+	idBuf []uint64
 }
 
 // New builds a DHE with Xavier-initialized decoder weights.
@@ -91,10 +104,18 @@ func (d *DHE) EncodeBatch(ids []uint64) *tensor.Matrix {
 //
 // secemb:secret ids
 func (d *DHE) Generate(ids []uint64) *tensor.Matrix {
-	d.Decoder.SetThreads(d.Threads)
 	if d.inference {
-		return d.Decoder.ForwardInto(d.ws, d.encodeReuse(ids))
+		// The int8 flag is public model configuration decided by the
+		// accuracy gate at startup — branching on it reveals nothing about
+		// the ids.
+		dec := d.Decoder
+		if d.int8on {
+			dec = d.int8dec
+		}
+		dec.SetThreads(d.Threads)
+		return dec.ForwardInto(d.ws, d.encodeReuse(ids))
 	}
+	d.Decoder.SetThreads(d.Threads)
 	return d.Decoder.Forward(d.EncodeBatch(ids))
 }
 
@@ -132,9 +153,96 @@ func (d *DHE) InferenceClone() *DHE {
 		K:       d.K,
 		Dim:     d.Dim,
 		Threads: d.Threads,
+		int8on:  d.int8on,
+	}
+	if d.int8dec != nil {
+		// Packed weights are shared read-only; the clone owns its layer
+		// structs (thread counts) and, via SetInference, its workspace.
+		c.int8dec = d.int8dec.CloneForInference()
 	}
 	c.SetInference(true)
 	return c
+}
+
+// Int8Gate configures EnableInt8's accuracy-delta check.
+type Int8Gate struct {
+	// MaxAbsErr is the largest tolerated |float32 − int8| over the eval
+	// batch's embeddings (0 → default 0.1, a few percent of the unit-scale
+	// outputs the decoders produce; deployments with differently scaled
+	// embeddings should set their own bound).
+	MaxAbsErr float64
+	// EvalBatch is the number of fixed public eval ids (0 → default 64).
+	EvalBatch int
+}
+
+// DefaultInt8MaxAbsErr is the accuracy gate's default tolerance.
+const DefaultInt8MaxAbsErr = 0.1
+
+// Int8Report records an EnableInt8 decision.
+type Int8Report struct {
+	Enabled   bool    // accuracy gate accepted; int8 serves the hot path
+	MaxAbsErr float64 // measured worst |float − int8| on the eval batch
+	Threshold float64 // the bound it was judged against
+}
+
+// EnableInt8 quantizes the decoder (7-bit packed weights, 6-bit dynamic
+// activations — internal/tensor/quant.go) and compares it against the
+// float32 decoder on a fixed, public eval batch. If the worst absolute
+// embedding error stays within the gate, the quantized decoder is
+// installed and inference-mode Generate (and every future InferenceClone)
+// runs int8; otherwise the DHE stays on float32 — the fallback the report
+// records. The eval ids are compile-time constants spread over the id
+// space: the decision depends only on model weights, never on request
+// data. Call after training; re-enabling after further training re-runs
+// the gate against the new weights.
+func (d *DHE) EnableInt8(g Int8Gate) Int8Report {
+	if g.MaxAbsErr <= 0 {
+		g.MaxAbsErr = DefaultInt8MaxAbsErr
+	}
+	if g.EvalBatch <= 0 {
+		g.EvalBatch = 64
+	}
+	ids := make([]uint64, g.EvalBatch)
+	for i := range ids {
+		// Fixed public probe ids: a Weyl sequence covering the hash input
+		// space regardless of the (virtual) table size.
+		ids[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	enc := d.EncodeBatch(ids)
+	ref := d.Decoder.CloneForInference().ForwardInto(&nn.Workspace{}, enc)
+	qdec := nn.QuantizeSequential(d.Decoder)
+	got := qdec.ForwardInto(&nn.Workspace{}, enc)
+	rep := Int8Report{MaxAbsErr: tensor.MaxAbsDiff(got, ref), Threshold: g.MaxAbsErr}
+	rep.Enabled = rep.MaxAbsErr <= rep.Threshold
+	if rep.Enabled {
+		d.int8dec, d.int8on = qdec, true
+	} else {
+		d.int8dec, d.int8on = nil, false
+	}
+	d.mat = nil // the cached ToTable clone may hold a stale decoder
+	return rep
+}
+
+// Int8Active reports whether inference-mode Generate runs the quantized
+// decoder.
+func (d *DHE) Int8Active() bool { return d.int8on }
+
+// DecoderLayerBytes lists the resident footprint of each parameterized
+// layer of the decoder that actually serves Generate — the quantized stack
+// when int8 is active, the float stack otherwise. Trace synthesis uses it
+// so recorded sweeps match the bytes really touched.
+func (d *DHE) DecoderLayerBytes() []int64 {
+	dec := d.Decoder
+	if d.int8on {
+		dec = d.int8dec
+	}
+	var out []int64
+	for _, l := range dec.Layers {
+		if sz, ok := l.(interface{ NumBytes() int64 }); ok {
+			out = append(out, sz.NumBytes())
+		}
+	}
+	return out
 }
 
 // encodeReuse encodes ids into the reusable inference buffer, growing it
@@ -190,9 +298,11 @@ func (d *DHE) FLOPs() int64 {
 }
 
 // Quantize returns an inference-only copy of the DHE whose decoder uses
-// int8 weights (≈4× smaller) — the CPU-deployment optimization the paper
-// motivates in §II-A. The encoder is shared; the quantized copy cannot be
-// trained further.
+// packed quantized weights (≈2× smaller, ~4× faster on scalar CPUs — the
+// CPU-deployment optimization the paper motivates in §II-A). The encoder
+// is shared; the quantized copy cannot be trained further. The serving
+// path prefers EnableInt8, which keeps the float decoder for training and
+// gates the swap on measured accuracy.
 func (d *DHE) Quantize() *DHE {
 	return &DHE{
 		Enc:     d.Enc,
@@ -212,14 +322,27 @@ func (d *DHE) ToTable(rows int) *tensor.Matrix {
 	// Materialization is a tight Generate loop; run it through a private
 	// inference clone so every chunk reuses one workspace instead of
 	// allocating rows/chunk fresh matrices. The clone shares weights, so
-	// the numbers are identical and d's training state is untouched.
+	// the numbers are identical and d's training state is untouched. The
+	// clone — workspace slabs, encoder buffer, id scratch — is cached on
+	// the DHE and reused by later ToTable calls (the bufpool pattern from
+	// core: grow once, then steady-state materialization allocates only
+	// the returned table). Weight *values* may change between calls
+	// (training epochs); weight shapes cannot, so reuse stays sound —
+	// but a post-training EnableInt8 invalidates the cache below.
+	// ToTable is not safe for concurrent calls on the same DHE.
 	gen := d
 	if !d.inference {
-		gen = d.InferenceClone()
+		if d.mat == nil || d.mat.int8on != d.int8on {
+			d.mat = d.InferenceClone()
+		}
+		gen = d.mat
 	}
 	out := tensor.New(rows, d.Dim)
 	const chunk = 4096
-	ids := make([]uint64, 0, chunk)
+	if cap(gen.idBuf) < chunk {
+		gen.idBuf = make([]uint64, 0, chunk)
+	}
+	ids := gen.idBuf
 	for lo := 0; lo < rows; lo += chunk {
 		hi := lo + chunk
 		if hi > rows {

@@ -237,8 +237,9 @@ func TestQuantizedDHE(t *testing.T) {
 	if diff := tensor.MaxAbsDiff(got, want); diff > 0.05 {
 		t.Fatalf("quantized DHE drifted by %v", diff)
 	}
-	// ~4x smaller decoder.
-	if q.NumBytes() >= d.NumBytes()/2 {
+	// Packed 16-bit weight lanes: ≈2× smaller than float32 (the packing
+	// trades half the flat-int8 compression for the ~4× SWAR speedup).
+	if q.NumBytes() >= d.NumBytes()*3/4 {
 		t.Fatalf("quantized footprint %d not well below float %d", q.NumBytes(), d.NumBytes())
 	}
 	// Inference-only.

@@ -342,7 +342,10 @@ func TestExtReports(t *testing.T) {
 	q := ExtQuantization(true)
 	for _, row := range q.Rows {
 		comp := strings.TrimSuffix(row[3], "x")
-		if v, _ := strconv.ParseFloat(comp, 64); v < 3.2 {
+		// Packed SWAR lanes spend 2 bytes/weight (DESIGN.md §13): the
+		// floor is ~2x, not flat int8's ~4x — the other half bought the
+		// kernel speedup.
+		if v, _ := strconv.ParseFloat(comp, 64); v < 1.8 {
 			t.Fatalf("quantization compression %s too low", row[3])
 		}
 		if cell(row[4]) > 0.1 {

@@ -349,3 +349,18 @@ func (g *idFlushGen) Dim() int                  { return g.inner.Dim() }
 func (g *idFlushGen) Technique() core.Technique { return g.inner.Technique() }
 func (g *idFlushGen) NumBytes() int64           { return g.inner.NumBytes() }
 func (g *idFlushGen) SetThreads(n int)          { g.inner.SetThreads(n) }
+
+// TestInt8DHEPassesPanel runs the quantized DHE hot path through the
+// adversarial panel: the SWAR kernels and activation quantization must
+// leave traces exactly as input-independent as the float decoder's.
+func TestInt8DHEPassesPanel(t *testing.T) {
+	const rows, dim, batch, seed = 256, 8, 8, 3
+	panel := AdversarialPanel(rows, batch)
+	rep, err := Verify(Int8DHEFactory(rows, dim, seed), panel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leaky || !rep.Pass() {
+		t.Fatalf("dhe-int8 failed the panel: %+v", rep)
+	}
+}

@@ -1,9 +1,14 @@
 package leakcheck
 
 import (
+	"errors"
+
 	"secemb/internal/core"
 	"secemb/internal/memtrace"
 )
+
+// errInt8Inactive reports that an int8 audit target fell back to float32.
+var errInt8Inactive = errors.New("leakcheck: int8 gate rejected the seeded decoder; dhe-int8 target would not exercise the quantized path")
 
 // Standard factories for the repository's generators. All run
 // single-threaded: the Tracer is not synchronized, and a serialized batch
@@ -17,6 +22,30 @@ func TechniqueFactory(tech core.Technique, rows, dim int, seed int64) Factory {
 		Secure: tech.Secure(),
 		New: func(tr *memtrace.Tracer) (core.Generator, error) {
 			return core.New(tech, rows, dim, core.Options{Seed: seed, Tracer: tr, Threads: 1})
+		},
+	}
+}
+
+// Int8DHEFactory audits the quantized DHE hot path: same dense decoder
+// sweep as plain DHE, but the inner product runs the packed int8 SWAR
+// kernels. The gate threshold is generous — leakcheck probes traces, not
+// accuracy — but construction fails loudly if the quantized path did not
+// actually engage (a silently-float "dhe-int8" target would audit nothing).
+func Int8DHEFactory(rows, dim int, seed int64) Factory {
+	return Factory{
+		Name:   "dhe-int8",
+		Secure: true,
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			g, err := core.New(core.DHE, rows, dim, core.Options{
+				Seed: seed, Tracer: tr, Threads: 1, Int8: true, Int8MaxErr: 0.5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !core.Int8Active(g) {
+				return nil, errInt8Inactive
+			}
+			return g, nil
 		},
 	}
 }

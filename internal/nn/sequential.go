@@ -37,13 +37,25 @@ type inPlaceLayer interface {
 	ForwardInPlace(x *tensor.Matrix)
 }
 
-// Workspace holds one reusable output buffer per layer of a Sequential,
-// sized on first use and regrown only when a larger batch arrives, so
-// steady-state inference allocates nothing. A Workspace belongs to exactly
-// one goroutine's forward path at a time (pair one with each inference
-// clone, like the activation caches it replaces).
+// quantIntoLayer is a layer that consumes workspace-held quantization
+// scratch in addition to an output buffer (QuantLinear): the scratch makes
+// the int8 activation quantize+pack allocation-free across calls.
+type quantIntoLayer interface {
+	ForwardIntoQuant(dst, x *tensor.Matrix, qa *tensor.QuantActs)
+	OutCols() int
+}
+
+// Workspace holds one reusable output buffer per layer of a Sequential —
+// plus one shared int8 activation-quantization scratch for quantized
+// layers — sized on first use and regrown only when a larger batch
+// arrives, so steady-state inference allocates nothing. A Workspace
+// belongs to exactly one goroutine's forward path at a time (pair one with
+// each inference clone, like the activation caches it replaces).
 type Workspace struct {
 	bufs []*tensor.Matrix
+	// qa is shared across the stack's quantized layers: layers run
+	// sequentially and each Quantize replaces the scratch contents.
+	qa tensor.QuantActs
 }
 
 // buf returns the i-th buffer shaped rows×cols, reusing its backing array
@@ -82,6 +94,10 @@ func (s *Sequential) ForwardInto(ws *Workspace, x *tensor.Matrix) *tensor.Matrix
 	cur, owned := x, false
 	for i, l := range s.Layers {
 		switch v := l.(type) {
+		case quantIntoLayer:
+			dst := ws.buf(i, cur.Rows, v.OutCols())
+			v.ForwardIntoQuant(dst, cur, &ws.qa)
+			cur, owned = dst, true
 		case intoLayer:
 			dst := ws.buf(i, cur.Rows, v.OutCols())
 			v.ForwardInto(dst, cur)
@@ -119,11 +135,15 @@ func (s *Sequential) Params() []*Param {
 	return out
 }
 
-// SetThreads propagates a matmul worker count to every Linear child.
+// SetThreads propagates a matmul worker count to every Linear and
+// QuantLinear child.
 func (s *Sequential) SetThreads(n int) {
 	for _, l := range s.Layers {
-		if lin, ok := l.(*Linear); ok {
-			lin.Threads = n
+		switch v := l.(type) {
+		case *Linear:
+			v.Threads = n
+		case *quantLayer:
+			v.Threads = n
 		}
 	}
 }
@@ -160,9 +180,12 @@ func (s *Sequential) CloneForInference() *Sequential {
 		case *Linear:
 			out.Layers[i] = &Linear{In: v.In, Out: v.Out, W: v.W, B: v.B, Threads: v.Threads, Inference: true}
 		case *quantLayer:
-			// Quantized layers are stateless (no forward caches), so the
-			// instance itself is safely shared.
-			out.Layers[i] = v
+			// Share the packed weights and bias (read-only), but give the
+			// clone its own layer struct so SetThreads on one replica never
+			// races another's forward pass.
+			out.Layers[i] = &quantLayer{QuantLinear: &QuantLinear{
+				In: v.In, Out: v.Out, Q: v.Q, Bias: v.Bias, Threads: v.Threads,
+			}}
 		case *ReLU:
 			out.Layers[i] = &ReLU{}
 		case *Sigmoid:

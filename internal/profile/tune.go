@@ -1,0 +1,107 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"secemb/internal/tensor"
+)
+
+// Kernel-autotuner persistence. Like the threshold DB, the autotune search
+// runs once per machine: the chosen block/worker configuration depends on
+// core count and cache geometry, not on the model or any secret, so a
+// deployment can pin a tuned config to disk and skip the startup probe on
+// subsequent runs. The file records the machine shape it was tuned on and
+// Load rejects a config recorded on different hardware — falling back to
+// re-tuning is always safe.
+
+// MachineTune is the serialized kernel configuration plus the machine
+// fingerprint it was measured on.
+type MachineTune struct {
+	// GOMAXPROCS and NumCPU identify the machine shape the probe saw.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+
+	Tune tensor.TuneConfig `json:"tune"`
+}
+
+// CurrentMachineTune captures the installed kernel config with this
+// machine's fingerprint.
+func CurrentMachineTune() MachineTune {
+	return MachineTune{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Tune:       tensor.CurrentTune(),
+	}
+}
+
+// Matches reports whether the recorded fingerprint describes the running
+// machine.
+func (m MachineTune) Matches() bool {
+	return m.GOMAXPROCS == runtime.GOMAXPROCS(0) && m.NumCPU == runtime.NumCPU()
+}
+
+// SaveTune writes the machine tune as JSON.
+func SaveTune(w io.Writer, m MachineTune) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadTune reads a machine tune written by SaveTune.
+func LoadTune(r io.Reader) (MachineTune, error) {
+	var m MachineTune
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return MachineTune{}, fmt.Errorf("profile: decoding machine tune: %w", err)
+	}
+	// Workers 0 is legitimate ("all procs", the pre-tune default); block
+	// and inline thresholds must be positive to be installable.
+	if m.Tune.Workers < 0 || m.Tune.BlockRows < 1 || m.Tune.InlineRows < 1 {
+		return MachineTune{}, fmt.Errorf("profile: machine tune %+v has out-of-range fields", m.Tune)
+	}
+	return m, nil
+}
+
+// SaveTuneFile / LoadTuneFile are path conveniences.
+func SaveTuneFile(path string, m MachineTune) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveTune(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTuneFile reads a machine tune from disk.
+func LoadTuneFile(path string) (MachineTune, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return MachineTune{}, err
+	}
+	defer f.Close()
+	return LoadTune(f)
+}
+
+// InstallTuneFile loads path and installs its config when the fingerprint
+// matches this machine; installed reports whether it did. A missing or
+// mismatched file is not an error — the caller should autotune instead.
+func InstallTuneFile(path string) (installed bool, err error) {
+	m, err := LoadTuneFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if !m.Matches() {
+		return false, nil
+	}
+	tensor.SetTune(m.Tune)
+	return true, nil
+}

@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"secemb/internal/tensor"
+)
+
+func TestTuneRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+	orig := tensor.CurrentTune()
+	defer tensor.SetTune(orig)
+
+	tensor.SetTune(tensor.TuneConfig{Workers: 1, BlockRows: 32, InlineRows: 4, Autotuned: true, ProbeNs: 123})
+	if err := SaveTuneFile(path, CurrentMachineTune()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadTuneFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Matches() {
+		t.Fatal("fingerprint of this machine must match itself")
+	}
+	if m.Tune.BlockRows != 32 || m.Tune.InlineRows != 4 || !m.Tune.Autotuned || m.Tune.ProbeNs != 123 {
+		t.Fatalf("round-trip lost fields: %+v", m.Tune)
+	}
+
+	// Install on the same machine applies the config.
+	tensor.SetTune(tensor.TuneConfig{})
+	ok, err := InstallTuneFile(path)
+	if err != nil || !ok {
+		t.Fatalf("install: ok=%v err=%v", ok, err)
+	}
+	if got := tensor.CurrentTune(); got.BlockRows != 32 || got.InlineRows != 4 {
+		t.Fatalf("install did not apply: %+v", got)
+	}
+}
+
+func TestTuneFingerprintMismatchSkipsInstall(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+	orig := tensor.CurrentTune()
+	defer tensor.SetTune(orig)
+
+	m := CurrentMachineTune()
+	m.GOMAXPROCS = runtime.GOMAXPROCS(0) + 7 // recorded on "other" hardware
+	if err := SaveTuneFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := tensor.TuneConfig{Workers: 1, BlockRows: 99, InlineRows: 1}
+	tensor.SetTune(sentinel)
+	ok, err := InstallTuneFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("mismatched fingerprint must not install")
+	}
+	if got := tensor.CurrentTune(); got.BlockRows != 99 {
+		t.Fatalf("mismatch overwrote the installed config: %+v", got)
+	}
+}
+
+func TestTuneMissingFileIsNotError(t *testing.T) {
+	ok, err := InstallTuneFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || ok {
+		t.Fatalf("missing file: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTuneRejectsCorruptFields(t *testing.T) {
+	if _, err := LoadTune(strings.NewReader(`{"gomaxprocs":1,"numcpu":1,"tune":{"workers":0,"block_rows":0,"inline_rows":0}}`)); err == nil {
+		t.Fatal("zeroed tune must be rejected")
+	}
+	if _, err := LoadTune(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

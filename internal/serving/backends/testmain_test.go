@@ -1,0 +1,18 @@
+package backends
+
+import (
+	"os"
+	"testing"
+
+	"secemb/internal/tensor"
+)
+
+// TestMain autotunes the kernels before the run when SECEMB_AUTOTUNE=1
+// (set by `make bench`), so recorded benchmark numbers reflect the tuned
+// production configuration. Plain `go test` skips the probe to stay fast.
+func TestMain(m *testing.M) {
+	if os.Getenv("SECEMB_AUTOTUNE") == "1" {
+		tensor.Autotune()
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,226 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"secemb/internal/obs"
+)
+
+// Startup autotuner. The float and quantized kernels have three knobs
+// whose best values are machine-dependent — worker count, dispatch
+// granularity, and the batch size below which the pool is pure overhead —
+// and a value hand-picked on one box (the old blockSize = 64 constant) is
+// wrong on the next. Autotune measures candidate configs on this machine
+// with the serving-dominant shapes for ~100ms at startup and installs the
+// winner process-wide.
+//
+// Tuning is side-channel-neutral by construction: the probe inputs are
+// synthetic, the candidate space and probe shapes are compile-time
+// constants, and the chosen config depends only on machine timing of
+// public shapes — no secret (no feature id) exists at tuning time, and
+// the installed config changes how work is partitioned, never which
+// values are computed. See DESIGN §13.
+
+// TuneConfig is the installed kernel dispatch configuration.
+type TuneConfig struct {
+	// Workers caps the worker count used by the parallel kernels
+	// (further clamped by GOMAXPROCS and the row count). <=0: GOMAXPROCS.
+	Workers int `json:"workers"`
+	// BlockRows is the minimum number of rows per dispatched chunk;
+	// splits finer than this cost more in handoff than they recover in
+	// load balance.
+	BlockRows int `json:"block_rows"`
+	// InlineRows is the batch size at or below which kernels skip the
+	// worker pool entirely and run on the caller.
+	InlineRows int `json:"inline_rows"`
+	// Autotuned records whether this config was measured (Autotune) or is
+	// the static default.
+	Autotuned bool `json:"autotuned"`
+	// ProbeNs is the best measured probe-kernel time for the winning
+	// config (0 for the static default).
+	ProbeNs int64 `json:"probe_ns,omitempty"`
+}
+
+// defaultTune mirrors the pre-autotuner behavior: the historical 64-row
+// block granularity, all CPUs, pool from 2 rows up.
+func defaultTune() TuneConfig {
+	return TuneConfig{Workers: 0, BlockRows: 64, InlineRows: 1}
+}
+
+var tunePtr atomic.Pointer[TuneConfig]
+
+func currentTune() *TuneConfig {
+	if t := tunePtr.Load(); t != nil {
+		return t
+	}
+	return &staticTune
+}
+
+var staticTune = defaultTune()
+
+// CurrentTune returns the installed kernel dispatch config.
+func CurrentTune() TuneConfig { return *currentTune() }
+
+// SetTune installs a kernel dispatch config process-wide (e.g. one
+// restored from internal/profile persistence instead of re-probing).
+// Zero-valued fields are replaced by the static defaults.
+func SetTune(c TuneConfig) {
+	d := defaultTune()
+	if c.BlockRows <= 0 {
+		c.BlockRows = d.BlockRows
+	}
+	if c.InlineRows <= 0 {
+		c.InlineRows = d.InlineRows
+	}
+	tunePtr.Store(&c)
+	publishTune()
+}
+
+// tuneBudget bounds one Autotune call; candidates that would overrun it
+// are skipped in favor of the best config measured so far.
+const tuneBudget = 100 * time.Millisecond
+
+// Autotune benchmarks candidate worker counts and block granularities on
+// the serving-dominant matmul shape, picks the inline-fallback threshold
+// by racing the pool against single-threaded dispatch on small batches,
+// installs the winner via SetTune, and returns it. Call once at startup
+// (cmd/secembd does, and `make bench` does before recording) — repeated
+// calls re-probe and overwrite.
+func Autotune() TuneConfig {
+	deadline := time.Now().Add(tuneBudget)
+	procs := runtime.GOMAXPROCS(0)
+
+	// Probe shape: one row-panel of the DHE Uniform decoder's first layer
+	// (the serving-dominant multiply), shrunk in depth to keep a full
+	// candidate sweep inside the budget on slow machines.
+	const pm, pk, pn = 64, 256, 128
+	a := New(pm, pk)
+	b := New(pk, pn)
+	for i := range a.Data {
+		a.Data[i] = float32(i%7) - 3
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(i%5) - 2
+	}
+	dst := New(pm, pn)
+
+	workerCands := dedupInts([]int{1, 2, procs / 2, procs}, procs)
+	blockCands := []int{8, 16, 32, 64, 128}
+
+	best := defaultTune()
+	best.Autotuned = true
+	bestNs := int64(-1)
+	for _, w := range workerCands {
+		for _, blk := range blockCands {
+			if w == 1 && blk != blockCands[0] {
+				continue // block granularity is meaningless single-threaded
+			}
+			cand := TuneConfig{Workers: w, BlockRows: blk, InlineRows: 1, Autotuned: true}
+			ns := probeKernel(dst, a, b, cand, deadline)
+			if ns >= 0 && (bestNs < 0 || ns < bestNs) {
+				bestNs, best = ns, cand
+			}
+		}
+	}
+	best.ProbeNs = bestNs
+
+	// Inline threshold: smallest-batch shapes where pool handoff can cost
+	// more than it buys. Walk batch sizes upward; the threshold is the
+	// largest batch where single-threaded still wins.
+	if best.Workers != 1 && procs > 1 {
+		single := TuneConfig{Workers: 1, BlockRows: best.BlockRows, InlineRows: 1}
+		pooled := best
+		for _, rows := range []int{1, 2, 4, 8} {
+			sa := New(rows, pk)
+			copy(sa.Data, a.Data[:rows*pk])
+			sd := New(rows, pn)
+			sNs := probeKernel(sd, sa, b, single, deadline)
+			pNs := probeKernel(sd, sa, b, pooled, deadline)
+			if sNs < 0 || pNs < 0 || pNs < sNs {
+				break
+			}
+			best.InlineRows = rows
+		}
+	} else {
+		// One effective worker: the pool can never win; inline everything.
+		best.InlineRows = 1 << 30
+	}
+
+	SetTune(best)
+	return best
+}
+
+// probeKernel times MatMulInto under cand, best of a few reps; -1 when the
+// deadline has passed.
+func probeKernel(dst, a, b *Matrix, cand TuneConfig, deadline time.Time) int64 {
+	if time.Now().After(deadline) {
+		return -1
+	}
+	restore := tunePtr.Load()
+	tunePtr.Store(&cand)
+	defer tunePtr.Store(restore)
+	best := int64(-1)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		// nthreads 0: the candidate config under test drives the worker
+		// count and granularity, exactly as it would in production.
+		MatMulInto(dst, a, b, 0)
+		ns := time.Since(start).Nanoseconds()
+		if best < 0 || ns < best {
+			best = ns
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	return best
+}
+
+func dedupInts(in []int, most int) []int {
+	var out []int
+	for _, v := range in {
+		if v < 1 || v > most {
+			continue
+		}
+		seen := false
+		for _, o := range out {
+			if o == v {
+				seen = true
+			}
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// tuneObsPtr holds the registry tune gauges are published to; SetObserver
+// wires it and every SetTune refresh re-publishes.
+var tuneObsPtr atomic.Pointer[obs.Registry]
+
+// publishTune mirrors the installed config into the wired obs registry:
+//
+//	tensor_tune_workers      worker-count cap (0 = GOMAXPROCS)
+//	tensor_tune_block_rows   dispatch granularity in rows
+//	tensor_tune_inline_rows  single-threaded batch-size threshold
+//	tensor_tune_autotuned    1 when measured by Autotune, 0 for defaults
+//	tensor_tune_probe_ns     winning config's probe-kernel time
+func publishTune() {
+	reg := tuneObsPtr.Load()
+	if reg == nil {
+		return
+	}
+	c := CurrentTune()
+	reg.Gauge("tensor_tune_workers").Set(int64(c.Workers))
+	reg.Gauge("tensor_tune_block_rows").Set(int64(c.BlockRows))
+	reg.Gauge("tensor_tune_inline_rows").Set(int64(c.InlineRows))
+	var auto int64
+	if c.Autotuned {
+		auto = 1
+	}
+	reg.Gauge("tensor_tune_autotuned").Set(auto)
+	reg.Gauge("tensor_tune_probe_ns").Set(c.ProbeNs)
+}

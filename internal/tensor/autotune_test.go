@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"secemb/internal/obs"
+)
+
+func restoreTune(t *testing.T) {
+	prev := tunePtr.Load()
+	t.Cleanup(func() { tunePtr.Store(prev) })
+}
+
+func TestAutotuneInstallsValidConfig(t *testing.T) {
+	restoreTune(t)
+	start := time.Now()
+	got := Autotune()
+	elapsed := time.Since(start)
+	if !got.Autotuned {
+		t.Fatal("Autotune returned a non-autotuned config")
+	}
+	if got.Workers < 1 || got.Workers > runtime.GOMAXPROCS(0) {
+		t.Fatalf("tuned workers %d out of range", got.Workers)
+	}
+	if got.BlockRows < 1 || got.InlineRows < 1 {
+		t.Fatalf("tuned config has invalid granularity: %+v", got)
+	}
+	if CurrentTune() != got {
+		t.Fatalf("installed config %+v != returned %+v", CurrentTune(), got)
+	}
+	// ~100ms budget with headroom for probe overshoot on loaded machines.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Autotune took %v, budget is ~%v", elapsed, tuneBudget)
+	}
+}
+
+func TestTunedKernelsStayCorrect(t *testing.T) {
+	restoreTune(t)
+	rng := rand.New(rand.NewSource(31))
+	a := randMatrix(65, 33, 1, rng)
+	b := randMatrix(33, 17, 1, rng)
+	want := MatMul(a, b, 1)
+	Autotune()
+	got := MatMul(a, b, 0)
+	if !AllClose(got, want, 1e-6) {
+		t.Fatal("tuned MatMul diverges from single-threaded result")
+	}
+}
+
+func TestSetTuneDefaultsAndObs(t *testing.T) {
+	restoreTune(t)
+	reg := obs.NewRegistry()
+	SetObserver(reg)
+	defer SetObserver(nil)
+	SetTune(TuneConfig{Workers: 3, Autotuned: true, ProbeNs: 42})
+	c := CurrentTune()
+	if c.BlockRows != 64 || c.InlineRows != 1 {
+		t.Fatalf("SetTune did not fill defaults: %+v", c)
+	}
+	if v := reg.Gauge("tensor_tune_workers").Value(); v != 3 {
+		t.Fatalf("tensor_tune_workers = %d, want 3", v)
+	}
+	if v := reg.Gauge("tensor_tune_autotuned").Value(); v != 1 {
+		t.Fatalf("tensor_tune_autotuned = %d, want 1", v)
+	}
+	if v := reg.Gauge("tensor_tune_probe_ns").Value(); v != 42 {
+		t.Fatalf("tensor_tune_probe_ns = %d, want 42", v)
+	}
+}
+
+func TestInlineThresholdForcesSingleWorker(t *testing.T) {
+	restoreTune(t)
+	SetTune(TuneConfig{InlineRows: 8})
+	if w := clampWorkers(0, 8); w != 1 {
+		t.Fatalf("8 rows under InlineRows=8 got %d workers, want 1", w)
+	}
+	// Explicit thread requests bypass the tune caps (profiling sweeps).
+	if w := clampWorkers(2, 8); runtime.GOMAXPROCS(0) >= 2 && w != 2 {
+		t.Fatalf("explicit nthreads=2 got %d workers", w)
+	}
+}
+
+func BenchmarkAutotune(b *testing.B) {
+	prev := tunePtr.Load()
+	defer tunePtr.Store(prev)
+	for i := 0; i < b.N; i++ {
+		Autotune()
+	}
+}

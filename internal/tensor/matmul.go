@@ -5,10 +5,10 @@ import (
 	"runtime"
 )
 
-// blockSize is the row-tile used when splitting a multiplication across
-// goroutines. Chosen so one tile of the output plus the streamed panel of B
-// stays L2-resident on typical CPUs; exact value is not critical.
-const blockSize = 64
+// The row-tile used when splitting a multiplication across goroutines was
+// a hand-picked constant (blockSize = 64); it is now TuneConfig.BlockRows,
+// machine-measured by Autotune (see autotune.go) with 64 as the static
+// default.
 
 // MatMul returns a·b using nthreads workers (nthreads <= 0 means all
 // available CPUs). The kernel keeps the classic i-k-j loop order so the
@@ -228,10 +228,30 @@ func MatVec(a *Matrix, x []float32) []float32 {
 // clampWorkers bounds the worker count by CPUs and work items. GOMAXPROCS
 // is read at call time — not captured at package init — so runtime
 // resizing (serving pools size themselves against it) is always honored.
+// When the caller doesn't pin a thread count (nthreads <= 0) the installed
+// TuneConfig decides: batches at or below InlineRows skip the pool, the
+// worker cap applies, and chunks never shrink below BlockRows. An explicit
+// nthreads is honored (clamped to CPUs/items only) so profiling sweeps
+// and tests can still pin exact worker counts.
 func clampWorkers(nthreads, items int) int {
 	procs := runtime.GOMAXPROCS(0)
 	w := nthreads
-	if w <= 0 || w > procs {
+	if w <= 0 {
+		tc := currentTune()
+		if items <= tc.InlineRows {
+			return 1
+		}
+		w = procs
+		if tc.Workers > 0 && tc.Workers < w {
+			w = tc.Workers
+		}
+		if blk := tc.BlockRows; blk > 0 {
+			if mx := (items + blk - 1) / blk; w > mx {
+				w = mx
+			}
+		}
+	}
+	if w > procs {
 		w = procs
 	}
 	if w > items {

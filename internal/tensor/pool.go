@@ -66,6 +66,7 @@ var poolObsPtr atomic.Pointer[poolObs]
 func SetObserver(reg *obs.Registry) {
 	if reg == nil {
 		poolObsPtr.Store(nil)
+		tuneObsPtr.Store(nil)
 		return
 	}
 	o := &poolObs{
@@ -77,6 +78,10 @@ func SetObserver(reg *obs.Registry) {
 	o.dispatched.Add(poolDispatched.Load())
 	o.inline.Add(poolInline.Load())
 	poolObsPtr.Store(o)
+	// Mirror the kernel dispatch config (tensor_tune_*) into the same
+	// registry, now and on every future SetTune/Autotune.
+	tuneObsPtr.Store(reg)
+	publishTune()
 }
 
 // PoolWorkers returns the size the worker pool has (or will have when
