@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: check ci vet obliviouslint build test race fmt-check fuzz-short leakcheck \
-	soak-short benchdiff bench bench-baseline bench-all
+.PHONY: check ci ci-gate ci-heavy vet obliviouslint build test race fmt-check \
+	fuzz-short fuzz-long leakcheck soak-short soak-long benchdiff \
+	benchdiff-report bench bench-baseline bench-all
 
 check: vet obliviouslint build test race
 
 # ci mirrors .github/workflows/ci.yml exactly — same targets, same order —
 # so a green `make ci` locally means a green pipeline, and the two can't
 # drift: every workflow job is a single `make` invocation of these targets.
-ci: fmt-check vet obliviouslint build test race fuzz-short leakcheck soak-short bench benchdiff
+#
+# Staged: ci-gate is the fast correctness gate (seconds to a couple of
+# minutes) that both Go versions in the CI matrix run and every expensive
+# job waits on; ci-heavy is the fan-out the workflow runs in parallel once
+# the gate is green. Locally the split just means a broken build fails in
+# the cheap stage instead of after a soak.
+ci: ci-gate ci-heavy
+ci-gate: fmt-check vet obliviouslint build test
+ci-heavy: race fuzz-short leakcheck soak-short bench benchdiff
 
 # vet layers the strict in-repo analyzers (shadow, unusedresult) on top of
 # the stock go vet suite.
@@ -31,7 +40,7 @@ test:
 race:
 	$(GO) test -race ./internal/tensor ./internal/nn ./internal/obs ./internal/serving \
 		./internal/serving/backends ./internal/core ./internal/dlrm ./internal/wire \
-		./internal/leakcheck
+		./internal/leakcheck ./internal/planner
 
 # fmt-check fails (listing offenders) when any file needs gofmt.
 fmt-check:
@@ -44,6 +53,11 @@ FUZZTIME ?= 20s
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/memtrace
 	$(GO) test -run='^$$' -fuzz=FuzzEqLt -fuzztime=$(FUZZTIME) ./internal/oblivious
+
+# fuzz-long is the nightly campaign: same targets, minutes instead of
+# seconds per target.
+fuzz-long:
+	$(MAKE) fuzz-short FUZZTIME=5m
 
 # leakcheck runs the trace-equivalence leakage audit over every generator
 # and writes the JSON divergence report CI uploads as an artifact. -src .
@@ -65,6 +79,14 @@ soak-short:
 		-backends 2 -conns $(SOAK_CONNS) -duration $(SOAK_DURATION) -batch 2 \
 		-max-p99 500ms -max-shed 0.05 -min-requests 1000
 
+# soak-long is the nightly/acceptance run from the README: ≥1000
+# connections for ≥60s, planner-managed so several re-plan windows (and any
+# hot-swaps they trigger) happen under production-shaped load.
+soak-long:
+	$(GO) run ./cmd/secembd -soak -tls -plan -plan-interval 10s -rows 4096 -dim 64 \
+		-backends 4 -conns 1000 -duration 60s -batch 2 \
+		-max-p99 500ms -max-shed 0.05 -min-requests 10000
+
 # benchdiff gates BENCH_hotpath.json: ns/op regression vs the
 # committed baseline, or any allocation on a zero-alloc path, fails.
 # The CI limit is 25%, above the tool's 15% default: repeated captures
@@ -75,6 +97,13 @@ soak-short:
 # is exact regardless.
 benchdiff:
 	$(GO) run ./cmd/benchdiff -file BENCH_hotpath.json -max-regress 0.25
+
+# benchdiff-report is the baseline-refresh annotation pass: same gate, but
+# advisory (exit 0) and rendered to markdown for the PR comment the
+# bench-baseline workflow posts.
+benchdiff-report:
+	$(GO) run ./cmd/benchdiff -file BENCH_hotpath.json -max-regress 0.25 \
+		-advisory -md benchdiff_report.md
 
 # bench refreshes the "current" section of BENCH_hotpath.json from the
 # hot-path benchmarks (benchfmt keeps the best rep per benchmark).

@@ -14,10 +14,14 @@
 // gate: renames and newly added benchmarks should not block a PR, they
 // just need a refreshed baseline.
 //
+// -advisory reports the same violations but always exits zero — the mode
+// the baseline-refresh CI job uses to annotate a PR instead of blocking
+// it. -md writes the comparison as a markdown table (for PR comments).
+//
 // Usage:
 //
 //	benchdiff [-file BENCH_hotpath.json] [-base baseline] [-cur current]
-//	          [-max-regress 0.15]
+//	          [-max-regress 0.15] [-advisory] [-md report.md]
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Result mirrors cmd/benchfmt's schema (kept in sync by the shared
@@ -49,6 +54,16 @@ type problem struct {
 	Reason string
 }
 
+// row is one comparison line, rendered to the text table and to -md.
+type row struct {
+	Key       string
+	Verdict   string // ok, REGRESS, ALLOCS, new, missing
+	Base, Cur Result
+	HasBase   bool
+	HasCur    bool
+	Ratio     float64
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -60,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base := fs.String("base", "baseline", "reference section label")
 	cur := fs.String("cur", "current", "section label under test")
 	maxRegress := fs.Float64("max-regress", 0.15, "max tolerated ns/op regression (fraction)")
+	advisory := fs.Bool("advisory", false, "report violations but exit 0 (baseline-refresh annotation mode)")
+	mdPath := fs.String("md", "", "also write the comparison as a markdown table to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,11 +96,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: %s has no %q section\n", *file, *cur)
 		return 2
 	}
-	problems := diff(baseRes, curRes, *maxRegress, stdout)
+	rows, problems := diff(baseRes, curRes, *maxRegress)
+	writeText(stdout, rows)
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(markdown(rows, problems, *base, *cur, *maxRegress)), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+	}
 	if len(problems) > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d regression(s) vs %q:\n", len(problems), *base)
 		for _, p := range problems {
 			fmt.Fprintf(stderr, "  %s: %s\n", p.Key, p.Reason)
+		}
+		if *advisory {
+			fmt.Fprintln(stdout, "benchdiff: advisory mode — not failing")
+			return 0
 		}
 		return 1
 	}
@@ -104,9 +132,9 @@ func load(path string) (map[string][]Result, error) {
 	return doc, nil
 }
 
-// diff applies both gates and prints a comparison table for the benchmarks
-// common to base and cur; the returned problems are the gate violations.
-func diff(base, cur []Result, maxRegress float64, w io.Writer) []problem {
+// diff applies both gates to the benchmarks common to base and cur; the
+// returned problems are the gate violations, the rows the full comparison.
+func diff(base, cur []Result, maxRegress float64) ([]row, []problem) {
 	baseBy := map[string]Result{}
 	for _, r := range base {
 		baseBy[r.key()] = r
@@ -119,12 +147,13 @@ func diff(base, cur []Result, maxRegress float64, w io.Writer) []problem {
 	}
 	sort.Strings(keys)
 
+	var rows []row
 	var problems []problem
 	for _, k := range keys {
 		c := curBy[k]
 		b, ok := baseBy[k]
 		if !ok {
-			fmt.Fprintf(w, "  new      %-55s %12.0f ns/op %5d allocs\n", k, c.NsPerOp, c.AllocsOp)
+			rows = append(rows, row{Key: k, Verdict: "new", Cur: c, HasCur: true})
 			continue
 		}
 		ratio := 0.0
@@ -143,13 +172,61 @@ func diff(base, cur []Result, maxRegress float64, w io.Writer) []problem {
 			problems = append(problems, problem{k, fmt.Sprintf(
 				"zero-alloc path now allocates: 0 → %d allocs/op", c.AllocsOp)})
 		}
-		fmt.Fprintf(w, "  %-8s %-55s %12.0f → %-12.0f ns/op (%+.1f%%)  allocs %d → %d\n",
-			verdict, k, b.NsPerOp, c.NsPerOp, ratio*100, b.AllocsOp, c.AllocsOp)
+		rows = append(rows, row{Key: k, Verdict: verdict, Base: b, Cur: c,
+			HasBase: true, HasCur: true, Ratio: ratio})
 	}
+	missing := make([]string, 0, len(baseBy))
 	for k := range baseBy {
 		if _, ok := curBy[k]; !ok {
-			fmt.Fprintf(w, "  missing  %-55s (in base only — refresh the baseline?)\n", k)
+			missing = append(missing, k)
 		}
 	}
-	return problems
+	sort.Strings(missing)
+	for _, k := range missing {
+		rows = append(rows, row{Key: k, Verdict: "missing", Base: baseBy[k], HasBase: true})
+	}
+	return rows, problems
+}
+
+func writeText(w io.Writer, rows []row) {
+	for _, r := range rows {
+		switch r.Verdict {
+		case "new":
+			fmt.Fprintf(w, "  new      %-55s %12.0f ns/op %5d allocs\n", r.Key, r.Cur.NsPerOp, r.Cur.AllocsOp)
+		case "missing":
+			fmt.Fprintf(w, "  missing  %-55s (in base only — refresh the baseline?)\n", r.Key)
+		default:
+			fmt.Fprintf(w, "  %-8s %-55s %12.0f → %-12.0f ns/op (%+.1f%%)  allocs %d → %d\n",
+				r.Verdict, r.Key, r.Base.NsPerOp, r.Cur.NsPerOp, r.Ratio*100, r.Base.AllocsOp, r.Cur.AllocsOp)
+		}
+	}
+}
+
+// markdown renders the comparison as a PR-comment-ready report.
+func markdown(rows []row, problems []problem, base, cur string, maxRegress float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### benchdiff: `%s` vs `%s` (limit +%.0f%% ns/op)\n\n", cur, base, maxRegress*100)
+	if len(problems) == 0 {
+		b.WriteString("No regressions; zero-alloc paths intact.\n\n")
+	} else {
+		fmt.Fprintf(&b, "**%d violation(s):**\n\n", len(problems))
+		for _, p := range problems {
+			fmt.Fprintf(&b, "- `%s`: %s\n", p.Key, p.Reason)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("| benchmark | verdict | base ns/op | cur ns/op | Δ | allocs |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		switch r.Verdict {
+		case "new":
+			fmt.Fprintf(&b, "| `%s` | new | — | %.0f | — | %d |\n", r.Key, r.Cur.NsPerOp, r.Cur.AllocsOp)
+		case "missing":
+			fmt.Fprintf(&b, "| `%s` | missing | %.0f | — | — | — |\n", r.Key, r.Base.NsPerOp)
+		default:
+			fmt.Fprintf(&b, "| `%s` | %s | %.0f | %.0f | %+.1f%% | %d → %d |\n",
+				r.Key, r.Verdict, r.Base.NsPerOp, r.Cur.NsPerOp, r.Ratio*100, r.Base.AllocsOp, r.Cur.AllocsOp)
+		}
+	}
+	return b.String()
 }

@@ -24,8 +24,7 @@ func TestSyntheticRegressionFails(t *testing.T) {
 		res("p", "BenchmarkFast", 120, 0),    // +20% → REGRESS
 		res("p", "BenchmarkSteady", 1000, 2), // unchanged
 	}
-	var out bytes.Buffer
-	problems := diff(base, cur, 0.15, &out)
+	_, problems := diff(base, cur, 0.15)
 	if len(problems) != 1 {
 		t.Fatalf("want 1 problem, got %v", problems)
 	}
@@ -34,7 +33,7 @@ func TestSyntheticRegressionFails(t *testing.T) {
 	}
 
 	cur[0] = res("p", "BenchmarkFast", 100, 3) // 0 → 3 allocs on a zero-alloc path
-	problems = diff(base, cur, 0.15, &out)
+	_, problems = diff(base, cur, 0.15)
 	if len(problems) != 1 || !strings.Contains(problems[0].Reason, "0 → 3 allocs/op") {
 		t.Fatalf("alloc gate missed: %v", problems)
 	}
@@ -49,8 +48,7 @@ func TestThresholdBoundaryAndAllocBudget(t *testing.T) {
 		res("p", "BenchmarkEdge", 1150, 0),    // exactly +15%: not > threshold
 		res("p", "BenchmarkBudgeted", 900, 6), // alloc growth off the zero path: allowed
 	}
-	var out bytes.Buffer
-	if problems := diff(base, cur, 0.15, &out); len(problems) != 0 {
+	if _, problems := diff(base, cur, 0.15); len(problems) != 0 {
 		t.Fatalf("boundary/budget cases should pass, got %v", problems)
 	}
 }
@@ -58,10 +56,12 @@ func TestThresholdBoundaryAndAllocBudget(t *testing.T) {
 func TestNewAndMissingBenchmarksDoNotFail(t *testing.T) {
 	base := []Result{res("p", "BenchmarkGone", 100, 0)}
 	cur := []Result{res("p", "BenchmarkNew", 100, 9)}
-	var out bytes.Buffer
-	if problems := diff(base, cur, 0.15, &out); len(problems) != 0 {
+	rows, problems := diff(base, cur, 0.15)
+	if len(problems) != 0 {
 		t.Fatalf("disjoint sections must not fail the gate, got %v", problems)
 	}
+	var out bytes.Buffer
+	writeText(&out, rows)
 	for _, want := range []string{"new", "missing"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("table should report %q entries:\n%s", want, out.String())
@@ -140,6 +140,43 @@ func TestRunExitCodes(t *testing.T) {
 	}
 }
 
+// TestAdvisoryAndMarkdown covers the baseline-refresh annotation mode: the
+// same regression that exits 1 above must exit 0 under -advisory while
+// still being named, and -md must write a table that flags it.
+func TestAdvisoryAndMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	doc := map[string][]Result{
+		"baseline": {res("p", "BenchmarkHot", 100, 0)},
+		"current":  {res("p", "BenchmarkHot", 130, 0), res("p", "BenchmarkNew", 50, 0)},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	md := filepath.Join(dir, "report.md")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-file", path, "-advisory", "-md", md}, &stdout, &stderr); code != 0 {
+		t.Fatalf("advisory mode: exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "+30.0%") {
+		t.Fatalf("advisory mode should still name the regression:\n%s", stderr.String())
+	}
+	rep, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"REGRESS", "| `p.BenchmarkHot` |", "new", "1 violation"} {
+		if !strings.Contains(string(rep), want) {
+			t.Fatalf("markdown report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
 // TestCommittedArtifactParses pins benchdiff to the real committed
 // document: the schema must stay compatible with cmd/benchfmt's output and
 // the repository's own baseline/current sections must pass the gate.
@@ -153,8 +190,7 @@ func TestCommittedArtifactParses(t *testing.T) {
 			t.Fatalf("committed artifact has no %q results", label)
 		}
 	}
-	var out bytes.Buffer
-	if problems := diff(doc["baseline"], doc["current"], 0.15, &out); len(problems) != 0 {
+	if _, problems := diff(doc["baseline"], doc["current"], 0.15); len(problems) != 0 {
 		t.Fatalf("committed artifact fails its own gate: %v", problems)
 	}
 }

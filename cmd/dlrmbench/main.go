@@ -31,6 +31,7 @@ import (
 	"secemb/internal/data"
 	"secemb/internal/dlrm"
 	"secemb/internal/obs"
+	"secemb/internal/planner"
 	"secemb/internal/profile"
 	"secemb/internal/serving"
 	"secemb/internal/serving/backends"
@@ -52,6 +53,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print an observability snapshot (per-technique counts, latency percentiles) after the runs")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and pprof on this address during the runs")
 	autotune := flag.String("autotune", "on", "probe matmul kernel configs before timing (on/off)")
+	plan := flag.Bool("plan", false, "adaptive planner demo: drive a drifting workload and print each re-plan decision as the table hot-swaps techniques")
 	flag.Parse()
 
 	switch *autotune {
@@ -87,6 +89,11 @@ func main() {
 	}
 	fmt.Printf("%s miniature (scale %g): %d sparse features, dim %d, max table %d rows\n\n",
 		*dataset, *scale, len(cfg.Cardinalities), cfg.EmbDim, maxInt(cfg.Cardinalities))
+
+	if *plan {
+		planDemo(cfg, *seed)
+		return
+	}
 
 	// An all-DHE-Varied trained model can materialize every representation.
 	model := dlrm.New(cfg, dlrm.DHEVariedEmb)
@@ -158,6 +165,79 @@ func main() {
 		fmt.Println("\n--- observability snapshot ---")
 		reg.WriteText(os.Stdout)
 	}
+}
+
+// planDemo drives the adaptive planner with a drifting workload: a
+// single-row trickle, a large-batch burst, then single rows again. Each
+// phase ends with a re-plan pass, and the printed decisions show the
+// scan/ORAM/DHE crossover being re-fit from live latency signals while the
+// table hot-swaps representations without a restart. The -plan serving
+// path in cmd/secembd runs the same loop on a timer.
+func planDemo(cfg dlrm.Config, seed int64) {
+	reg := obs.NewRegistry()
+	rows, dim := maxInt(cfg.Cardinalities), cfg.EmbDim
+	if rows < 1<<15 {
+		// Big-table regime: a tiny miniature would (correctly) pin the plan
+		// to the scan and the demo would never cross over.
+		rows = 1 << 15
+	}
+	build := func(tech core.Technique) (core.Generator, error) {
+		return core.New(tech, rows, dim, core.Options{Seed: seed, Obs: reg})
+	}
+	gen, err := build(core.LinearScanBatched)
+	if err != nil {
+		panic(err)
+	}
+	sw := planner.NewSwappable(gen)
+	pl := planner.New(planner.Config{
+		Reg:        reg,
+		Hysteresis: 0.05,
+		MinDwell:   time.Millisecond, // demo: surface every crossover immediately
+	})
+	if err := pl.Manage(planner.Table{
+		Name: "demo", Rows: rows, Dim: dim, Build: build,
+		Replicas: []*planner.Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("planner demo: %dx%d table starting on scanb, drifting batch sizes\n\n", rows, dim)
+	rng := rand.New(rand.NewSource(seed + 13))
+	phases := []struct {
+		name         string
+		batch, iters int
+	}{
+		{"warm-up trickle", 1, 8},
+		{"single-row lookups", 2, 12},
+		{"batch burst", 256, 12},
+		{"back to single rows", 2, 12},
+	}
+	for _, ph := range phases {
+		ids := make([]uint64, ph.batch)
+		for i := 0; i < ph.iters; i++ {
+			for j := range ids {
+				ids[j] = uint64(rng.Intn(rows))
+			}
+			if _, err := sw.Generate(ids); err != nil {
+				panic(err)
+			}
+		}
+		for _, d := range pl.ReplanNow() {
+			printDecision(ph.name, ph.batch, d)
+		}
+	}
+}
+
+func printDecision(phase string, batch int, d planner.Decision) {
+	costs := make([]string, 0, len(d.PerIDNs))
+	for _, tech := range planner.DefaultCandidates() {
+		costs = append(costs, fmt.Sprintf("%s=%.0fµs", tech.Key(), d.PerIDNs[tech]/1e3))
+	}
+	verdict := d.Reason
+	if d.Swapped {
+		verdict = fmt.Sprintf("SWAP %s→%s (%s)", d.Current.Key(), d.Chosen.Key(), d.Reason)
+	}
+	fmt.Printf("%-20s batch %-4d  perID{%s}  %s\n", phase, batch, strings.Join(costs, " "), verdict)
 }
 
 // serveLoad is the serving-mode workload shape.

@@ -84,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// client observes joins the trace, so an id-dependent response size
 	// (or backend access) diverges.
 	factories = append(factories, leakcheck.WireFactory(*rows, *dim, *seed))
+	// The adaptive planner's hot-swap path: every panel input crosses a
+	// forced scan→DHE re-plan boundary, so a swap whose existence or timing
+	// depended on the ids would move the boundary and diverge.
+	factories = append(factories, leakcheck.PlannerFactory(*rows, *dim, *seed))
 
 	// Roster sync runs against the full factory set, before any -gens
 	// narrowing: a directive is valid as long as *some* leakcheck run can

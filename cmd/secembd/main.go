@@ -44,6 +44,7 @@ import (
 
 	"secemb/internal/core"
 	"secemb/internal/obs"
+	"secemb/internal/planner"
 	"secemb/internal/profile"
 	"secemb/internal/serving"
 	"secemb/internal/serving/backends"
@@ -77,6 +78,8 @@ type config struct {
 	autotune   string
 	tuneFile   string
 	int8       bool
+	plan       bool
+	planEvery  time.Duration
 
 	// soak
 	soak        bool
@@ -116,6 +119,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&c.autotune, "autotune", "on", "serve: probe matmul kernel configs at startup (on/off)")
 	fs.StringVar(&c.tuneFile, "tune-file", "", "serve: persist/reuse the autotuned kernel config at this path (skips the probe when the recorded machine matches)")
 	fs.BoolVar(&c.int8, "int8", true, "serve: quantized int8 DHE decoder when the accuracy gate passes (dhe and dual techniques)")
+	fs.BoolVar(&c.plan, "plan", false, "serve: adaptive planner re-fits the technique choice online and hot-swaps tables (replaces the static dual hybrid)")
+	fs.DurationVar(&c.planEvery, "plan-interval", 10*time.Second, "serve: planner re-plan period (with -plan)")
 
 	fs.BoolVar(&c.soak, "soak", false, "run the load generator instead of serving")
 	fs.BoolVar(&c.useTLS, "tls", false, "soak: dial TLS (self-hosted runs mint an ephemeral self-signed cert)")
@@ -146,26 +151,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // buildGroup constructs the replicated serving stack for the configured
 // technique. Backends are stateful, so every replica gets its own
-// generator (same seed → same representation values).
-func buildGroup(c *config, reg *obs.Registry) (*serving.Group, error) {
+// generator (same seed → same representation values). With -plan each
+// generator sits behind a planner.Swappable and the returned planner
+// (nil otherwise, already started) re-fits the technique online; callers
+// own its Stop.
+func buildGroup(c *config, reg *obs.Registry) (*serving.Group, *planner.Planner, error) {
+	initial, err := planInitial(c)
+	if err != nil {
+		return nil, nil, err
+	}
 	bes := make([]serving.Backend, c.nBackends)
+	sws := make([]*planner.Swappable, 0, c.nBackends)
 	for i := range bes {
 		gen, err := buildGenerator(c, reg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		bes[i] = backends.NewEmbedding(gen, c.maxBatch)
+		if c.plan {
+			sw := planner.NewSwappable(gen)
+			sws = append(sws, sw)
+			bes[i] = backends.NewEmbedding(sw, c.maxBatch)
+		} else {
+			bes[i] = backends.NewEmbedding(gen, c.maxBatch)
+		}
 	}
 	opts := []serving.Option{}
 	if reg != nil {
 		opts = append(opts, serving.WithObserver(reg))
 	}
-	return serving.NewGroup(bes, serving.GroupConfig{
+	group := serving.NewGroup(bes, serving.GroupConfig{
 		Shards:     c.shards,
 		QueueDepth: c.queueDepth,
 		Coalesce:   serving.CoalesceConfig{MaxWait: c.maxWait},
 		ShedWait:   c.shedWait,
-	}, opts...), nil
+	}, opts...)
+	if !c.plan {
+		return group, nil, nil
+	}
+	pl := planner.New(planner.Config{Interval: c.planEvery, Reg: reg})
+	if err := pl.Manage(planner.Table{
+		Name: "embed", Rows: c.rows, Dim: c.dim, Initial: initial,
+		Build: func(tech core.Technique) (core.Generator, error) {
+			return core.New(tech, c.rows, c.dim, core.Options{Seed: c.seed, Int8: c.int8, Obs: reg})
+		},
+		Replicas: sws,
+	}); err != nil {
+		group.Close()
+		return nil, nil, err
+	}
+	pl.Start()
+	return group, pl, nil
+}
+
+// planInitial resolves the technique the planner starts the table on.
+// "dual" (the static §IV-D hybrid, and the -technique default) is what
+// -plan supersedes, so under -plan it maps to the batched scan and the
+// first re-plan window takes it from there; any concrete technique key is
+// honored as the starting point.
+func planInitial(c *config) (core.Technique, error) {
+	if !c.plan {
+		return 0, nil
+	}
+	if c.technique == "dual" {
+		c.technique = core.LinearScanBatched.Key()
+	}
+	return core.ParseTechnique(c.technique)
 }
 
 // setupTuning applies the startup kernel autotuner policy: reuse a
@@ -265,10 +315,14 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 	// Publish the installed kernel config (tensor_tune_* gauges) and the
 	// pool/tune metrics into this server's registry.
 	tensor.SetObserver(reg)
-	group, err := buildGroup(c, reg)
+	group, pl, err := buildGroup(c, reg)
 	if err != nil {
 		fmt.Fprintln(stderr, "secembd:", err)
 		return 2
+	}
+	if pl != nil {
+		fmt.Fprintf(stdout, "secembd: planner managing table (initial %s, re-plan every %v)\n",
+			c.technique, c.planEvery)
 	}
 	srv := wire.NewServer(wire.ServerConfig{
 		Group:        group,
@@ -297,6 +351,9 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintf(stdout, "secembd: draining (grace %v)\n", c.drainGrace)
+	if pl != nil {
+		pl.Stop() // no swaps mid-drain; in-flight Generates finish untouched
+	}
 	srv.StartDrain()
 	time.Sleep(c.drainGrace)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -341,7 +398,7 @@ func runSoak(c *config, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
-		group, err := buildGroup(c, nil)
+		group, pl, err := buildGroup(c, nil)
 		if err != nil {
 			fmt.Fprintln(stderr, "secembd:", err)
 			return 2
@@ -363,6 +420,9 @@ func runSoak(c *config, stdout, stderr io.Writer) int {
 		}
 		target = addr
 		cleanup = func() {
+			if pl != nil {
+				pl.Stop()
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			_ = srv.DrainAll(ctx)

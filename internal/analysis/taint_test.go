@@ -37,6 +37,17 @@ func TestObliviouslintFlushPolicy(t *testing.T) {
 	}
 }
 
+// The plan fixture is the adaptive-planner guard: a technique plan indexed
+// by a secret id or a re-plan triggered by a specific id must be flagged
+// (the internal/planner public-signal invariant), while the
+// shape-and-EWMA-only policy stays clean.
+func TestObliviouslintPlanPolicy(t *testing.T) {
+	res := RunFixture(t, fixtureRoot, "plan", Obliviouslint())
+	if len(res.Findings) == 0 {
+		t.Fatal("secret-dependent plan policies produced no findings; the checker has lost its teeth")
+	}
+}
+
 func TestObliviouslintLeakyFixture(t *testing.T) {
 	res := RunFixture(t, fixtureRoot, "leaky", Obliviouslint())
 	if len(res.Findings) == 0 {

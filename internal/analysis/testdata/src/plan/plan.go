@@ -1,0 +1,55 @@
+// Fixture: planner-policy findings — a miniature technique planner in the
+// shape of internal/planner. The planner invariant (§V-B, extended to
+// re-planning) is that technique selection and swap timing read only
+// public quantities: table shape, aggregate batch sizes, latency EWMAs.
+// A planner that routes a table through a plan array indexed by a secret
+// id, or that triggers a re-plan when a particular id shows up, makes the
+// served representation a function of the secret — exactly the adaptive
+// regression obliviouslint must flag.
+package plan
+
+// Techniques a plan can choose between; values are public configuration.
+const (
+	techScan = iota
+	techORAM
+	techDHE
+)
+
+// PickByProfile is the sanctioned policy: the decision reads only the
+// table's public shape and the aggregate batch EWMA sampled from metrics.
+// No findings.
+//
+// secemb:secret ids return
+func PickByProfile(ids []uint64, rows, dim int, ewmaBatch float64) int {
+	_ = ids // ids flow to the backend untouched; the plan never reads them
+	if rows*dim < 1<<16 {
+		return techScan // public: table shape vs configured crossover
+	}
+	if ewmaBatch >= 100 { // public: aggregate batch EWMA
+		return techDHE
+	}
+	return techORAM
+}
+
+// PickBySecretID is the leak: the plan table is indexed by a secret id, so
+// which representation serves the request (and therefore the whole access
+// pattern that follows) is id-dependent.
+//
+// secemb:secret ids return
+func PickBySecretID(ids []uint64, planTable [4]int) int {
+	return planTable[ids[0]%4] // want `obliviouslint/index: index depends on secret-tainted value`
+}
+
+// SwapOnHotID launders the secret into swap *timing*: a re-plan fires the
+// moment a particular id is requested, so the swap boundary's position in
+// the trace reveals when that id appeared.
+//
+// secemb:secret ids return
+func SwapOnHotID(ids []uint64, cur int) int {
+	for _, id := range ids {
+		if id == 42 { // want `obliviouslint/branch: branch condition depends on secret-tainted value`
+			return techDHE
+		}
+	}
+	return cur
+}

@@ -1,0 +1,75 @@
+package leakcheck
+
+import (
+	"secemb/internal/core"
+	"secemb/internal/memtrace"
+	"secemb/internal/planner"
+	"secemb/internal/tensor"
+)
+
+// PlannerFactory audits the adaptive planner's hot-swap lifecycle: each
+// panel input is served once on the incumbent batched scan, then a forced
+// re-plan swaps the table to DHE through the real planner swap path
+// (prepare → install → drain), and the same input is served again on the
+// new representation. The recorded trace therefore spans the re-plan
+// boundary — scan sweep, swap, DHE sweep — and trace equality across the
+// panel proves that technique selection, swap timing, and both serving
+// regimes are independent of the ids: a planner that decided or timed its
+// swap from id values would move the boundary (or change the techniques)
+// and diverge. See TestPlannerAuditTeeth for the counterexample.
+func PlannerFactory(rows, dim int, seed int64) Factory {
+	return Factory{
+		Name:   "planner",
+		Secure: true,
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			return newPlannerGen(rows, dim, seed, tr)
+		},
+	}
+}
+
+// plannerGen replays one batch across a forced re-plan. Fresh per panel
+// input (Factory.New), so every run sees an identical planner lifecycle on
+// an identical random tape; only the secret ids differ.
+type plannerGen struct {
+	sw *planner.Swappable
+	pl *planner.Planner
+}
+
+func newPlannerGen(rows, dim int, seed int64, tr *memtrace.Tracer) (*plannerGen, error) {
+	build := func(tech core.Technique) (core.Generator, error) {
+		return core.New(tech, rows, dim, core.Options{Seed: seed, Tracer: tr, Threads: 1})
+	}
+	scan, err := build(core.LinearScanBatched)
+	if err != nil {
+		return nil, err
+	}
+	sw := planner.NewSwappable(scan)
+	pl := planner.New(planner.Config{})
+	if err := pl.Manage(planner.Table{
+		Name: "audit", Rows: rows, Dim: dim, Build: build,
+		Replicas: []*planner.Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		return nil, err
+	}
+	return &plannerGen{sw: sw, pl: pl}, nil
+}
+
+// Generate serves the batch on the scan, forces the scan→DHE re-plan, and
+// serves it again on the DHE — one trace across the swap boundary.
+//
+// secemb:secret ids
+func (p *plannerGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if _, err := p.sw.Generate(ids); err != nil {
+		return nil, err
+	}
+	if err := p.pl.ForceSwap("audit", core.DHE); err != nil {
+		return nil, err
+	}
+	return p.sw.Generate(ids)
+}
+
+func (p *plannerGen) Rows() int                 { return p.sw.Rows() }
+func (p *plannerGen) Dim() int                  { return p.sw.Dim() }
+func (p *plannerGen) Technique() core.Technique { return p.sw.Technique() }
+func (p *plannerGen) NumBytes() int64           { return p.sw.NumBytes() }
+func (p *plannerGen) SetThreads(n int)          { p.sw.SetThreads(n) }

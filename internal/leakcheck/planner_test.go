@@ -1,0 +1,85 @@
+package leakcheck
+
+import (
+	"testing"
+
+	"secemb/internal/core"
+	"secemb/internal/memtrace"
+	"secemb/internal/tensor"
+)
+
+// TestPlannerSwapPassesPanel replays the adversarial panel across a forced
+// re-plan boundary: every input is served on the batched scan, the planner
+// hot-swaps the table to DHE through its real prepare→install→drain path,
+// and the input is served again. The combined trace must be identical
+// across the panel — the swap's existence, timing, and both serving
+// regimes are functions of public state only.
+func TestPlannerSwapPassesPanel(t *testing.T) {
+	const rows, dim, batch, seed = 128, 4, 8, 3
+	rep, err := Verify(PlannerFactory(rows, dim, seed), AdversarialPanel(rows, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leaky {
+		t.Fatalf("planner swap boundary reported leaky: %v", rep.Divergences[0])
+	}
+	if rep.TraceLen == 0 {
+		t.Fatal("empty trace — the audit never crossed the swap boundary")
+	}
+}
+
+// TestPlannerAuditTeeth proves the audit catches the failure mode the
+// planner's public-signal rule forbids: a planner that decides *whether* to
+// re-plan from the ids themselves. The leaky variant below swaps only when
+// the first requested id is even, so panel inputs of different parity see
+// different technique sequences and the traces diverge.
+func TestPlannerAuditTeeth(t *testing.T) {
+	const rows, dim, seed = 64, 4, 5
+	leaky := Factory{
+		Name:   "planner-idswap",
+		Secure: true, // claims security; the audit must prove otherwise
+		New: func(tr *memtrace.Tracer) (core.Generator, error) {
+			inner, err := newPlannerGen(rows, dim, seed, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &idSwapGen{inner: inner}, nil
+		},
+	}
+	panel := Panel{
+		{2, 9, 17, 33}, // even first id → swap fires, DHE serves the replay
+		{1, 9, 17, 33}, // odd first id → swap skipped, scan serves the replay
+	}
+	rep, err := Verify(leaky, panel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Leaky {
+		t.Fatal("id-conditioned re-plan escaped the audit — the harness lost its teeth")
+	}
+}
+
+// idSwapGen is the forbidden planner: re-plan decision keyed on a secret
+// id. It reuses plannerGen's real swap machinery so the divergence the
+// audit catches is exactly the moved swap boundary, nothing synthetic.
+type idSwapGen struct {
+	inner *plannerGen
+}
+
+func (g *idSwapGen) Generate(ids []uint64) (*tensor.Matrix, error) {
+	if _, err := g.inner.sw.Generate(ids); err != nil {
+		return nil, err
+	}
+	if len(ids) > 0 && ids[0]%2 == 0 { // secret-dependent re-plan: the bug
+		if err := g.inner.pl.ForceSwap("audit", core.DHE); err != nil {
+			return nil, err
+		}
+	}
+	return g.inner.sw.Generate(ids)
+}
+
+func (g *idSwapGen) Rows() int                 { return g.inner.Rows() }
+func (g *idSwapGen) Dim() int                  { return g.inner.Dim() }
+func (g *idSwapGen) Technique() core.Technique { return g.inner.Technique() }
+func (g *idSwapGen) NumBytes() int64           { return g.inner.NumBytes() }
+func (g *idSwapGen) SetThreads(n int)          { g.inner.SetThreads(n) }

@@ -1,0 +1,342 @@
+// Package planner is the adaptive hybrid technique planner: the online,
+// profile-driven generalization of the paper's static §IV-D dual scheme.
+// Where the dual picks scan-vs-DHE per table once, from size thresholds
+// fixed at deployment, the planner keeps re-fitting the scan/ORAM/DHE
+// crossover model from live signals — table shape, the aggregate batch
+// sizes the serving layer is actually producing, and per-technique latency
+// EWMAs sampled from internal/obs — and hot-swaps a table's generator
+// behind the serving backends when the model says another technique is now
+// cheaper. Production tables drift in size and skew; the planner follows.
+//
+// Security (§V-B): every input to a plan decision is public. Rows, dim
+// and candidate set are deployment configuration; batch-size aggregates
+// and latencies are observable by the adversary already and are recorded
+// by instrumentation that never sees an id (core.Instrument counts and
+// clocks batches, nothing else). Technique selection and swap *timing*
+// therefore leak nothing about individual ids — an invariant enforced two
+// ways: statically by obliviouslint (the `plan` fixture flags a
+// secret-indexed plan table) and dynamically by the leakcheck "planner"
+// roster target, which replays the adversarial panel across a forced
+// re-plan boundary and demands trace equality.
+//
+// The swap itself is a prepare → install → drain lifecycle (Swappable):
+// fresh representations are built off the serving path, published with one
+// atomic pointer swap, and the old generator is handed back only after
+// every in-flight batch on it has finished — no request is ever dropped
+// or served by a torn-down representation.
+package planner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/obs"
+)
+
+// DefaultCandidates is the technique menu the planner chooses from: the
+// batched scan for small tables, Circuit ORAM for big-table/small-batch,
+// DHE for big-table/large-batch — the three regimes of §IV.
+func DefaultCandidates() []core.Technique {
+	return []core.Technique{core.LinearScanBatched, core.CircuitORAM, core.DHE}
+}
+
+// Config shapes a Planner.
+type Config struct {
+	// Interval is the sampling/re-plan period of Start's background loop
+	// (0 → 10s). ReplanNow ignores it.
+	Interval time.Duration
+	// Hysteresis is the minimum predicted relative improvement before the
+	// planner swaps (0 → 0.2): a candidate must beat the incumbent's
+	// predicted per-id cost by this fraction. Swaps cost a representation
+	// rebuild, so marginal wins are not worth flapping for.
+	Hysteresis float64
+	// MinDwell is the minimum time between swaps of one table (0 → 30s):
+	// even a model that flips every window cannot thrash the backends.
+	// Forced swaps (ForceSwap) ignore it.
+	MinDwell time.Duration
+	// Alpha is the EWMA smoothing factor for sampled signals (0 → 0.3).
+	Alpha float64
+	// Candidates is the technique menu (nil → DefaultCandidates).
+	Candidates []core.Technique
+	// Reg receives the planner_* metrics and is the registry the sampler
+	// reads core_generate_* aggregates from. The managed generators must
+	// be instrumented into the same registry (core.Options.Obs) for
+	// observed signals to flow; without it the planner still works, from
+	// analytic priors alone.
+	Reg *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.2
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = 30 * time.Second
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if len(c.Candidates) == 0 {
+		c.Candidates = DefaultCandidates()
+	}
+	return c
+}
+
+// Table declares one managed embedding table: its public shape, how to
+// build a fresh generator for any candidate technique, and the swap points
+// its serving replicas generate through.
+type Table struct {
+	// Name labels the table in metrics and decisions.
+	Name string
+	// Rows and Dim are the table's public shape.
+	Rows, Dim int
+	// Build constructs one fresh replica representation for the technique.
+	// It runs on the planner goroutine (prepare phase), so it may be slow;
+	// serving continues on the incumbent meanwhile. Build generators with
+	// the planner's registry (core.Options.Obs) so their latencies feed
+	// the next re-plan.
+	Build func(tech core.Technique) (core.Generator, error)
+	// Replicas are the swap points serving traffic flows through — one per
+	// backend replica. All replicas swap together, in sequence.
+	Replicas []*Swappable
+	// Initial is the technique the replicas start on.
+	Initial core.Technique
+}
+
+// managedTable is the planner's per-table state.
+type managedTable struct {
+	Table
+	current  core.Technique
+	lastSwap time.Time
+
+	gActive    *obs.Gauge
+	gMeanBatch *obs.Gauge
+}
+
+// Decision records one re-plan pass over one table.
+type Decision struct {
+	Table   string
+	Current core.Technique
+	Chosen  core.Technique
+	// PerIDNs is the predicted per-id cost of every candidate at the
+	// table's current operating point.
+	PerIDNs map[core.Technique]float64
+	// MeanBatch is the smoothed aggregate batch size the prediction used.
+	MeanBatch float64
+	// Swapped reports whether the pass installed a new technique; Reason
+	// explains a kept incumbent ("within hysteresis", "dwell", …).
+	Swapped bool
+	Reason  string
+}
+
+// Planner owns the re-plan loop over a set of managed tables.
+type Planner struct {
+	cfg     Config
+	sampler *sampler
+
+	mu     sync.Mutex
+	tables []*managedTable
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mReplan    *obs.Counter
+	mSwap      *obs.Counter
+	mBuildErr  *obs.Counter
+	mPrepareNs *obs.Histogram
+}
+
+// New builds a planner; call Manage to register tables, then Start (or
+// drive passes manually with ReplanNow).
+func New(cfg Config) *Planner {
+	cfg = cfg.withDefaults()
+	return &Planner{
+		cfg:        cfg,
+		sampler:    newSampler(cfg.Reg, cfg.Alpha),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		mReplan:    cfg.Reg.Counter("planner_replan_total"),
+		mSwap:      cfg.Reg.Counter("planner_swap_total"),
+		mBuildErr:  cfg.Reg.Counter("planner_build_errors_total"),
+		mPrepareNs: cfg.Reg.Histogram("planner_prepare_ns"),
+	}
+}
+
+// Manage registers a table. Not safe to call after Start.
+func (p *Planner) Manage(t Table) error {
+	if t.Name == "" || t.Build == nil || len(t.Replicas) == 0 {
+		return fmt.Errorf("planner: table needs a name, a Build func and ≥1 replica")
+	}
+	if t.Rows < 2 || t.Dim < 1 {
+		return fmt.Errorf("planner: table %q has invalid shape %dx%d", t.Name, t.Rows, t.Dim)
+	}
+	mt := &managedTable{
+		Table:      t,
+		current:    t.Initial,
+		lastSwap:   time.Now(),
+		gActive:    p.cfg.Reg.Gauge("planner_active_technique", "table", t.Name),
+		gMeanBatch: p.cfg.Reg.Gauge("planner_mean_batch_milli", "table", t.Name),
+	}
+	mt.gActive.Set(int64(t.Initial))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tables = append(p.tables, mt)
+	return nil
+}
+
+// Start launches the background re-plan loop at the configured interval.
+func (p *Planner) Start() {
+	go func() {
+		defer close(p.done)
+		tick := time.NewTicker(p.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				p.ReplanNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop (idempotent; a never-started planner
+// stops cleanly too). In-progress swaps complete.
+func (p *Planner) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// ReplanNow runs one full pass: sample signals, refit, decide, and swap
+// where the model says so. Safe to call concurrently with the background
+// loop; passes serialize on the planner lock.
+func (p *Planner) ReplanNow() []Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mReplan.Inc()
+
+	// One signal sample per candidate technique per pass: the aggregates
+	// are global per technique, not per table, so sample once and share.
+	sigs := map[core.Technique]Signal{}
+	for _, tech := range p.cfg.Candidates {
+		sigs[tech] = p.sampler.sample(tech)
+	}
+
+	decisions := make([]Decision, 0, len(p.tables))
+	for _, t := range p.tables {
+		decisions = append(decisions, p.replanTable(t, sigs))
+	}
+	return decisions
+}
+
+// replanTable decides (and possibly swaps) one table. Caller holds p.mu.
+func (p *Planner) replanTable(t *managedTable, sigs map[core.Technique]Signal) Decision {
+	// The operating point: the smoothed batch size of whatever technique
+	// is serving now. With no traffic yet, predict at batch 1 (the most
+	// conservative point for DHE's amortization).
+	batch := sigs[t.current].EWMABatch
+	if batch < 1 {
+		batch = 1
+	}
+	t.gMeanBatch.Set(int64(batch * 1000))
+
+	d := Decision{
+		Table:     t.Name,
+		Current:   t.current,
+		Chosen:    t.current,
+		MeanBatch: batch,
+		PerIDNs:   make(map[core.Technique]float64, len(p.cfg.Candidates)),
+	}
+	best, bestCost := t.current, predictPerID(t.current, t.Rows, t.Dim, batch, sigs[t.current])
+	for _, tech := range p.cfg.Candidates {
+		cost := predictPerID(tech, t.Rows, t.Dim, batch, sigs[tech])
+		d.PerIDNs[tech] = cost
+		p.cfg.Reg.Gauge("planner_predicted_perid_ns", "table", t.Name, "tech", tech.Key()).Set(int64(cost))
+		if cost < bestCost {
+			best, bestCost = tech, cost
+		}
+	}
+	if best == t.current {
+		d.Reason = "incumbent cheapest"
+		return d
+	}
+	incumbent := d.PerIDNs[t.current]
+	if incumbent > 0 && (incumbent-bestCost)/incumbent < p.cfg.Hysteresis {
+		d.Reason = fmt.Sprintf("%s within hysteresis of %s", best.Key(), t.current.Key())
+		return d
+	}
+	if time.Since(t.lastSwap) < p.cfg.MinDwell {
+		d.Reason = "dwell"
+		return d
+	}
+	if err := p.swap(t, best); err != nil {
+		d.Reason = fmt.Sprintf("swap failed: %v", err)
+		return d
+	}
+	d.Chosen, d.Swapped, d.Reason = best, true, "model crossover"
+	return d
+}
+
+// ForceSwap installs tech on the named table immediately, bypassing the
+// model, hysteresis and dwell — the lever for tests, the leakcheck audit,
+// and operational overrides. The lifecycle is identical to an organic
+// re-plan swap: prepare fresh replicas, install atomically, drain the old.
+func (p *Planner) ForceSwap(table string, tech core.Technique) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range p.tables {
+		if t.Name == table {
+			return p.swap(t, tech)
+		}
+	}
+	return fmt.Errorf("planner: unknown table %q", table)
+}
+
+// Current reports the named table's active technique.
+func (p *Planner) Current(table string) (core.Technique, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range p.tables {
+		if t.Name == table {
+			return t.current, nil
+		}
+	}
+	return 0, fmt.Errorf("planner: unknown table %q", table)
+}
+
+// swap runs the prepare → install → drain lifecycle for every replica of
+// t. Caller holds p.mu. On a build failure nothing is installed: the
+// incumbent keeps serving and the error is surfaced (and counted).
+func (p *Planner) swap(t *managedTable, tech core.Technique) error {
+	start := time.Now()
+	// Prepare: build every replica's fresh representation up front, off
+	// the serving path. All-or-nothing — a half-swapped replica set would
+	// split a table across techniques.
+	fresh := make([]core.Generator, len(t.Replicas))
+	for i := range fresh {
+		g, err := t.Build(tech)
+		if err != nil {
+			p.mBuildErr.Inc()
+			return fmt.Errorf("planner: building %s replica %d for table %q: %w", tech.Key(), i, t.Name, err)
+		}
+		fresh[i] = g
+	}
+	p.mPrepareNs.ObserveDuration(time.Since(start))
+	// Install + drain, replica by replica: each Install returns only when
+	// the replica's in-flight batches on the old generator have finished.
+	for i, sw := range t.Replicas {
+		sw.Install(fresh[i])
+	}
+	t.current = tech
+	t.lastSwap = time.Now()
+	t.gActive.Set(int64(tech))
+	p.mSwap.Inc()
+	p.cfg.Reg.Counter("planner_swap_tech_total", "table", t.Name, "tech", tech.Key()).Inc()
+	return nil
+}

@@ -1,0 +1,311 @@
+package planner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"secemb/internal/core"
+	"secemb/internal/obs"
+)
+
+func buildFor(rows, dim int, seed int64, reg *obs.Registry) func(core.Technique) (core.Generator, error) {
+	return func(tech core.Technique) (core.Generator, error) {
+		return core.New(tech, rows, dim, core.Options{Seed: seed, Threads: 1, Obs: reg})
+	}
+}
+
+func TestSwappableInstallSwitchesGenerator(t *testing.T) {
+	build := buildFor(64, 8, 1, nil)
+	scan, err := build(core.LinearScanBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwappable(scan)
+	if got := sw.Technique(); got != core.LinearScanBatched {
+		t.Fatalf("initial technique = %v, want scanb", got)
+	}
+	out1, err := sw.Generate([]uint64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhe, err := build(core.DHE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := sw.Install(dhe)
+	if old != scan {
+		t.Fatalf("Install returned %T, want the displaced scan generator", old)
+	}
+	if got := sw.Technique(); got != core.DHE {
+		t.Fatalf("post-install technique = %v, want dhe", got)
+	}
+	out2, err := sw.Generate([]uint64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Rows != out2.Rows || out1.Cols != out2.Cols {
+		t.Fatalf("shape changed across swap: %dx%d vs %dx%d", out1.Rows, out1.Cols, out2.Rows, out2.Cols)
+	}
+	if sw.Swaps() != 1 {
+		t.Fatalf("Swaps() = %d, want 1", sw.Swaps())
+	}
+}
+
+func TestSwappableCarriesThreadsAcrossInstall(t *testing.T) {
+	build := buildFor(64, 8, 1, nil)
+	g1, _ := build(core.LinearScanBatched)
+	sw := NewSwappable(g1)
+	sw.SetThreads(1)
+	g2, _ := build(core.LinearScanBatched)
+	sw.Install(g2) // must re-apply SetThreads(1); no direct probe, but must not panic
+	if _, err := sw.Generate([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyticModelRegimes pins the prior's orderings to the paper's three
+// regimes (Fig. 4/5, §IV-D).
+func TestAnalyticModelRegimes(t *testing.T) {
+	cases := []struct {
+		rows, dim int
+		batch     float64
+		want      core.Technique
+	}{
+		{100, 16, 4, core.LinearScanBatched}, // tiny table: scan wins
+		{1 << 20, 64, 1, core.CircuitORAM},   // huge table, single-id batches: ORAM
+		{1 << 20, 64, 256, core.DHE},         // huge table, large batches: DHE amortizes
+	}
+	for _, c := range cases {
+		best, bestCost := core.Technique(-1), 0.0
+		for _, tech := range DefaultCandidates() {
+			cost := analyticPerID(tech, c.rows, c.dim, c.batch)
+			if best < 0 || cost < bestCost {
+				best, bestCost = tech, cost
+			}
+		}
+		if best != c.want {
+			t.Errorf("rows=%d dim=%d batch=%g: analytic pick %v, want %v",
+				c.rows, c.dim, c.batch, best, c.want)
+		}
+	}
+}
+
+// observe simulates one served batch in the registry aggregates the
+// sampler reads — the planner's signals are exactly these public numbers.
+func observe(reg *obs.Registry, tech core.Technique, batch int, lat time.Duration) {
+	key := tech.Key()
+	reg.Counter("core_generate_total", "tech", key).Inc()
+	reg.Counter("core_generate_ids_total", "tech", key).Add(int64(batch))
+	reg.Histogram("core_generate_ns", "tech", key).ObserveDuration(lat)
+}
+
+func TestSamplerWindowsAndEWMA(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newSampler(reg, 0.5)
+
+	if sig := s.sample(core.DHE); sig.Observed() {
+		t.Fatalf("idle technique reports Observed: %+v", sig)
+	}
+	observe(reg, core.DHE, 8, 2*time.Millisecond)
+	observe(reg, core.DHE, 8, 2*time.Millisecond)
+	sig := s.sample(core.DHE)
+	if sig.Batches != 2 || sig.IDs != 16 {
+		t.Fatalf("window deltas = %d batches/%d ids, want 2/16", sig.Batches, sig.IDs)
+	}
+	if sig.MeanBatch != 8 || sig.EWMABatch != 8 {
+		t.Fatalf("mean batch = %g (ewma %g), want 8", sig.MeanBatch, sig.EWMABatch)
+	}
+	if sig.EWMANs != 2e6 {
+		t.Fatalf("first EWMA = %g, want seed 2e6", sig.EWMANs)
+	}
+	// A faster window pulls the EWMA halfway (alpha 0.5).
+	observe(reg, core.DHE, 8, 1*time.Millisecond)
+	sig = s.sample(core.DHE)
+	if sig.EWMANs != 1.5e6 {
+		t.Fatalf("EWMA after 1ms window = %g, want 1.5e6", sig.EWMANs)
+	}
+	// An idle window leaves the EWMA standing.
+	sig = s.sample(core.DHE)
+	if sig.Batches != 0 || sig.EWMANs != 1.5e6 {
+		t.Fatalf("idle window mutated signal: %+v", sig)
+	}
+}
+
+func TestPlannerSwapsOnObservedCrossover(t *testing.T) {
+	reg := obs.NewRegistry()
+	rows, dim := 512, 16
+	build := buildFor(rows, dim, 1, reg)
+	scan, err := build(core.LinearScanBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwappable(scan)
+	p := New(Config{Reg: reg, MinDwell: time.Nanosecond, Hysteresis: 0.1, Alpha: 1})
+	if err := p.Manage(Table{
+		Name: "t", Rows: rows, Dim: dim,
+		Build: build, Replicas: []*Swappable{sw},
+		Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed observed signals that invert the analytic prior for this tiny
+	// table: the scan measured catastrophically slow, DHE fast at the same
+	// batch size. The model must follow the measurements.
+	for i := 0; i < 4; i++ {
+		observe(reg, core.LinearScanBatched, 8, 80*time.Millisecond)
+		observe(reg, core.DHE, 8, 100*time.Microsecond)
+		observe(reg, core.CircuitORAM, 8, 50*time.Millisecond)
+	}
+	ds := p.ReplanNow()
+	if len(ds) != 1 {
+		t.Fatalf("got %d decisions, want 1", len(ds))
+	}
+	d := ds[0]
+	if !d.Swapped || d.Chosen != core.DHE {
+		t.Fatalf("decision = %+v, want swap to DHE", d)
+	}
+	if got := sw.Technique(); got != core.DHE {
+		t.Fatalf("replica serves %v after swap, want DHE", got)
+	}
+	if cur, _ := p.Current("t"); cur != core.DHE {
+		t.Fatalf("planner current = %v, want DHE", cur)
+	}
+	if _, err := sw.Generate([]uint64{1, 2, 3}); err != nil {
+		t.Fatalf("post-swap Generate: %v", err)
+	}
+}
+
+func TestPlannerHysteresisHoldsIncumbent(t *testing.T) {
+	reg := obs.NewRegistry()
+	rows, dim := 512, 16
+	build := buildFor(rows, dim, 1, reg)
+	scan, _ := build(core.LinearScanBatched)
+	sw := NewSwappable(scan)
+	p := New(Config{Reg: reg, MinDwell: time.Nanosecond, Hysteresis: 0.5, Alpha: 1})
+	if err := p.Manage(Table{
+		Name: "t", Rows: rows, Dim: dim, Build: build,
+		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// DHE measured only marginally faster: inside the 50% hysteresis band.
+	observe(reg, core.LinearScanBatched, 8, 1000*time.Microsecond)
+	observe(reg, core.DHE, 8, 900*time.Microsecond)
+	observe(reg, core.CircuitORAM, 8, 5000*time.Microsecond)
+	d := p.ReplanNow()[0]
+	if d.Swapped {
+		t.Fatalf("swapped inside hysteresis band: %+v", d)
+	}
+	if sw.Technique() != core.LinearScanBatched {
+		t.Fatal("replica changed technique despite held decision")
+	}
+}
+
+func TestPlannerDwellBlocksBackToBackSwaps(t *testing.T) {
+	reg := obs.NewRegistry()
+	rows, dim := 512, 16
+	build := buildFor(rows, dim, 1, reg)
+	scan, _ := build(core.LinearScanBatched)
+	sw := NewSwappable(scan)
+	p := New(Config{Reg: reg, MinDwell: time.Hour, Hysteresis: 0.01, Alpha: 1})
+	if err := p.Manage(Table{
+		Name: "t", Rows: rows, Dim: dim, Build: build,
+		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	observe(reg, core.LinearScanBatched, 8, 80*time.Millisecond)
+	observe(reg, core.DHE, 8, 100*time.Microsecond)
+	observe(reg, core.CircuitORAM, 8, 50*time.Millisecond)
+	d := p.ReplanNow()[0]
+	if d.Swapped || d.Reason != "dwell" {
+		t.Fatalf("decision = %+v, want dwell hold (tables were registered just now)", d)
+	}
+}
+
+func TestForceSwapBypassesModel(t *testing.T) {
+	reg := obs.NewRegistry()
+	build := buildFor(256, 8, 1, reg)
+	scan, _ := build(core.LinearScanBatched)
+	sw := NewSwappable(scan)
+	p := New(Config{Reg: reg})
+	if err := p.Manage(Table{
+		Name: "t", Rows: 256, Dim: 8, Build: build,
+		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForceSwap("t", core.CircuitORAM); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Technique() != core.CircuitORAM {
+		t.Fatalf("replica serves %v, want circuit", sw.Technique())
+	}
+	if err := p.ForceSwap("nope", core.DHE); err == nil {
+		t.Fatal("ForceSwap on unknown table did not error")
+	}
+	if got := reg.Counter("planner_swap_total").Value(); got != 1 {
+		t.Fatalf("planner_swap_total = %d, want 1", got)
+	}
+}
+
+func TestSwapBuildFailureKeepsIncumbent(t *testing.T) {
+	reg := obs.NewRegistry()
+	goodBuild := buildFor(256, 8, 1, reg)
+	scan, _ := goodBuild(core.LinearScanBatched)
+	sw := NewSwappable(scan)
+	p := New(Config{Reg: reg})
+	if err := p.Manage(Table{
+		Name: "t", Rows: 256, Dim: 8,
+		Build: func(tech core.Technique) (core.Generator, error) {
+			return nil, fmt.Errorf("representation store offline")
+		},
+		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForceSwap("t", core.DHE); err == nil {
+		t.Fatal("ForceSwap with failing Build did not error")
+	}
+	if sw.Technique() != core.LinearScanBatched {
+		t.Fatal("failed swap still changed the serving generator")
+	}
+	if got := reg.Counter("planner_build_errors_total").Value(); got != 1 {
+		t.Fatalf("planner_build_errors_total = %d, want 1", got)
+	}
+	if _, err := sw.Generate([]uint64{1}); err != nil {
+		t.Fatalf("incumbent broken after failed swap: %v", err)
+	}
+}
+
+func TestStartStopLoop(t *testing.T) {
+	reg := obs.NewRegistry()
+	build := buildFor(128, 8, 1, reg)
+	scan, _ := build(core.LinearScanBatched)
+	sw := NewSwappable(scan)
+	p := New(Config{Reg: reg, Interval: time.Millisecond})
+	if err := p.Manage(Table{
+		Name: "t", Rows: 128, Dim: 8, Build: build,
+		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	deadline := time.After(2 * time.Second)
+	for reg.Counter("planner_replan_total").Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("background loop never re-planned")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	select {
+	case <-p.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("loop did not exit after Stop")
+	}
+}

@@ -1,0 +1,89 @@
+package planner
+
+import (
+	"secemb/internal/core"
+	"secemb/internal/obs"
+)
+
+// Signal is one technique's observed service window: aggregate counts and
+// latencies sampled from the obs registry between two planner passes.
+//
+// Every field is public in the threat model (§V-B): batch *sizes* and
+// *latencies* are observable by the adversary anyway, and none of them is
+// derived from individual ids — the instrumentation they come from
+// (core.Instrument) records counts and clocks only. The planner never sees
+// an id.
+type Signal struct {
+	// Batches and IDs are the window's Generate calls and total ids served.
+	Batches int64
+	IDs     int64
+	// MeanBatch is IDs/Batches for the window (0 when idle).
+	MeanBatch float64
+	// MeanNs is the window's mean per-batch latency (0 when idle).
+	MeanNs float64
+	// EWMANs is the smoothed per-batch latency across windows; it survives
+	// idle windows unchanged, so a technique that stops serving keeps its
+	// last known cost until it is observed again.
+	EWMANs float64
+	// EWMABatch is the smoothed batch size paired with EWMANs — the
+	// operating point the latency was observed at, which the model needs to
+	// rescale costs to a different batch size.
+	EWMABatch float64
+}
+
+// Observed reports whether the technique has ever been measured.
+func (s Signal) Observed() bool { return s.EWMANs > 0 }
+
+// sampler turns the monotonically increasing per-technique aggregates of
+// core.Instrument (core_generate_total / core_generate_ids_total /
+// core_generate_ns) into windowed deltas and EWMAs. One sampler belongs to
+// one planner; it is not safe for concurrent use.
+type sampler struct {
+	reg   *obs.Registry
+	alpha float64
+	state map[core.Technique]*sampleState
+}
+
+type sampleState struct {
+	calls, ids, sumNs int64 // last absolute readings
+	sig               Signal
+}
+
+func newSampler(reg *obs.Registry, alpha float64) *sampler {
+	return &sampler{reg: reg, alpha: alpha, state: map[core.Technique]*sampleState{}}
+}
+
+// sample reads the technique's aggregates, folds the delta since the last
+// call into the EWMA, and returns the up-to-date signal.
+func (s *sampler) sample(tech core.Technique) Signal {
+	st, ok := s.state[tech]
+	if !ok {
+		st = &sampleState{}
+		s.state[tech] = st
+	}
+	key := tech.Key()
+	calls := s.reg.Counter("core_generate_total", "tech", key).Value()
+	ids := s.reg.Counter("core_generate_ids_total", "tech", key).Value()
+	sumNs := s.reg.Histogram("core_generate_ns", "tech", key).Sum()
+
+	dCalls := calls - st.calls
+	dIDs := ids - st.ids
+	dSum := sumNs - st.sumNs
+	st.calls, st.ids, st.sumNs = calls, ids, sumNs
+
+	sig := st.sig
+	sig.Batches, sig.IDs, sig.MeanBatch, sig.MeanNs = dCalls, dIDs, 0, 0
+	if dCalls > 0 {
+		sig.MeanBatch = float64(dIDs) / float64(dCalls)
+		sig.MeanNs = float64(dSum) / float64(dCalls)
+		if sig.EWMANs == 0 {
+			sig.EWMANs = sig.MeanNs
+			sig.EWMABatch = sig.MeanBatch
+		} else {
+			sig.EWMANs += s.alpha * (sig.MeanNs - sig.EWMANs)
+			sig.EWMABatch += s.alpha * (sig.MeanBatch - sig.EWMABatch)
+		}
+	}
+	st.sig = sig
+	return sig
+}

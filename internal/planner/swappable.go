@@ -1,0 +1,121 @@
+package planner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"secemb/internal/core"
+	"secemb/internal/tensor"
+)
+
+// genBox is the unit of atomic installation: one immutable holder per
+// installed generator, so a single pointer swap switches every subsequent
+// Generate to the new representation.
+type genBox struct {
+	gen core.Generator
+}
+
+// Swappable is the hot-swap point the planner installs behind a serving
+// backend: a core.Generator whose underlying implementation can be replaced
+// atomically while requests are in flight.
+//
+// The lifecycle is prepare → install → drain. The planner prepares a fresh
+// generator in the background (serving traffic never waits on
+// construction), Install publishes it with one atomic pointer swap, and
+// then blocks until every Generate that loaded the old generator has
+// returned — at which point the old representation is quiescent and
+// Install hands it back for release. Requests admitted after the swap run
+// on the new generator; requests already executing finish on the old one;
+// none are dropped.
+//
+// Swappable adds swap-safety, not execution concurrency: like every other
+// Generator, one Swappable serves one Generate at a time per serving
+// worker, and the dispatch layer's one-worker-per-backend rule is what
+// keeps the inner generator single-threaded. The drain barrier is a
+// read-write lock rather than a bare atomic so that Install's hand-back
+// guarantee holds even for callers outside the serving stack.
+type Swappable struct {
+	mu      sync.RWMutex // readers: Generate/SetThreads; writer: Install's drain barrier
+	cur     atomic.Pointer[genBox]
+	threads atomic.Int64 // last SetThreads value; < 0 when never set
+	swaps   atomic.Int64
+}
+
+// NewSwappable wraps the initial generator. The planner (or tests) install
+// replacements later; callers use the Swappable wherever a Generator is
+// expected.
+func NewSwappable(initial core.Generator) *Swappable {
+	if initial == nil {
+		panic("planner: NewSwappable needs a non-nil initial generator")
+	}
+	s := &Swappable{}
+	s.threads.Store(-1)
+	s.cur.Store(&genBox{gen: initial})
+	return s
+}
+
+// Generate forwards the batch to the currently installed generator. The
+// read-lock spans the call so Install's drain barrier can wait out
+// in-flight batches; the generator pointer itself is read with one atomic
+// load, so steady-state overhead is a lock-free RLock plus a pointer read.
+//
+// secemb:secret ids
+// secemb:audit planner
+func (s *Swappable) Generate(ids []uint64) (*tensor.Matrix, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur.Load().gen.Generate(ids)
+}
+
+// Install atomically publishes g as the serving generator and returns the
+// previous one once it is fully drained (no Generate is still executing on
+// it). The returned generator is safe to release, inspect, or retire.
+//
+// The thread setting last applied through SetThreads is carried over to g
+// before publication, so a swap never changes the worker configuration.
+func (s *Swappable) Install(g core.Generator) core.Generator {
+	if g == nil {
+		panic("planner: Install needs a non-nil generator")
+	}
+	if t := s.threads.Load(); t >= 0 {
+		g.SetThreads(int(t))
+	}
+	old := s.cur.Swap(&genBox{gen: g})
+	// Drain barrier: every in-flight Generate that loaded old holds the
+	// read lock; acquiring the write lock waits them all out. Generates
+	// admitted after the pointer swap run on g and are unaffected.
+	s.mu.Lock()
+	s.mu.Unlock() //lint:ignore SA2001 empty critical section is the drain barrier
+	s.swaps.Add(1)
+	return old.gen
+}
+
+// Swaps reports how many Install calls have completed.
+func (s *Swappable) Swaps() int64 { return s.swaps.Load() }
+
+// Rows reports the current generator's table cardinality.
+func (s *Swappable) Rows() int { return s.cur.Load().gen.Rows() }
+
+// Dim reports the embedding dimension.
+func (s *Swappable) Dim() int { return s.cur.Load().gen.Dim() }
+
+// Technique reports the currently installed technique — it changes when
+// the planner swaps, which is exactly what planner_active_technique
+// gauges.
+func (s *Swappable) Technique() core.Technique { return s.cur.Load().gen.Technique() }
+
+// NumBytes reports the current representation's resident footprint.
+func (s *Swappable) NumBytes() int64 { return s.cur.Load().gen.NumBytes() }
+
+// SetThreads forwards to the current generator and is re-applied to every
+// future installation.
+func (s *Swappable) SetThreads(n int) {
+	s.threads.Store(int64(n))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.cur.Load().gen.SetThreads(n)
+}
+
+// Unwrap exposes the currently installed generator so core's type-probing
+// helpers (Underlying, ORAMStats) keep working through the swap point.
+func (s *Swappable) Unwrap() core.Generator { return s.cur.Load().gen }
