@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: check ci ci-gate ci-heavy vet obliviouslint build test race fmt-check \
+.PHONY: check ci ci-gate ci-heavy vet obliviouslint lint-sarif report-check \
+	build test race fmt-check \
 	fuzz-short fuzz-long leakcheck soak-short soak-long benchdiff \
 	benchdiff-report bench bench-baseline bench-all
 
@@ -15,8 +16,13 @@ check: vet obliviouslint build test race
 # job waits on; ci-heavy is the fan-out the workflow runs in parallel once
 # the gate is green. Locally the split just means a broken build fails in
 # the cheap stage instead of after a soak.
+#
+# report-check runs before obliviouslint on purpose: the obliviouslint
+# target overwrites obliviouslint_report.json, so the committed artifact
+# must be compared against a fresh run before that target gets a chance
+# to paper over any drift.
 ci: ci-gate ci-heavy
-ci-gate: fmt-check vet obliviouslint build test
+ci-gate: fmt-check vet report-check obliviouslint build test
 ci-heavy: race fuzz-short leakcheck soak-short bench benchdiff
 
 # vet layers the strict in-repo analyzers (shadow, unusedresult) on top of
@@ -30,6 +36,28 @@ vet:
 # the build. The JSON findings report is uploaded by CI as an artifact.
 obliviouslint:
 	$(GO) run ./cmd/obliviouslint -v -json obliviouslint_report.json ./...
+
+# lint-sarif renders the same audit as SARIF 2.1.0 for GitHub code
+# scanning: findings become error-level results, waivers become inSource
+# suppressions with the //lint:allow rationale as justification, so the
+# security tab shows the full audit state, not just the failures.
+lint-sarif:
+	$(GO) run ./cmd/obliviouslint -sarif obliviouslint.sarif ./...
+
+# report-check gives the committed audit artifacts teeth: a fresh run of
+# obliviouslint and leakcheck must agree byte-for-byte with the checked-in
+# obliviouslint_report.json / leakcheck_report.json. A mismatch means the
+# code (or its waivers) changed without regenerating the artifact — the
+# audit trail in the repo no longer describes the tree — so the gate fails
+# with instructions instead of letting the stale report ride along.
+report-check:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' 0; \
+	$(GO) run ./cmd/obliviouslint -json "$$tmp/obliviouslint.json" ./... >/dev/null; \
+	diff -u obliviouslint_report.json "$$tmp/obliviouslint.json" || { \
+		echo "report-check: obliviouslint_report.json is stale — run 'make obliviouslint' and commit the result"; exit 1; }; \
+	$(GO) run ./cmd/leakcheck -src . -out "$$tmp/leakcheck.json" >/dev/null; \
+	diff -u leakcheck_report.json "$$tmp/leakcheck.json" || { \
+		echo "report-check: leakcheck_report.json is stale — run 'make leakcheck' and commit the result"; exit 1; }
 
 build:
 	$(GO) build ./...

@@ -1,16 +1,21 @@
 // Command obliviouslint runs the static secret-independence checker
-// (internal/analysis) over the module and writes a JSON findings report. It
-// is the compile-time counterpart of cmd/leakcheck: functions annotated
-// `// secemb:secret <param>` are taint roots, and every branch, index,
-// loop bound, call or return that depends on a tainted value is a finding
-// unless covered by a reviewed `//lint:allow <rule> <rationale>` waiver.
+// (internal/analysis) over the module and writes JSON and SARIF findings
+// reports. It is the compile-time counterpart of cmd/leakcheck: functions
+// annotated `// secemb:secret <param>` are taint roots, and every branch,
+// index, loop bound, allocation, map key, channel crossing, shift amount,
+// call or return that depends on a tainted value is a finding unless
+// covered by a reviewed `//lint:allow <rule> <rationale>` waiver. Taint is
+// tracked interprocedurally: calls into unannotated functions are resolved
+// through bottom-up call-graph summaries, so a leak buried in a helper
+// several frames below the audit root is reported at the real leak site.
 // CI runs it on every PR; an unwaived finding blocks merges the same way a
 // trace divergence from leakcheck does.
 //
 // Usage:
 //
-//	obliviouslint [-C dir] [-vet] [-v] [-json obliviouslint_report.json] [packages...]
+//	obliviouslint [-C dir] [-vet] [-v] [-json report.json] [-sarif report.sarif] [packages...]
 //	obliviouslint -dir path/to/package   (standalone, import-free directory)
+//	obliviouslint -summaries [packages...]   (dump the interprocedural taint summaries)
 package main
 
 import (
@@ -44,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	vet := fs.Bool("vet", false, "also run the strict-vet analyzers (shadow, unusedresult)")
 	verbose := fs.Bool("v", false, "print waived findings too")
 	out := fs.String("json", "", "JSON report path (empty: skip)")
+	sarifOut := fs.String("sarif", "", "SARIF 2.1.0 report path (empty: skip)")
+	summaries := fs.Bool("summaries", false, "dump the interprocedural taint summaries instead of linting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,8 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		analyzers = append(analyzers, analysis.Shadow(), analysis.UnusedResult())
 	}
 
-	var pkgs []*analysis.Package
-	var idx *analysis.Index
+	var prog *analysis.Program
+	var targets []*analysis.Package
+	relBase := ""
 	if *dir != "" {
 		if fs.NArg() > 0 {
 			fmt.Fprintln(stderr, "obliviouslint: -dir takes no package patterns")
@@ -65,7 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "obliviouslint:", err)
 			return 2
 		}
-		pkgs, idx = []*analysis.Package{pkg}, ix
+		targets = []*analysis.Package{pkg}
+		prog = analysis.NewProgram(targets, targets, ix)
 	} else {
 		patterns := fs.Args()
 		if len(patterns) == 0 {
@@ -76,17 +85,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "obliviouslint:", err)
 			return 2
 		}
-		pkgs, idx = set.Targets, set.Directives
+		targets = set.Targets
+		prog = set.Program()
+		if abs, aerr := filepath.Abs(*moduleDir); aerr == nil {
+			relBase = abs
+		}
 	}
 
-	res, err := analysis.Run(analyzers, pkgs, idx)
+	if *summaries {
+		dumpSummaries(stdout, prog, relBase)
+		return 0
+	}
+
+	res, err := analysis.RunProgram(analyzers, prog)
 	if err != nil {
 		fmt.Fprintln(stderr, "obliviouslint:", err)
 		return 2
 	}
+	// Report positions relative to the module root: the committed report
+	// stays byte-identical across checkouts, and SARIF needs repo-relative
+	// URIs for code scanning.
+	relativize(relBase, res.Findings)
+	relativize(relBase, res.Waived)
 
 	report := fileReport{OK: len(res.Findings) == 0, Findings: res.Findings, Waived: res.Waived}
-	for _, p := range pkgs {
+	for _, p := range targets {
 		report.Packages = append(report.Packages, p.Path)
 	}
 	if report.Findings == nil {
@@ -117,12 +140,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "report: %s\n", *out)
 	}
+	if *sarifOut != "" {
+		enc, err := analysis.SARIF(res)
+		if err != nil {
+			fmt.Fprintln(stderr, "obliviouslint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifOut, enc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "obliviouslint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "sarif: %s\n", *sarifOut)
+	}
 
 	fmt.Fprintf(stdout, "obliviouslint: %d package(s), %d finding(s), %d waived\n",
-		len(pkgs), len(res.Findings), len(res.Waived))
+		len(targets), len(res.Findings), len(res.Waived))
 	if len(res.Findings) > 0 {
 		fmt.Fprintln(stderr, "obliviouslint: FAILED — fix the findings or add a reviewed //lint:allow waiver")
 		return 1
 	}
 	return 0
+}
+
+// relativize rewrites absolute diagnostic paths to be base-relative (and
+// slash-separated) when base is set and the path lies under it.
+func relativize(base string, ds []analysis.Diagnostic) {
+	if base == "" {
+		return
+	}
+	for i := range ds {
+		if !filepath.IsAbs(ds[i].Pos.Filename) {
+			continue
+		}
+		if rel, err := filepath.Rel(base, ds[i].Pos.Filename); err == nil {
+			ds[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// dumpSummaries prints the interprocedural taint summaries: for every
+// unannotated function, which parameter slots propagate taint to results
+// and which conditional leak sites fire when a slot receives a secret.
+func dumpSummaries(w io.Writer, prog *analysis.Program, relBase string) {
+	for _, s := range prog.Summaries() {
+		slots := s.Params
+		if s.Recv != nil {
+			slots = append([]*analysis.ParamSummary{s.Recv}, slots...)
+		}
+		printed := false
+		for _, p := range slots {
+			if p == nil {
+				continue
+			}
+			leaks := p.Leaks()
+			if !p.Result && len(leaks) == 0 {
+				continue
+			}
+			if !printed {
+				fmt.Fprintf(w, "%s:\n", s.Key())
+				printed = true
+			}
+			fmt.Fprintf(w, "  %q: result=%v leaks=%d\n", p.Name, p.Result, len(leaks))
+			relativize(relBase, leaks)
+			for _, d := range leaks {
+				fmt.Fprintf(w, "    %s\n", d)
+			}
+		}
+	}
 }

@@ -49,7 +49,16 @@ import (
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass) error
+	// Rules lists every rule identifier this analyzer can emit. The
+	// stale-waiver pass uses it to decide which //lint:allow waivers a run
+	// could have consumed: a waiver naming an active rule that suppressed
+	// nothing is itself reported.
+	Rules []string
+	Run   func(*Pass) error
+	// Finish, if non-nil, runs once after every per-package pass with the
+	// whole-program view — for cross-package rules (annotation drift) that
+	// need the union of all root walks.
+	Finish func(*Program, func(Diagnostic)) error
 }
 
 // Package is one loaded, type-checked package.
@@ -65,7 +74,8 @@ type Package struct {
 type Pass struct {
 	Analyzer   *Analyzer
 	Pkg        *Package
-	Directives *Index // module-wide directive index (may cover more than Pkg)
+	Prog       *Program // whole-program view (call graph + summaries)
+	Directives *Index   // module-wide directive index (may cover more than Pkg)
 
 	report func(Diagnostic)
 }
@@ -103,32 +113,95 @@ type Result struct {
 	Waived   []Diagnostic `json:"waived"`   // suppressed by //lint:allow
 }
 
-// Run applies every analyzer to every package, resolves waivers against the
-// packages' //lint:allow comments, and returns the diagnostics sorted by
-// position. The directive index must already cover all packages (see
-// CollectDirectives).
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by position. It is the single-package-set convenience wrapper
+// around RunProgram: every package is both analyzed and available for
+// interprocedural summaries.
 func Run(analyzers []*Analyzer, pkgs []*Package, idx *Index) (*Result, error) {
+	return RunProgram(analyzers, NewProgram(pkgs, pkgs, idx))
+}
+
+// RunProgram applies every analyzer to the program's target packages,
+// resolving waivers against the //lint:allow comments of the whole
+// program (inherited findings land at callee positions, which may be in
+// non-target packages). Identical diagnostics reached through different
+// audit roots are deduplicated. After all passes, waivers in target
+// packages that name an active rule but suppressed nothing are reported
+// as stale (obliviouslint/directive): the interprocedural engine has
+// proved them unnecessary, and an unnecessary waiver is a hole the next
+// refactor can leak through.
+func RunProgram(analyzers []*Analyzer, prog *Program) (*Result, error) {
 	res := &Result{}
-	for _, pkg := range pkgs {
-		waivers := collectWaivers(pkg.Fset, pkg.Files)
+	waivers := &waiverSet{byLine: map[string]map[int]map[string]string{}}
+	for _, pkg := range prog.All {
+		waivers.merge(collectWaivers(pkg.Fset, pkg.Files))
+	}
+	used := map[string]bool{} // file\x00line\x00rule of consumed waivers
+	seen := map[string]bool{} // diagKey dedup across roots
+	resolve := func(d Diagnostic) {
+		key := diagKey(d)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if rationale, line, ok := waivers.match(d.Pos, d.Rule); ok {
+			used[waiverUseKey(d.Pos.Filename, line, d.Rule)] = true
+			d.Waived, d.Waiver = true, rationale
+			res.Waived = append(res.Waived, d)
+		} else {
+			res.Findings = append(res.Findings, d)
+		}
+	}
+	for _, pkg := range prog.Targets {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Directives: idx}
-			pass.report = func(d Diagnostic) {
-				if w, ok := waivers.lookup(d.Pos, d.Rule); ok {
-					d.Waived, d.Waiver = true, w
-					res.Waived = append(res.Waived, d)
-				} else {
-					res.Findings = append(res.Findings, d)
-				}
-			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, Directives: prog.Directives, report: resolve}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		if err := a.Finish(prog, resolve); err != nil {
+			return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+		}
+	}
+
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		for _, r := range a.Rules {
+			active[r] = true
+		}
+	}
+	targetFiles := map[string]bool{}
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			targetFiles[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	for _, w := range waivers.records {
+		if !active[w.rule] || !targetFiles[w.pos.Filename] {
+			continue
+		}
+		if used[waiverUseKey(w.pos.Filename, w.pos.Line, w.rule)] {
+			continue
+		}
+		resolve(Diagnostic{
+			Pos:  w.pos,
+			Rule: RuleDirective,
+			Message: fmt.Sprintf("stale waiver: //lint:allow %s suppresses nothing here — delete it (rationale was: %s)",
+				w.rule, w.rationale),
+		})
+	}
 	sortDiags(res.Findings)
 	sortDiags(res.Waived)
 	return res, nil
+}
+
+func waiverUseKey(file string, line int, rule string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", file, line, rule)
 }
 
 func sortDiags(ds []Diagnostic) {

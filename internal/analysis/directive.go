@@ -236,9 +236,38 @@ func badDirective(fset *token.FileSet, pos token.Pos, format string, args ...any
 
 // waiverSet maps (file, line, rule) → rationale. A waiver on line L
 // suppresses matching findings on L and L+1, so it can sit either trailing
-// the offending statement or on its own line above.
+// the offending statement or on its own line above. records keeps every
+// waiver with its source position so the stale-waiver pass can report the
+// ones a run never consumed.
 type waiverSet struct {
-	byLine map[string]map[int]map[string]string
+	byLine  map[string]map[int]map[string]string
+	records []waiverRec
+}
+
+// waiverRec is one //lint:allow comment, by position.
+type waiverRec struct {
+	pos       token.Position
+	rule      string
+	rationale string
+}
+
+// merge folds another set's waivers into ws (used to build the
+// module-wide set RunProgram resolves against).
+func (ws *waiverSet) merge(other *waiverSet) {
+	for file, lines := range other.byLine {
+		if ws.byLine[file] == nil {
+			ws.byLine[file] = map[int]map[string]string{}
+		}
+		for line, rules := range lines {
+			if ws.byLine[file][line] == nil {
+				ws.byLine[file][line] = map[string]string{}
+			}
+			for rule, rationale := range rules {
+				ws.byLine[file][line][rule] = rationale
+			}
+		}
+	}
+	ws.records = append(ws.records, other.records...)
 }
 
 func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
@@ -266,25 +295,28 @@ func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
 					lines[pos.Line] = map[string]string{}
 				}
 				lines[pos.Line][rule] = rationale
+				ws.records = append(ws.records, waiverRec{pos: pos, rule: rule, rationale: rationale})
 			}
 		}
 	}
 	return ws
 }
 
-func (ws *waiverSet) lookup(pos token.Position, rule string) (string, bool) {
+// match resolves a diagnostic position against the set and reports the
+// rationale and the waiver's own line (so callers can mark it consumed).
+func (ws *waiverSet) match(pos token.Position, rule string) (string, int, bool) {
 	lines := ws.byLine[pos.Filename]
 	if lines == nil {
-		return "", false
+		return "", 0, false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		if rules := lines[line]; rules != nil {
 			if r, ok := rules[rule]; ok {
-				return r, true
+				return r, line, true
 			}
 		}
 	}
-	return "", false
+	return "", 0, false
 }
 
 // --- parser-only module scan (for cmd/leakcheck roster sync) -------------

@@ -35,13 +35,19 @@ type listedPkg struct {
 }
 
 // ModuleSet is the result of loading a module: the packages selected for
-// analysis plus a directive index covering every module package (including
-// dep-only ones, whose annotations callers of Run need for call-site
-// contracts).
+// analysis (Targets), every module package with syntax loaded (All —
+// including dep-only ones, which the interprocedural engine needs for
+// call-graph summaries), and a directive index covering all of them.
 type ModuleSet struct {
-	Targets    []*Package
+	All        []*Package // every non-standard package, in import-path order
+	Targets    []*Package // the subset matching the load patterns
 	Directives *Index
 	BadDirs    []Diagnostic // malformed directives anywhere in the module
+}
+
+// Program builds the interprocedural view over the loaded module.
+func (set *ModuleSet) Program() *Program {
+	return NewProgram(set.All, set.Targets, set.Directives)
 }
 
 // LoadModule lists patterns (e.g. "./...") in moduleDir with their deps,
@@ -104,6 +110,7 @@ func LoadModule(moduleDir string, patterns ...string) (*ModuleSet, error) {
 			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, cerr)
 		}
 		set.BadDirs = append(set.BadDirs, CollectDirectives(set.Directives, pkg)...)
+		set.All = append(set.All, pkg)
 		if !lp.DepOnly {
 			set.Targets = append(set.Targets, pkg)
 		}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Findings: []Diagnostic{{
+			Pos:     token.Position{Filename: "internal/core/storage.go", Line: 46, Column: 21},
+			Rule:    RuleIndex,
+			Message: "slice bounds depend on secret-tainted value",
+		}},
+		Waived: []Diagnostic{{
+			Pos:     token.Position{Filename: "internal/oram/stash.go", Line: 93, Column: 2},
+			Rule:    RuleBranch,
+			Message: "branch condition depends on secret-tainted value",
+			Waived:  true,
+			Waiver:  "overflow abort",
+		}},
+	}
+}
+
+// The writer's output must satisfy the structural 2.1.0 validator and
+// carry findings as errors, waivers as inSource suppressions.
+func TestSARIFRoundTrip(t *testing.T) {
+	data, err := SARIF(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSARIF(data); err != nil {
+		t.Fatalf("writer output failed validation: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "obliviouslint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	finding, waived := run.Results[0], run.Results[1]
+	if len(finding.Suppressions) != 0 {
+		t.Error("unwaived finding carries suppressions")
+	}
+	if len(waived.Suppressions) != 1 || waived.Suppressions[0].Kind != "inSource" ||
+		waived.Suppressions[0].Justification != "overflow abort" {
+		t.Errorf("waiver suppression wrong: %+v", waived.Suppressions)
+	}
+	if uri := finding.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/core/storage.go" {
+		t.Errorf("uri = %q", uri)
+	}
+	// Every emitted rule id must resolve through ruleIndex and carry
+	// driver metadata.
+	for _, r := range run.Results {
+		if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("ruleIndex mismatch for %s", r.RuleID)
+		}
+		if run.Tool.Driver.Rules[r.RuleIndex].ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.RuleID)
+		}
+	}
+}
+
+func TestValidateSARIFRejects(t *testing.T) {
+	base, err := SARIF(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"wrong version", func(s string) string {
+			return strings.Replace(s, `"version": "2.1.0"`, `"version": "2.0.0"`, 1)
+		}, "version"},
+		{"absolute uri", func(s string) string {
+			return strings.Replace(s, `"uri": "internal/core/storage.go"`, `"uri": "/root/repo/internal/core/storage.go"`, 1)
+		}, "absolute uri"},
+		{"zero startLine", func(s string) string {
+			return strings.Replace(s, `"startLine": 46`, `"startLine": 0`, 1)
+		}, "startLine"},
+		{"dangling ruleIndex", func(s string) string {
+			return strings.Replace(s, `"ruleIndex": 1`, `"ruleIndex": 7`, 1)
+		}, "ruleIndex"},
+		{"bad suppression kind", func(s string) string {
+			return strings.Replace(s, `"kind": "inSource"`, `"kind": "vibes"`, 1)
+		}, "suppression kind"},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(string(base))
+		if mutated == string(base) {
+			t.Errorf("%s: mutation did not apply", tc.name)
+			continue
+		}
+		err := ValidateSARIF([]byte(mutated))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if err := ValidateSARIF([]byte(`{"version":"2.1.0"}`)); err == nil {
+		t.Error("log without runs validated")
+	}
+}

@@ -1,9 +1,12 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // sinkPackages are sanctioned destinations for tainted values: the
@@ -24,18 +27,35 @@ const (
 	RuleCall      = "obliviouslint/call"
 	RuleDeclass   = "obliviouslint/declass"
 	RuleDirective = "obliviouslint/directive"
+	RuleAlloc     = "obliviouslint/alloc"
+	RuleMapKey    = "obliviouslint/mapkey"
+	RuleChan      = "obliviouslint/chan"
+	RuleShift     = "obliviouslint/shift"
+	RuleDrift     = "obliviouslint/drift"
 )
+
+// obliviouslintRules is every rule the taint analyzer can emit, used by the
+// stale-waiver pass to know which waivers this run could have consumed.
+var obliviouslintRules = []string{
+	RuleBranch, RuleIndex, RuleLoop, RuleCall, RuleDeclass, RuleDirective,
+	RuleAlloc, RuleMapKey, RuleChan, RuleShift, RuleDrift,
+}
 
 // Obliviouslint returns the secret-independence taint analyzer. Audit roots
 // are functions annotated `// secemb:secret <param>…`; taint propagates
 // through assignments, composite expressions, sink calls and annotated
-// returns, and every flow into control flow, an index, or an unaudited
+// returns — and, interprocedurally, through calls into unannotated
+// functions whose bodies are in the program, via bottom-up call-graph
+// summaries (see Program). Every flow into control flow, an index, a map
+// key, an allocation size, a shift amount, a channel, or an unauditable
 // callee is reported under one of the obliviouslint/* rules.
 func Obliviouslint() *Analyzer {
 	return &Analyzer{
-		Name: "obliviouslint",
-		Doc:  "report control flow, indexing, and calls that depend on secemb:secret-tainted values",
-		Run:  runObliviouslint,
+		Name:   "obliviouslint",
+		Doc:    "report control flow, indexing, allocation, and calls that depend on secemb:secret-tainted values",
+		Rules:  obliviouslintRules,
+		Run:    runObliviouslint,
+		Finish: finishObliviouslint,
 	}
 }
 
@@ -56,7 +76,17 @@ func runObliviouslint(pass *Pass) error {
 			if dir == nil || len(dir.Secret) == 0 {
 				continue // not an audit root
 			}
-			t := &taintWalker{pass: pass, info: pass.Pkg.Info, tainted: map[types.Object]bool{}}
+			t := &taintWalker{
+				prog:    pass.Prog,
+				pkg:     pass.Pkg,
+				info:    pass.Pkg.Info,
+				tainted: map[types.Object]bool{},
+			}
+			t.emitNew = func(d Diagnostic) { pass.report(d) }
+			t.emitInherited = func(d Diagnostic) { pass.report(d) }
+			t.inflow = func(callee *types.Func, param string, pos token.Position) {
+				pass.Prog.recordInflow(callee, param, pos)
+			}
 			t.seedParams(fd, dir)
 			// Propagate to a fixpoint (loops can carry taint backward
 			// through earlier assignments), then report in one final pass.
@@ -74,16 +104,63 @@ func runObliviouslint(pass *Pass) error {
 	return nil
 }
 
+// finishObliviouslint runs once after every target package: the
+// annotation-drift pass. An exported function whose summary received
+// secret inflow (its parameters were handed tainted arguments, directly
+// from an audit root or transitively through other summaries) is an API
+// boundary whose contract has drifted out of the directive system — the
+// same sync discipline secemb:audit enforces for the leakcheck roster.
+// Unexported helpers stay silent: the interprocedural engine audits their
+// bodies without ceremony.
+func finishObliviouslint(prog *Program, report func(Diagnostic)) error {
+	keys := make([]string, 0, len(prog.inflows))
+	for key := range prog.inflows {
+		info := prog.fns[key]
+		if info != nil && info.fn.Exported() {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		set := prog.inflows[key]
+		info := prog.fns[key]
+		params := make([]string, 0, len(set.params))
+		for p := range set.params {
+			params = append(params, fmt.Sprintf("%q", p))
+		}
+		sort.Strings(params)
+		report(Diagnostic{
+			Pos:  info.pkg.Fset.Position(info.decl.Name.Pos()),
+			Rule: RuleDrift,
+			Message: fmt.Sprintf(
+				"annotation drift: exported function %s receives secret-tainted argument(s) on parameter(s) %s but carries no secemb:secret directive",
+				info.fn.Name(), strings.Join(params, ", ")),
+		})
+	}
+	return nil
+}
+
 // returnCtx says whether `return <tainted>` is sanctioned in the function
 // or closure currently being walked.
 type returnCtx struct{ sanctioned bool }
 
 type taintWalker struct {
-	pass      *Pass
+	prog      *Program
+	pkg       *Package
 	info      *types.Info
 	tainted   map[types.Object]bool
 	changed   bool
 	reporting bool
+
+	// summaryMode suppresses declass findings (returning taint to the
+	// caller is the summary's Result flag, not a leak) while a function
+	// body is walked to derive its Summary.
+	summaryMode   bool
+	returnTainted bool
+
+	emitNew       func(Diagnostic) // fresh findings at positions in this body
+	emitInherited func(Diagnostic) // pre-resolved sites pulled from callee summaries
+	inflow        func(fn *types.Func, param string, pos token.Position)
 }
 
 func (t *taintWalker) seedParams(fd *ast.FuncDecl, dir *FuncDirective) {
@@ -120,8 +197,31 @@ func (t *taintWalker) objOf(id *ast.Ident) types.Object {
 
 func (t *taintWalker) reportf(pos token.Pos, rule, format string, args ...any) {
 	if t.reporting {
-		t.pass.Reportf(pos, rule, format, args...)
+		t.emitNew(Diagnostic{
+			Pos:     t.pkg.Fset.Position(pos),
+			Rule:    rule,
+			Message: fmt.Sprintf(format, args...),
+		})
 	}
+}
+
+// applySlot pulls one summarized taint slot into the current walk: emits
+// the slot's conditional leak sites, records the inflow for the drift
+// pass, and reports whether the taint reaches the callee's results.
+func (t *taintWalker) applySlot(fn *types.Func, p *ParamSummary, pos token.Pos) bool {
+	if t.reporting {
+		for _, d := range p.leaks {
+			t.emitInherited(d)
+		}
+		if t.inflow != nil {
+			where := t.pkg.Fset.Position(pos)
+			t.inflow(fn, p.Name, where)
+			for _, rec := range p.inflows {
+				t.inflow(rec.fn, rec.param, where)
+			}
+		}
+	}
+	return p.Result
 }
 
 // --- statements ----------------------------------------------------------
@@ -186,7 +286,7 @@ func (t *taintWalker) stmt(s ast.Stmt, rc returnCtx) {
 			cc := c.(*ast.CommClause)
 			if cc.Comm != nil {
 				if t.commTainted(cc.Comm) {
-					t.reportf(cc.Comm.Pos(), RuleBranch, "select communication depends on secret-tainted value")
+					t.reportf(cc.Comm.Pos(), RuleChan, "select communication depends on secret-tainted value")
 				}
 				t.stmt(cc.Comm, returnCtx{})
 			}
@@ -196,17 +296,24 @@ func (t *taintWalker) stmt(s ast.Stmt, rc returnCtx) {
 		}
 	case *ast.ReturnStmt:
 		for _, r := range s.Results {
-			if t.expr(r) && !rc.sanctioned {
-				t.reportf(r.Pos(), RuleDeclass,
-					"secret-tainted value returned from a function not annotated \"secemb:secret return\"")
+			if t.expr(r) {
+				if t.summaryMode {
+					t.returnTainted = true
+				} else if !rc.sanctioned {
+					t.reportf(r.Pos(), RuleDeclass,
+						"secret-tainted value returned from a function not annotated \"secemb:secret return\"")
+				}
 			}
 		}
 	case *ast.SendStmt:
-		t.expr(s.Chan)
-		if t.expr(s.Value) {
-			t.reportf(s.Value.Pos(), RuleCall, "secret-tainted value sent on a channel (unauditable consumer)")
+		ct := t.expr(s.Chan)
+		if t.expr(s.Value) || ct {
+			t.reportf(s.Value.Pos(), RuleChan, "secret-tainted value sent on a channel (unauditable consumer)")
 		}
 	case *ast.GoStmt:
+		if t.goTainted(s.Call) {
+			t.reportf(s.Pos(), RuleChan, "goroutine spawn depends on secret-tainted value (scheduling is observable cross-tenant)")
+		}
 		t.expr(s.Call)
 	case *ast.DeferStmt:
 		t.expr(s.Call)
@@ -217,6 +324,41 @@ func (t *taintWalker) stmt(s ast.Stmt, rc returnCtx) {
 	case *ast.BranchStmt, *ast.EmptyStmt:
 		// Guarding conditions are reported at the enclosing if/for/switch.
 	}
+}
+
+// goTainted reports whether a goroutine spawn carries taint across the
+// scheduling boundary: a tainted argument, or a function literal capturing
+// a tainted variable. Only the spawn itself is judged here — the call is
+// afterwards walked normally, so call-boundary rules still apply inside.
+func (t *taintWalker) goTainted(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if t.taintedNoReport(a) {
+			return true
+		}
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		captured := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := t.info.Uses[id]; obj != nil && t.tainted[obj] {
+					captured = true
+				}
+			}
+			return !captured
+		})
+		return captured
+	}
+	return false
+}
+
+// taintedNoReport evaluates an expression's taint without emitting
+// findings (used for pre-checks whose expression is re-walked afterwards).
+func (t *taintWalker) taintedNoReport(e ast.Expr) bool {
+	saved := t.reporting
+	t.reporting = false
+	res := t.expr(e)
+	t.reporting = saved
+	return res
 }
 
 // earlyExitNote annotates branch findings whose body directly gates an
@@ -258,13 +400,13 @@ func typeSwitchSubject(s *ast.TypeSwitchStmt) ast.Expr {
 func (t *taintWalker) commTainted(s ast.Stmt) bool {
 	switch s := s.(type) {
 	case *ast.SendStmt:
-		return t.expr(s.Chan) || t.expr(s.Value)
+		return t.taintedNoReport(s.Chan) || t.taintedNoReport(s.Value)
 	case *ast.ExprStmt:
-		return t.expr(s.X)
+		return t.taintedNoReport(s.X)
 	case *ast.AssignStmt:
 		tainted := false
 		for _, r := range s.Rhs {
-			tainted = t.expr(r) || tainted
+			tainted = t.taintedNoReport(r) || tainted
 		}
 		return tainted
 	}
@@ -361,7 +503,8 @@ func (t *taintWalker) rangeStmt(s *ast.RangeStmt, rc returnCtx) {
 // --- expressions ---------------------------------------------------------
 
 // expr reports whether e evaluates to a secret-tainted value, emitting
-// expression-level findings (index, call) when in the reporting pass.
+// expression-level findings (index, mapkey, shift, call, alloc) when in
+// the reporting pass.
 func (t *taintWalker) expr(e ast.Expr) bool {
 	switch e := e.(type) {
 	case nil:
@@ -386,6 +529,13 @@ func (t *taintWalker) expr(e ast.Expr) bool {
 		}
 		xt := t.expr(e.X)
 		yt := t.expr(e.Y)
+		if yt && (e.Op == token.SHL || e.Op == token.SHR) {
+			// Shifting BY a secret (as opposed to shifting a secret by a
+			// public amount) is flagged: variable-latency shifters and the
+			// 1<<secret mask-building idiom both modulate observable state
+			// by the secret value.
+			t.reportf(e.Y.Pos(), RuleShift, "shift amount depends on secret-tainted value")
+		}
 		return xt || yt
 	case *ast.CallExpr:
 		return t.call(e)
@@ -399,7 +549,11 @@ func (t *taintWalker) expr(e ast.Expr) bool {
 		xt := t.expr(e.X)
 		it := t.expr(e.Index)
 		if it {
-			t.reportf(e.Index.Pos(), RuleIndex, "index depends on secret-tainted value")
+			if _, isMap := types.Default(t.info.TypeOf(e.X)).Underlying().(*types.Map); isMap {
+				t.reportf(e.Index.Pos(), RuleMapKey, "map access keyed by secret-tainted value (probe sequence depends on the key)")
+			} else {
+				t.reportf(e.Index.Pos(), RuleIndex, "index depends on secret-tainted value")
+			}
 		}
 		return xt || it
 	case *ast.IndexListExpr:
@@ -453,14 +607,24 @@ func isNil(info *types.Info, e ast.Expr) bool {
 }
 
 // call classifies the callee and checks the taint contract at the call
-// boundary.
+// boundary: sinks pass freely, annotated callees are held to their
+// declared contract, unannotated callees with bodies in the program are
+// resolved through their interprocedural summary, and everything else
+// (indirect calls, out-of-program functions) is conservatively flagged.
 func (t *taintWalker) call(c *ast.CallExpr) bool {
 	if tv, ok := t.info.Types[c.Fun]; ok && tv.IsType() {
 		return t.expr(c.Args[0]) // conversion
 	}
-	// Walk a method call's receiver chain for findings (arr[secret].M()).
+	// Walk a method call's receiver chain for findings (arr[secret].M())
+	// and capture whether the receiver itself carries taint.
+	recvTainted := false
 	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
-		t.expr(sel.X)
+		recvTainted = t.expr(sel.X)
+	}
+	// An immediately-invoked closure's body is analyzed in the enclosing
+	// taint environment like any other closure.
+	if fl, ok := ast.Unparen(c.Fun).(*ast.FuncLit); ok {
+		t.stmt(fl.Body, returnCtx{})
 	}
 
 	if b := t.builtinOf(c.Fun); b != nil {
@@ -485,9 +649,9 @@ func (t *taintWalker) call(c *ast.CallExpr) bool {
 	if fn.Pkg() != nil {
 		pkgPath = fn.Pkg().Path()
 	}
-	dir := t.pass.Directives.Lookup(fn)
+	dir := t.prog.Directives.Lookup(fn)
 	if (dir != nil && dir.Sink) || sinkPackages[pkgPath] {
-		return any // sanctioned sink: tainted in, tainted out
+		return any || recvTainted // sanctioned sink: tainted in, tainted out
 	}
 	if dir != nil && (len(dir.Secret) > 0 || dir.Return) {
 		sig := fn.Type().(*types.Signature)
@@ -501,7 +665,26 @@ func (t *taintWalker) call(c *ast.CallExpr) bool {
 					"secret-tainted argument passed to non-secret parameter %q of %s", name, fn.Name())
 			}
 		}
-		return dir.Return && any
+		return dir.Return && (any || recvTainted)
+	}
+	// Interprocedural: an unannotated callee whose body is loaded is
+	// analyzed under the inherited taint via its summary — the conditional
+	// leak sites inside (and below) it fire here, instead of a blanket
+	// "escapes into unannotated function" finding at the call.
+	if sum := t.prog.summaryFor(fn); sum != nil {
+		out := false
+		for i, tainted := range argTaint {
+			if !tainted {
+				continue
+			}
+			if p := sum.paramFor(i); p != nil {
+				out = t.applySlot(fn, p, c.Args[i].Pos()) || out
+			}
+		}
+		if recvTainted && sum.Recv != nil {
+			out = t.applySlot(fn, sum.Recv, c.Fun.Pos()) || out
+		}
+		return out
 	}
 	if any {
 		t.reportf(c.Pos(), RuleCall,
@@ -531,16 +714,30 @@ func (t *taintWalker) builtinCall(b *types.Builtin, c *ast.CallExpr) bool {
 		return false // lengths are public even for secret-valued containers
 	case "append", "min", "max":
 		return any
+	case "make":
+		// make(T, secretLen) sizes an allocation by the secret: the heap
+		// footprint (and the allocator's size-class probes) leak it. The
+		// result is treated as tainted — it is a secret-shaped object.
+		sized := false
+		for _, a := range c.Args[1:] {
+			if t.taintedNoReport(a) {
+				sized = true
+			}
+		}
+		if sized {
+			t.reportf(c.Pos(), RuleAlloc, "allocation size depends on secret-tainted value")
+		}
+		return sized
 	case "copy":
-		if len(c.Args) == 2 && t.expr(c.Args[1]) {
+		if len(c.Args) == 2 && t.taintedNoReport(c.Args[1]) {
 			if id, ok := ast.Unparen(c.Args[0]).(*ast.Ident); ok {
 				t.mark(t.objOf(id)) // copy(dst, taintedSrc) taints dst
 			}
 		}
 		return false
 	case "delete":
-		if len(c.Args) == 2 && t.expr(c.Args[1]) {
-			t.reportf(c.Args[1].Pos(), RuleIndex, "map delete key depends on secret-tainted value")
+		if len(c.Args) == 2 && t.taintedNoReport(c.Args[1]) {
+			t.reportf(c.Args[1].Pos(), RuleMapKey, "map delete keyed by secret-tainted value (probe sequence depends on the key)")
 		}
 		return false
 	}

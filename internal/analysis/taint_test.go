@@ -27,6 +27,43 @@ func TestObliviouslintDeclass(t *testing.T) {
 	RunFixture(t, fixtureRoot, "declass", Obliviouslint())
 }
 
+func TestObliviouslintAlloc(t *testing.T) {
+	RunFixture(t, fixtureRoot, "alloc", Obliviouslint())
+}
+
+func TestObliviouslintMapKey(t *testing.T) {
+	RunFixture(t, fixtureRoot, "mapkey", Obliviouslint())
+}
+
+func TestObliviouslintChan(t *testing.T) {
+	RunFixture(t, fixtureRoot, "chan", Obliviouslint())
+}
+
+func TestObliviouslintDrift(t *testing.T) {
+	RunFixture(t, fixtureRoot, "drift", Obliviouslint())
+}
+
+// TestInterproceduralTeeth is the acceptance check for the summary engine:
+// a secret-indexed lookup two calls below the audit root, in unannotated
+// helpers, must be reported at the real leak site — which the old
+// intraprocedural engine provably never saw (it stopped with a blanket
+// obliviouslint/call at the root's call, which must now be gone).
+func TestInterproceduralTeeth(t *testing.T) {
+	res := RunFixture(t, fixtureRoot, "interproc", Obliviouslint())
+	foundInHelper := false
+	for _, d := range res.Findings {
+		if d.Rule == RuleCall {
+			t.Errorf("old-engine blanket call finding survived at a summarized call: %s", d)
+		}
+		if d.Rule == RuleIndex && strings.Contains(d.Message, `parameter "i" of gather`) {
+			foundInHelper = true
+		}
+	}
+	if !foundInHelper {
+		t.Error("secret-indexed lookup two calls below the audit root was not reported inside the unannotated helper")
+	}
+}
+
 // The flush fixture is the serving-batcher guard: a coalescer whose flush
 // policy inspects the ids it fuses must be flagged (the §V-B scheduler
 // invariant), while the count-only policy stays clean.
@@ -66,7 +103,14 @@ func TestObliviouslintPublicQuantities(t *testing.T) {
 }
 
 func TestObliviouslintWaivers(t *testing.T) {
-	res := RunFixture(t, fixtureRoot, "waived", Obliviouslint())
+	pkg, idx, err := LoadDir(fixtureRoot+"/waived", "waived", fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]*Analyzer{Obliviouslint()}, []*Package{pkg}, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := len(res.Waived); got != 2 {
 		t.Errorf("want 2 waived findings (Checked, Trailing), got %d: %v", got, res.Waived)
 	}
@@ -74,6 +118,28 @@ func TestObliviouslintWaivers(t *testing.T) {
 		if d.Waiver == "" {
 			t.Errorf("waived finding lost its rationale: %s", d)
 		}
+	}
+	// Unwaived: NoRationale's branch (line 26), WrongRule's branch (line
+	// 33), and the stale wrong-rule waiver itself (line 32).
+	var branches, stale []Diagnostic
+	for _, d := range res.Findings {
+		switch d.Rule {
+		case RuleBranch:
+			branches = append(branches, d)
+		case RuleDirective:
+			stale = append(stale, d)
+		default:
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	if len(branches) != 2 {
+		t.Errorf("want 2 unwaived branch findings, got %d: %v", len(branches), branches)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("want 1 stale-waiver finding, got %d: %v", len(stale), stale)
+	}
+	if d := stale[0]; d.Pos.Line != 32 || !strings.Contains(d.Message, "stale waiver: //lint:allow obliviouslint/index") {
+		t.Errorf("stale-waiver finding wrong: %s", d)
 	}
 }
 

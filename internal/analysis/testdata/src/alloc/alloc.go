@@ -1,0 +1,34 @@
+// Fixture: alloc-class findings — allocations sized by a secret. The heap
+// footprint (and the allocator's size-class probe sequence) reveals the
+// length; oblivious code must allocate worst-case and mask.
+package alloc
+
+// secemb:secret n
+func Sized(out []byte, n int) {
+	buf := make([]byte, n) // want `obliviouslint/alloc: allocation size depends on secret-tainted value`
+	copy(out, buf)
+}
+
+// secemb:secret n
+func SizedCap(out []byte, n int) {
+	buf := make([]byte, 0, n+1) // want `obliviouslint/alloc: allocation size depends on secret-tainted value`
+	copy(out, buf)
+}
+
+// Grown grows by a secret-bounded prefix: the slice-bounds rule catches
+// the length leak before append ever sees it.
+//
+// secemb:secret n return
+func Grown(dst, src []byte, n int) []byte {
+	return append(dst, src[:n]...) // want `obliviouslint/index: slice bounds depend on secret-tainted value`
+}
+
+// Filled is the clean counterpart: a worst-case-sized allocation holding
+// secret *contents* is fine — only the size is observable.
+//
+// secemb:secret v
+func Filled(out []byte, v byte) {
+	buf := make([]byte, 16)
+	buf[0] = v
+	copy(out, buf)
+}

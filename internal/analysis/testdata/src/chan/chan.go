@@ -1,0 +1,44 @@
+// Fixture: chan-class findings — secrets crossing channel and goroutine
+// boundaries. A channel's consumer is outside the current walk, so a
+// tainted payload is unauditable; a secret-conditioned spawn or select
+// makes scheduler activity (observable cross-tenant) a function of the
+// secret.
+package chanleak
+
+// secemb:secret id
+func Send(ch chan uint64, id uint64) {
+	ch <- id // want `obliviouslint/chan: secret-tainted value sent on a channel \(unauditable consumer\)`
+}
+
+// secemb:secret id
+func SelectOn(ch chan uint64, id uint64) {
+	select {
+	case ch <- id: // want `obliviouslint/chan: select communication depends on secret-tainted value` `obliviouslint/chan: secret-tainted value sent on a channel`
+	default:
+	}
+}
+
+func worker(v uint64) {}
+
+// secemb:secret id
+func Spawn(id uint64) {
+	go worker(id) // want `obliviouslint/chan: goroutine spawn depends on secret-tainted value`
+}
+
+var observed uint64
+
+// secemb:secret id
+func SpawnClosure(id uint64) {
+	go func() { // want `obliviouslint/chan: goroutine spawn depends on secret-tainted value`
+		observed = id
+	}()
+}
+
+// PublicCount is the clean counterpart: after the secret is consumed, a
+// public completion count on a channel carries no taint.
+//
+// secemb:secret id
+func PublicCount(done chan int, id uint64, n int) {
+	_ = id
+	done <- n // ok: payload and channel are public
+}

@@ -1,0 +1,33 @@
+// Fixture: annotation drift — an exported, unannotated function that
+// receives secret taint (directly from an audit root or transitively
+// through summaries) is an API boundary whose contract has fallen out of
+// the directive system and must be flagged. Unexported helpers stay
+// silent: the engine audits their bodies without ceremony.
+package drift
+
+func internalGather(t []float32, i int) float32 {
+	return t[i] // want `obliviouslint/index: index depends on secret-tainted value \(via secret-tainted parameter "i" of internalGather\)`
+}
+
+// Process is exported and carries no directive, yet Root hands it the
+// secret: the drift rule fires on its declaration.
+func Process(t []float32, i int) float32 { // want `obliviouslint/drift: annotation drift: exported function Process receives secret-tainted argument\(s\) on parameter\(s\) "i" but carries no secemb:secret directive`
+	return internalGather(t, i)
+}
+
+// secemb:secret id return
+func Root(t []float32, id int) float32 {
+	return Process(t, id)
+}
+
+// Helper is exported but only ever sees public arguments: no drift.
+func Helper(t []float32, i int) float32 {
+	return t[i]
+}
+
+// secemb:secret id return
+func PublicUse(t []float32, id int) float32 {
+	v := Helper(t, 0) // ok: public argument, no inflow recorded
+	_ = id
+	return v
+}

@@ -9,7 +9,7 @@ func Gather(table []float32, i int) float32 {
 
 // secemb:secret k return
 func MapGet(m map[uint64]int, k uint64) int {
-	return m[k] // want `obliviouslint/index: index depends on secret-tainted value`
+	return m[k] // want `obliviouslint/mapkey: map access keyed by secret-tainted value`
 }
 
 // secemb:secret lo
@@ -24,7 +24,7 @@ func StoreSide(out []uint64, id uint64) {
 
 // secemb:secret k
 func MapDelete(m map[uint64]int, k uint64) {
-	delete(m, k) // want `obliviouslint/index: map delete key depends on secret-tainted value`
+	delete(m, k) // want `obliviouslint/mapkey: map delete keyed by secret-tainted value`
 }
 
 // secemb:secret i return

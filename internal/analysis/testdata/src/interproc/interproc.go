@@ -1,0 +1,46 @@
+// Fixture: interprocedural teeth — the §III table lookup hidden two calls
+// below the audit root, inside unannotated helpers. The old intraprocedural
+// engine stopped at the first call boundary with a blanket
+// obliviouslint/call finding at Root's call site and never saw the real
+// leak; the summary engine walks through both frames and reports the index
+// at the gather line, attributed to the inherited parameter. The companion
+// TestInterproceduralTeeth asserts both halves: the leak is reported inside
+// the helper, and no blanket call finding remains at the root.
+package interproc
+
+func gather(table []float32, i int) float32 {
+	return table[i] // want `obliviouslint/index: index depends on secret-tainted value \(via secret-tainted parameter "i" of gather\)`
+}
+
+func mid(table []float32, j int) float32 {
+	return gather(table, j+1)
+}
+
+// secemb:secret id return
+func Root(table []float32, id int) float32 {
+	return mid(table, id) // ok: resolved through summaries, not a blanket call finding
+}
+
+// shrink recurses on its secret-derived width: the SCC fixpoint must
+// converge on the self-edge and still surface the body's leaks.
+func shrink(table []float32, w int) float32 {
+	if w <= 0 { // want `obliviouslint/branch: branch condition depends on secret-tainted value \(guards an early return\) \(via secret-tainted parameter "w" of shrink\)`
+		return 0
+	}
+	return shrink(table, w/2)
+}
+
+// secemb:secret id return
+func RecursiveRoot(table []float32, id int) float32 {
+	return shrink(table, id)
+}
+
+// passThrough carries taint to its result without leaking: calls stay
+// silent, and the caller's use of the result is judged at the caller.
+func passThrough(v uint64) uint64 { return v*2 + 1 }
+
+// secemb:secret id
+func CleanThrough(out []uint64, id uint64) {
+	y := passThrough(id) // ok: no leak inside passThrough
+	out[y&7] = 1         // want `obliviouslint/index: index depends on secret-tainted value`
+}

@@ -1,0 +1,29 @@
+// Fixture: mapkey-class findings — Go map operations keyed by a secret.
+// The runtime's bucket probe sequence is a deterministic function of the
+// key's hash, so a secret-keyed access is a secret-dependent address trace
+// even though no user code indexes an array.
+package mapkey
+
+// secemb:secret k return
+func Get(m map[uint64]int, k uint64) int {
+	return m[k] // want `obliviouslint/mapkey: map access keyed by secret-tainted value \(probe sequence depends on the key\)`
+}
+
+// secemb:secret k return
+func Probe(m map[uint64]int, k uint64) bool {
+	_, ok := m[k&0xff] // want `obliviouslint/mapkey: map access keyed by secret-tainted value`
+	return ok
+}
+
+// secemb:secret k
+func Del(m map[uint64]int, k uint64) {
+	delete(m, k) // want `obliviouslint/mapkey: map delete keyed by secret-tainted value`
+}
+
+// StoreValue is the clean counterpart: a public key storing a secret
+// value — contents at rest are outside the access-pattern threat model.
+//
+// secemb:secret v
+func StoreValue(m map[uint64]int, id uint64, v int) {
+	m[id] = v // ok: the probe sequence depends only on the public id
+}

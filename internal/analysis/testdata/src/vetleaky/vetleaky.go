@@ -1,0 +1,23 @@
+// Fixture: the vet-dirty counterpart of leaky — taint leaks, variable
+// shadowing, and discarded pure results in one tree, exercising the
+// combined obliviouslint + strict-vet run off the happy path.
+package vetleaky
+
+import "fmt"
+
+// secemb:secret id
+func ShadowedAccumulate(table []float32, id int) float32 {
+	acc := float32(0)
+	for i := 0; i < len(table); i++ {
+		if i == id { // want `obliviouslint/branch: branch condition depends on secret-tainted value`
+			acc := table[i] // want `vet/shadow: declaration of "acc" shadows declaration at line 10`
+			_ = acc
+		}
+	}
+	return acc
+}
+
+// secemb:secret id
+func DroppedTrace(id uint64) {
+	fmt.Sprintf("id=%d", id) // want `vet/unusedresult: result of fmt.Sprintf call is discarded` `obliviouslint/call: secret-tainted argument escapes into unannotated function Sprintf`
+}

@@ -1,5 +1,8 @@
 // Fixture: //lint:allow waivers — a waiver with a rationale suppresses the
-// named rule on its own line and the next; a bare waiver does not.
+// named rule on its own line and the next; a bare waiver does not; and a
+// waiver that suppresses nothing is itself reported stale. Exercised by
+// TestObliviouslintWaivers with direct assertions, because the stale
+// finding lands on the waiver's own line, where a want comment cannot sit.
 package waived
 
 // secemb:secret x
@@ -20,13 +23,13 @@ func Trailing(x uint64) {
 // secemb:secret y
 func NoRationale(y uint64) {
 	//lint:allow obliviouslint/branch
-	if y > 0 { // want `obliviouslint/branch: branch condition depends on secret-tainted value`
+	if y > 0 {
 	}
 }
 
 // secemb:secret z
 func WrongRule(z uint64) {
-	//lint:allow obliviouslint/index waiver names a different rule, so the branch still fires
-	if z > 0 { // want `obliviouslint/branch: branch condition depends on secret-tainted value`
+	//lint:allow obliviouslint/index waiver names a different rule: the branch still fires, and the waiver is stale
+	if z > 0 {
 	}
 }

@@ -19,9 +19,10 @@ const (
 // pattern vet's experimental shadow check is notorious for flagging.
 func Shadow() *Analyzer {
 	return &Analyzer{
-		Name: "shadow",
-		Doc:  "report shadowed variables whose outer binding is used after the inner scope",
-		Run:  runShadow,
+		Name:  "shadow",
+		Doc:   "report shadowed variables whose outer binding is used after the inner scope",
+		Rules: []string{RuleShadow},
+		Run:   runShadow,
 	}
 }
 
@@ -111,9 +112,10 @@ var pureFuncs = map[string]bool{
 // results are discarded.
 func UnusedResult() *Analyzer {
 	return &Analyzer{
-		Name: "unusedresult",
-		Doc:  "report discarded results of pure function calls",
-		Run:  runUnusedResult,
+		Name:  "unusedresult",
+		Doc:   "report discarded results of pure function calls",
+		Rules: []string{RuleUnusedResult},
+		Run:   runUnusedResult,
 	}
 }
 

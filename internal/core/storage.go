@@ -25,8 +25,11 @@ func newLookupGen(table *tensor.Matrix, opts Options) *lookupGen {
 }
 
 // Generate gathers the requested rows directly — the insecure baseline.
-// The two waived leaks below are the point of this generator's existence:
-// the dynamic audit (internal/leakcheck) asserts they stay observable.
+// The waived leak below is the point of this generator's existence: the
+// dynamic audit (internal/leakcheck) asserts it stays observable. The
+// gather is spelled out inline so the secret-addressed slice is in this
+// function's own body: the one deliberate leak carries the one waiver,
+// instead of blanket-waiving every call that touches the secret.
 //
 // secemb:secret ids
 // secemb:audit lookup
@@ -37,10 +40,10 @@ func (g *lookupGen) Generate(ids []uint64) (*tensor.Matrix, error) {
 	out := tensor.New(len(ids), g.table.Cols)
 	tensor.ParallelRows(len(ids), g.threads, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
-			//lint:allow obliviouslint/call non-secure baseline: the address leak is deliberate (§III) and leakcheck asserts it is flagged
 			g.tracer.Touch(g.region, int64(ids[r]), memtrace.Read)
-			//lint:allow obliviouslint/call non-secure baseline: the address leak is deliberate (§III) and leakcheck asserts it is flagged
-			copy(out.Row(r), g.table.Row(int(ids[r])))
+			base := int(ids[r]) * g.table.Cols
+			//lint:allow obliviouslint/index non-secure baseline: the address leak is deliberate (§III) and leakcheck asserts it is flagged
+			copy(out.Row(r), g.table.Data[base:base+g.table.Cols])
 		}
 	})
 	return out, nil
