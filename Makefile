@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: check ci ci-gate ci-heavy vet obliviouslint lint-sarif report-check \
 	build test race fmt-check \
-	fuzz-short fuzz-long leakcheck soak-short soak-long benchdiff \
+	fuzz-short fuzz-long leakcheck soak-short soak-long plan-sim benchdiff \
 	benchdiff-report bench bench-baseline bench-all
 
 check: vet obliviouslint build test race
@@ -23,7 +23,7 @@ check: vet obliviouslint build test race
 # to paper over any drift.
 ci: ci-gate ci-heavy
 ci-gate: fmt-check vet report-check obliviouslint build test
-ci-heavy: race fuzz-short leakcheck soak-short bench benchdiff
+ci-heavy: race fuzz-short leakcheck soak-short plan-sim bench benchdiff
 
 # vet layers the strict in-repo analyzers (shadow, unusedresult) on top of
 # the stock go vet suite.
@@ -114,6 +114,15 @@ soak-long:
 	$(GO) run ./cmd/secembd -soak -tls -plan -plan-interval 10s -rows 4096 -dim 64 \
 		-backends 4 -conns 1000 -duration 60s -batch 2 \
 		-max-p99 500ms -max-shed 0.05 -min-requests 10000
+
+# plan-sim is the headless per-shard planner regression: the dlrmbench
+# shard-skew drifting workload (deterministic seed) must end with ≥2
+# shards of one table converged to distinct techniques — the tentpole
+# behavior of planner v2. A regression in the sampler's per-shard streams,
+# the crossover model, or the independent swap lifecycle collapses the
+# shards onto one technique and -plan-assert exits non-zero.
+plan-sim:
+	$(GO) run ./cmd/dlrmbench -plan -plan-assert -autotune off -seed 1
 
 # benchdiff gates BENCH_hotpath.json: ns/op regression vs the
 # committed baseline, or any allocation on a zero-alloc path, fails.

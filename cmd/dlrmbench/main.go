@@ -53,7 +53,9 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print an observability snapshot (per-technique counts, latency percentiles) after the runs")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and pprof on this address during the runs")
 	autotune := flag.String("autotune", "on", "probe matmul kernel configs before timing (on/off)")
-	plan := flag.Bool("plan", false, "adaptive planner demo: drive a drifting workload and print each re-plan decision as the table hot-swaps techniques")
+	plan := flag.Bool("plan", false, "adaptive planner demo: drive a shard-skewed drifting workload and print each per-shard re-plan decision as shards hot-swap techniques independently")
+	planFile := flag.String("plan-file", "", "with -plan: persist/reuse the fitted cost model at this path (a matching file skips the analytic-prior warmup)")
+	planAssert := flag.Bool("plan-assert", false, "with -plan: exit non-zero unless ≥2 shards reach distinct techniques at steady state (CI regression mode)")
 	flag.Parse()
 
 	switch *autotune {
@@ -91,7 +93,7 @@ func main() {
 		*dataset, *scale, len(cfg.Cardinalities), cfg.EmbDim, maxInt(cfg.Cardinalities))
 
 	if *plan {
-		planDemo(cfg, *seed)
+		planDemo(cfg, *seed, *planFile, *planAssert)
 		return
 	}
 
@@ -167,64 +169,130 @@ func main() {
 	}
 }
 
-// planDemo drives the adaptive planner with a drifting workload: a
-// single-row trickle, a large-batch burst, then single rows again. Each
-// phase ends with a re-plan pass, and the printed decisions show the
-// scan/ORAM/DHE crossover being re-fit from live latency signals while the
-// table hot-swaps representations without a restart. The -plan serving
-// path in cmd/secembd runs the same loop on a timer.
-func planDemo(cfg dlrm.Config, seed int64) {
+// planDemo drives the per-shard adaptive planner with a shard-skewed
+// drifting workload over a two-shard table: shard 0 trickles single-row
+// lookups while shard 1 soaks large coalesced bursts. Each phase ends with
+// a re-plan pass, and the printed per-shard decisions show the
+// scan/ORAM/DHE crossover being re-fit independently per shard from live
+// latency signals — at steady state the shards converge to *different*
+// techniques for the same table, which a table-granular plan cannot
+// express. With -plan-file the fitted cost model persists across runs
+// (second run's first re-plan predicts from the saved EWMAs instead of the
+// analytic priors); with -plan-assert the per-shard split is a CI gate.
+// The -plan serving path in cmd/secembd runs the same loop on a timer.
+func planDemo(cfg dlrm.Config, seed int64, planFile string, assert bool) {
 	reg := obs.NewRegistry()
 	rows, dim := maxInt(cfg.Cardinalities), cfg.EmbDim
 	if rows < 1<<15 {
-		// Big-table regime: a tiny miniature would (correctly) pin the plan
-		// to the scan and the demo would never cross over.
+		// Big-table regime: a tiny miniature would (correctly) pin every
+		// shard's plan to the scan and the demo would never cross over.
 		rows = 1 << 15
 	}
-	build := func(tech core.Technique) (core.Generator, error) {
-		return core.New(tech, rows, dim, core.Options{Seed: seed, Obs: reg})
+	if dim < 64 {
+		// Wide-embedding regime: below ~64 dims the ORAM's per-element cost
+		// undercuts DHE's fixed per-id decode floor at every batch size, so
+		// the large-batch shard would (correctly) pick circuit too and the
+		// per-shard split would never show.
+		dim = 64
 	}
-	gen, err := build(core.LinearScanBatched)
-	if err != nil {
-		panic(err)
+	const table = "demo"
+	const nShards = 2
+	build := func(shard int, tech core.Technique) (core.Generator, error) {
+		return core.New(tech, rows, dim, core.Options{
+			Seed: seed, Obs: reg, Shard: planner.ShardLabel(table, shard),
+		})
 	}
-	sw := planner.NewSwappable(gen)
+	sws := make([]*planner.Swappable, nShards)
+	shards := make([][]*planner.Swappable, nShards)
+	for i := range sws {
+		gen, err := build(i, core.LinearScanBatched)
+		if err != nil {
+			panic(err)
+		}
+		sws[i] = planner.NewSwappable(gen)
+		shards[i] = []*planner.Swappable{sws[i]}
+	}
 	pl := planner.New(planner.Config{
 		Reg:        reg,
 		Hysteresis: 0.05,
 		MinDwell:   time.Millisecond, // demo: surface every crossover immediately
 	})
 	if err := pl.Manage(planner.Table{
-		Name: "demo", Rows: rows, Dim: dim, Build: build,
-		Replicas: []*planner.Swappable{sw}, Initial: core.LinearScanBatched,
+		Name: table, Rows: rows, Dim: dim, Build: build,
+		Shards: shards, Initial: core.LinearScanBatched,
 	}); err != nil {
 		panic(err)
 	}
+	if planFile != "" {
+		m, installed, err := profile.InstallCostModelFile(planFile, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-plan-file:", err)
+			os.Exit(2)
+		}
+		if installed {
+			pl.SeedCostModel(m)
+			fmt.Printf("cost model loaded from %s (%d streams) — first re-plan predicts from persisted EWMAs\n",
+				planFile, len(m.Entries))
+		}
+	}
 
-	fmt.Printf("planner demo: %dx%d table starting on scanb, drifting batch sizes\n\n", rows, dim)
+	fmt.Printf("planner demo: %dx%d table, %d shards starting on scanb; shard 0 trickles single rows, shard 1 soaks bursts\n\n",
+		rows, dim, nShards)
 	rng := rand.New(rand.NewSource(seed + 13))
 	phases := []struct {
-		name         string
-		batch, iters int
+		name  string
+		batch [nShards]int
+		iters int
 	}{
-		{"warm-up trickle", 1, 8},
-		{"single-row lookups", 2, 12},
-		{"batch burst", 256, 12},
-		{"back to single rows", 2, 12},
+		{"skew onset", [nShards]int{2, 256}, 8},
+		{"sustained skew", [nShards]int{2, 256}, 12},
+		{"steady state", [nShards]int{2, 256}, 12},
 	}
 	for _, ph := range phases {
-		ids := make([]uint64, ph.batch)
 		for i := 0; i < ph.iters; i++ {
-			for j := range ids {
-				ids[j] = uint64(rng.Intn(rows))
-			}
-			if _, err := sw.Generate(ids); err != nil {
-				panic(err)
+			for s, sw := range sws {
+				// Each shard's key population is the Zipf-skewed ids that
+				// consistently route to it — the same consistent-hash
+				// partition the serving layer would produce.
+				ids := make([]uint64, ph.batch[s])
+				for j := range ids {
+					ids[j] = data.ZipfValueFiltered(rng, rows, func(id uint64) bool {
+						return serving.RouteShard(id, nShards) == s
+					})
+				}
+				if _, err := sw.Generate(ids); err != nil {
+					panic(err)
+				}
 			}
 		}
 		for _, d := range pl.ReplanNow() {
-			printDecision(ph.name, ph.batch, d)
+			printDecision(ph.name, ph.batch[d.Shard], d)
 		}
+		fmt.Println()
+	}
+
+	techs, err := pl.ShardTechniques(table)
+	if err != nil {
+		panic(err)
+	}
+	distinct := map[core.Technique]bool{}
+	keys := make([]string, len(techs))
+	for i, t := range techs {
+		distinct[t] = true
+		keys[i] = t.Key()
+	}
+	fmt.Printf("steady state: per-shard plan %v — %d distinct techniques on one table\n", keys, len(distinct))
+
+	if planFile != "" {
+		if err := profile.SaveCostModelFile(planFile, pl.ExportCostModel()); err != nil {
+			fmt.Fprintln(os.Stderr, "-plan-file save:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("cost model saved to %s\n", planFile)
+	}
+	if assert && len(distinct) < 2 {
+		fmt.Fprintf(os.Stderr, "plan-assert: expected ≥2 distinct per-shard techniques at steady state, got %v\n", keys)
+		os.Exit(1)
 	}
 }
 
@@ -237,7 +305,8 @@ func printDecision(phase string, batch int, d planner.Decision) {
 	if d.Swapped {
 		verdict = fmt.Sprintf("SWAP %s→%s (%s)", d.Current.Key(), d.Chosen.Key(), d.Reason)
 	}
-	fmt.Printf("%-20s batch %-4d  perID{%s}  %s\n", phase, batch, strings.Join(costs, " "), verdict)
+	fmt.Printf("%-16s shard %d  batch %-4d  perID{%s}  %s\n",
+		phase, d.Shard, batch, strings.Join(costs, " "), verdict)
 }
 
 // serveLoad is the serving-mode workload shape.

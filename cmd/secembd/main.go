@@ -80,6 +80,7 @@ type config struct {
 	int8       bool
 	plan       bool
 	planEvery  time.Duration
+	planFile   string
 
 	// soak
 	soak        bool
@@ -99,7 +100,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.SetOutput(stderr)
 	c := &config{}
 	fs.StringVar(&c.addr, "addr", ":9090", "serve: listen address")
-	fs.StringVar(&c.technique, "technique", "dual", "serve: dual or a core technique key (scan, scanb, path, circuit, dhe, lookup)")
+	fs.StringVar(&c.technique, "technique", "dual", "serve: dual or a core technique key (scan, scanb, path, circuit, dhe, lookup); under -plan the static dual hybrid is superseded, so dual maps to scanb as the starting technique and the planner re-fits from there")
 	fs.IntVar(&c.rows, "rows", 4096, "serve: embedding table cardinality")
 	fs.IntVar(&c.dim, "dim", 64, "serve: embedding dimension")
 	fs.IntVar(&c.threshold, "threshold", 4, "serve: dual-scheme batch threshold (≤ uses ORAM, > uses DHE)")
@@ -121,6 +122,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&c.int8, "int8", true, "serve: quantized int8 DHE decoder when the accuracy gate passes (dhe and dual techniques)")
 	fs.BoolVar(&c.plan, "plan", false, "serve: adaptive planner re-fits the technique choice online and hot-swaps tables (replaces the static dual hybrid)")
 	fs.DurationVar(&c.planEvery, "plan-interval", 10*time.Second, "serve: planner re-plan period (with -plan)")
+	fs.StringVar(&c.planFile, "plan-file", "", "serve: persist/reuse the planner's fitted cost model at this path (with -plan; skips the analytic-prior warmup when the recorded machine matches)")
 
 	fs.BoolVar(&c.soak, "soak", false, "run the load generator instead of serving")
 	fs.BoolVar(&c.useTLS, "tls", false, "soak: dial TLS (self-hosted runs mint an ephemeral self-signed cert)")
@@ -149,28 +151,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return runServe(c, stdout, stderr)
 }
 
+// planTable names the single managed table secembd serves.
+const planTable = "embed"
+
 // buildGroup constructs the replicated serving stack for the configured
 // technique. Backends are stateful, so every replica gets its own
 // generator (same seed → same representation values). With -plan each
-// generator sits behind a planner.Swappable and the returned planner
-// (nil otherwise, already started) re-fits the technique online; callers
-// own its Stop.
-func buildGroup(c *config, reg *obs.Registry) (*serving.Group, *planner.Planner, error) {
-	initial, err := planInitial(c)
+// generator sits behind a planner.Swappable, grouped per serving shard
+// (the planner's unit of decision-making), and the returned planner (nil
+// otherwise, already started) re-fits each shard's technique online;
+// callers own its Stop.
+func buildGroup(c *config, reg *obs.Registry, stdout io.Writer) (*serving.Group, *planner.Planner, error) {
+	initial, err := planInitial(c, stdout)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Backend i lands on shard i % shards (the group's round-robin
+	// assignment); the generator must know its shard label up front so its
+	// core_generate_* latencies feed that shard's own EWMA stream.
+	effShards := c.shards
+	if effShards == 0 {
+		effShards = c.nBackends
+	}
 	bes := make([]serving.Backend, c.nBackends)
-	sws := make([]*planner.Swappable, 0, c.nBackends)
 	for i := range bes {
-		gen, err := buildGenerator(c, reg)
+		shardLabel := ""
+		if c.plan {
+			shardLabel = planner.ShardLabel(planTable, i%effShards)
+		}
+		gen, err := buildGenerator(c, reg, shardLabel)
 		if err != nil {
 			return nil, nil, err
 		}
 		if c.plan {
-			sw := planner.NewSwappable(gen)
-			sws = append(sws, sw)
-			bes[i] = backends.NewEmbedding(sw, c.maxBatch)
+			bes[i] = backends.NewEmbedding(planner.NewSwappable(gen), c.maxBatch)
 		} else {
 			bes[i] = backends.NewEmbedding(gen, c.maxBatch)
 		}
@@ -188,32 +202,64 @@ func buildGroup(c *config, reg *obs.Registry) (*serving.Group, *planner.Planner,
 	if !c.plan {
 		return group, nil, nil
 	}
+	// Mirror the group's shard→replica assignment into the planner's
+	// per-shard plans: ShardBackends is the authoritative map, so each
+	// shard's Swappables are recovered from the backends it actually owns.
+	shardSws := make([][]*planner.Swappable, group.Shards())
+	for si := range shardSws {
+		for _, be := range group.ShardBackends(si) {
+			sw, ok := be.(*backends.Embedding).Generator().(*planner.Swappable)
+			if !ok {
+				group.Close()
+				return nil, nil, fmt.Errorf("shard %d backend is not swappable", si)
+			}
+			shardSws[si] = append(shardSws[si], sw)
+		}
+	}
 	pl := planner.New(planner.Config{Interval: c.planEvery, Reg: reg})
 	if err := pl.Manage(planner.Table{
-		Name: "embed", Rows: c.rows, Dim: c.dim, Initial: initial,
-		Build: func(tech core.Technique) (core.Generator, error) {
-			return core.New(tech, c.rows, c.dim, core.Options{Seed: c.seed, Int8: c.int8, Obs: reg})
+		Name: planTable, Rows: c.rows, Dim: c.dim, Initial: initial,
+		Build: func(shard int, tech core.Technique) (core.Generator, error) {
+			return core.New(tech, c.rows, c.dim, core.Options{
+				Seed: c.seed, Int8: c.int8, Obs: reg,
+				Shard: planner.ShardLabel(planTable, shard),
+			})
 		},
-		Replicas: sws,
+		Shards: shardSws,
 	}); err != nil {
 		group.Close()
 		return nil, nil, err
+	}
+	if c.planFile != "" {
+		m, installed, err := profile.InstallCostModelFile(c.planFile, reg)
+		if err != nil {
+			group.Close()
+			return nil, nil, fmt.Errorf("-plan-file: %v", err)
+		}
+		if installed {
+			pl.SeedCostModel(m)
+			fmt.Fprintf(stdout, "secembd: planner cost model loaded from %s (%d streams) — skipping analytic-prior warmup\n",
+				c.planFile, len(m.Entries))
+		}
 	}
 	pl.Start()
 	return group, pl, nil
 }
 
-// planInitial resolves the technique the planner starts the table on.
+// planInitial resolves the technique the planner starts every shard on.
 // "dual" (the static §IV-D hybrid, and the -technique default) is what
 // -plan supersedes, so under -plan it maps to the batched scan and the
 // first re-plan window takes it from there; any concrete technique key is
-// honored as the starting point.
-func planInitial(c *config) (core.Technique, error) {
+// honored as the starting point. The remap is announced on stdout so an
+// operator reading the startup log knows why the serving line says scanb.
+func planInitial(c *config, stdout io.Writer) (core.Technique, error) {
 	if !c.plan {
 		return 0, nil
 	}
 	if c.technique == "dual" {
 		c.technique = core.LinearScanBatched.Key()
+		fmt.Fprintf(stdout, "secembd: -plan supersedes the static dual hybrid: -technique dual remapped to %s as the starting technique; the planner re-fits per shard from there\n",
+			c.technique)
 	}
 	return core.ParseTechnique(c.technique)
 }
@@ -222,12 +268,12 @@ func planInitial(c *config) (core.Technique, error) {
 // matching -tune-file when given, otherwise run the ~100ms probe (unless
 // -autotune=off), and persist the winner back to -tune-file. The probe
 // measures public architecture shapes only — nothing secret-dependent.
-func setupTuning(c *config, stdout io.Writer) error {
+func setupTuning(c *config, reg *obs.Registry, stdout io.Writer) error {
 	if c.autotune != "on" && c.autotune != "off" {
 		return fmt.Errorf("-autotune must be on or off, got %q", c.autotune)
 	}
 	if c.tuneFile != "" {
-		installed, err := profile.InstallTuneFile(c.tuneFile)
+		installed, err := profile.InstallTuneFile(c.tuneFile, reg)
 		if err != nil {
 			return fmt.Errorf("-tune-file: %v", err)
 		}
@@ -249,8 +295,8 @@ func setupTuning(c *config, stdout io.Writer) error {
 	return nil
 }
 
-func buildGenerator(c *config, reg *obs.Registry) (core.Generator, error) {
-	opts := core.Options{Seed: c.seed, Int8: c.int8, Obs: reg}
+func buildGenerator(c *config, reg *obs.Registry, shardLabel string) (core.Generator, error) {
+	opts := core.Options{Seed: c.seed, Int8: c.int8, Obs: reg, Shard: shardLabel}
 	if c.technique == "dual" {
 		dheGen, err := core.New(core.DHE, c.rows, c.dim, opts)
 		if err != nil {
@@ -307,15 +353,15 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "secembd:", err)
 		return 2
 	}
-	if terr := setupTuning(c, stdout); terr != nil {
+	reg := obs.NewRegistry()
+	if terr := setupTuning(c, reg, stdout); terr != nil {
 		fmt.Fprintln(stderr, "secembd:", terr)
 		return 2
 	}
-	reg := obs.NewRegistry()
 	// Publish the installed kernel config (tensor_tune_* gauges) and the
 	// pool/tune metrics into this server's registry.
 	tensor.SetObserver(reg)
-	group, pl, err := buildGroup(c, reg)
+	group, pl, err := buildGroup(c, reg, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "secembd:", err)
 		return 2
@@ -353,6 +399,15 @@ func runServe(c *config, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "secembd: draining (grace %v)\n", c.drainGrace)
 	if pl != nil {
 		pl.Stop() // no swaps mid-drain; in-flight Generates finish untouched
+		if c.planFile != "" {
+			// Persist the fitted cost model so the next start predicts from
+			// today's observed curves instead of the analytic priors.
+			if serr := profile.SaveCostModelFile(c.planFile, pl.ExportCostModel()); serr != nil {
+				fmt.Fprintln(stderr, "secembd: -plan-file save:", serr)
+			} else {
+				fmt.Fprintf(stdout, "secembd: planner cost model saved to %s\n", c.planFile)
+			}
+		}
 	}
 	srv.StartDrain()
 	time.Sleep(c.drainGrace)
@@ -398,7 +453,7 @@ func runSoak(c *config, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
-		group, pl, err := buildGroup(c, nil)
+		group, pl, err := buildGroup(c, nil, stdout)
 		if err != nil {
 			fmt.Fprintln(stderr, "secembd:", err)
 			return 2

@@ -53,3 +53,25 @@ func SwapOnHotID(ids []uint64, cur int) int {
 	}
 	return cur
 }
+
+// PickShardPlanBySecretID is the per-shard (v2) variant of the plan-table
+// leak: shard plans are legitimate — a request's shard comes from its
+// public routing key — but here the shard-plan table is indexed by a
+// secret id, so which shard's plan (and representation) serves the request
+// is id-dependent. Deriving the shard from anything secret is the same
+// bug in one step.
+//
+// secemb:secret ids return
+func PickShardPlanBySecretID(ids []uint64, shardPlans [2]int) int {
+	return shardPlans[ids[0]%2] // want `obliviouslint/index: index depends on secret-tainted value`
+}
+
+// PickShardPlanByRoutingKey is the sanctioned per-shard policy: the shard
+// index comes from the public routing key, never the ids, and each shard's
+// plan was fitted from aggregate signals. No findings.
+//
+// secemb:secret ids return
+func PickShardPlanByRoutingKey(ids []uint64, routingKey uint64, shardPlans [2]int) int {
+	_ = ids // ids flow to the chosen shard's backend untouched
+	return shardPlans[routingKey%2]
+}

@@ -77,7 +77,7 @@ func New(tech Technique, rows, dim int, opts Options) (Generator, error) {
 		return nil, fmt.Errorf("core: unknown technique %v", tech)
 	}
 	if opts.Obs != nil {
-		g = Instrument(g, opts.Obs)
+		g = InstrumentShard(g, opts.Obs, opts.Shard)
 	}
 	return g, nil
 }

@@ -118,3 +118,19 @@ func ZipfValue(rng *rand.Rand, n int) uint64 {
 	}
 	return uint64(idx)
 }
+
+// ZipfValueFiltered draws ZipfValue samples until one satisfies accept —
+// rejection sampling that keeps the 1/rank shape within the accepted
+// subset. Callers use it to build skewed key populations pinned to a
+// partition of the id space, e.g. ids that consistently route to one
+// serving shard (accept = RouteShard(id, n) == s). It panics after a
+// bounded number of rejections rather than spinning on a predicate that
+// accepts (almost) nothing.
+func ZipfValueFiltered(rng *rand.Rand, n int, accept func(uint64) bool) uint64 {
+	for i := 0; i < 1<<20; i++ {
+		if v := ZipfValue(rng, n); accept(v) {
+			return v
+		}
+	}
+	panic("data: ZipfValueFiltered predicate accepted nothing after 2^20 draws")
+}

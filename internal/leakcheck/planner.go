@@ -7,16 +7,18 @@ import (
 	"secemb/internal/tensor"
 )
 
-// PlannerFactory audits the adaptive planner's hot-swap lifecycle: each
-// panel input is served once on the incumbent batched scan, then a forced
-// re-plan swaps the table to DHE through the real planner swap path
-// (prepare → install → drain), and the same input is served again on the
-// new representation. The recorded trace therefore spans the re-plan
-// boundary — scan sweep, swap, DHE sweep — and trace equality across the
-// panel proves that technique selection, swap timing, and both serving
-// regimes are independent of the ids: a planner that decided or timed its
-// swap from id values would move the boundary (or change the techniques)
-// and diverge. See TestPlannerAuditTeeth for the counterexample.
+// PlannerFactory audits the adaptive planner's per-shard hot-swap
+// lifecycle: each panel input is served once on both shards of a two-shard
+// table (incumbent batched scan everywhere), then a forced re-plan swaps
+// *only shard 1* to DHE through the real planner swap path (prepare →
+// install → drain) while shard 0 keeps its scan, and the same input is
+// served again on both shards. The recorded trace therefore spans an
+// asymmetric per-shard swap boundary — scan sweeps, swap of one shard,
+// scan sweep + DHE sweep — and trace equality across the panel proves that
+// per-shard technique selection, swap timing, and every serving regime are
+// independent of the ids: a planner that decided *which shard* to swap (or
+// when) from id values would move the boundary between shards and diverge.
+// See TestPlannerAuditTeeth for the counterexample.
 func PlannerFactory(rows, dim int, seed int64) Factory {
 	return Factory{
 		Name:   "planner",
@@ -27,49 +29,64 @@ func PlannerFactory(rows, dim int, seed int64) Factory {
 	}
 }
 
-// plannerGen replays one batch across a forced re-plan. Fresh per panel
-// input (Factory.New), so every run sees an identical planner lifecycle on
-// an identical random tape; only the secret ids differ.
+// plannerGen replays one batch across a forced asymmetric re-plan. Fresh
+// per panel input (Factory.New), so every run sees an identical planner
+// lifecycle on an identical random tape; only the secret ids differ.
 type plannerGen struct {
-	sw *planner.Swappable
-	pl *planner.Planner
+	shards []*planner.Swappable
+	pl     *planner.Planner
 }
 
 func newPlannerGen(rows, dim int, seed int64, tr *memtrace.Tracer) (*plannerGen, error) {
-	build := func(tech core.Technique) (core.Generator, error) {
+	build := func(shard int, tech core.Technique) (core.Generator, error) {
 		return core.New(tech, rows, dim, core.Options{Seed: seed, Tracer: tr, Threads: 1})
 	}
-	scan, err := build(core.LinearScanBatched)
-	if err != nil {
-		return nil, err
+	shards := make([]*planner.Swappable, 2)
+	for i := range shards {
+		scan, err := build(i, core.LinearScanBatched)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = planner.NewSwappable(scan)
 	}
-	sw := planner.NewSwappable(scan)
 	pl := planner.New(planner.Config{})
 	if err := pl.Manage(planner.Table{
 		Name: "audit", Rows: rows, Dim: dim, Build: build,
-		Replicas: []*planner.Swappable{sw}, Initial: core.LinearScanBatched,
+		Shards:  [][]*planner.Swappable{{shards[0]}, {shards[1]}},
+		Initial: core.LinearScanBatched,
 	}); err != nil {
 		return nil, err
 	}
-	return &plannerGen{sw: sw, pl: pl}, nil
+	return &plannerGen{shards: shards, pl: pl}, nil
 }
 
-// Generate serves the batch on the scan, forces the scan→DHE re-plan, and
-// serves it again on the DHE — one trace across the swap boundary.
+// Generate serves the batch on both shards' scans, forces the scan→DHE
+// re-plan of shard 1 only (shard 0 keeps serving scan — the asymmetric
+// split), and serves the batch on both shards again — one trace across the
+// per-shard swap boundary.
 //
 // secemb:secret ids
 func (p *plannerGen) Generate(ids []uint64) (*tensor.Matrix, error) {
-	if _, err := p.sw.Generate(ids); err != nil {
+	for _, sw := range p.shards {
+		if _, err := sw.Generate(ids); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.pl.ForceSwapShard("audit", 1, core.DHE); err != nil {
 		return nil, err
 	}
-	if err := p.pl.ForceSwap("audit", core.DHE); err != nil {
+	if _, err := p.shards[0].Generate(ids); err != nil {
 		return nil, err
 	}
-	return p.sw.Generate(ids)
+	return p.shards[1].Generate(ids)
 }
 
-func (p *plannerGen) Rows() int                 { return p.sw.Rows() }
-func (p *plannerGen) Dim() int                  { return p.sw.Dim() }
-func (p *plannerGen) Technique() core.Technique { return p.sw.Technique() }
-func (p *plannerGen) NumBytes() int64           { return p.sw.NumBytes() }
-func (p *plannerGen) SetThreads(n int)          { p.sw.SetThreads(n) }
+func (p *plannerGen) Rows() int                 { return p.shards[0].Rows() }
+func (p *plannerGen) Dim() int                  { return p.shards[0].Dim() }
+func (p *plannerGen) Technique() core.Technique { return p.shards[0].Technique() }
+func (p *plannerGen) NumBytes() int64           { return p.shards[0].NumBytes() }
+func (p *plannerGen) SetThreads(n int) {
+	for _, sw := range p.shards {
+		sw.SetThreads(n)
+	}
+}

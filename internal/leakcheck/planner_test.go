@@ -9,11 +9,12 @@ import (
 )
 
 // TestPlannerSwapPassesPanel replays the adversarial panel across a forced
-// re-plan boundary: every input is served on the batched scan, the planner
-// hot-swaps the table to DHE through its real prepare→install→drain path,
-// and the input is served again. The combined trace must be identical
-// across the panel — the swap's existence, timing, and both serving
-// regimes are functions of public state only.
+// *asymmetric per-shard* re-plan boundary: every input is served on both
+// shards' batched scans, the planner hot-swaps shard 1 (only) to DHE
+// through its real prepare→install→drain path, and the input is served
+// again on both shards — one still scanning, one on DHE. The combined
+// trace must be identical across the panel — which shard swapped, when it
+// swapped, and every serving regime are functions of public state only.
 func TestPlannerSwapPassesPanel(t *testing.T) {
 	const rows, dim, batch, seed = 128, 4, 8, 3
 	rep, err := Verify(PlannerFactory(rows, dim, seed), AdversarialPanel(rows, batch))
@@ -29,10 +30,10 @@ func TestPlannerSwapPassesPanel(t *testing.T) {
 }
 
 // TestPlannerAuditTeeth proves the audit catches the failure mode the
-// planner's public-signal rule forbids: a planner that decides *whether* to
-// re-plan from the ids themselves. The leaky variant below swaps only when
-// the first requested id is even, so panel inputs of different parity see
-// different technique sequences and the traces diverge.
+// per-shard planner's public-signal rule forbids: a planner that decides
+// *which shard* to re-plan from the ids themselves. The leaky variant
+// below swaps shard ids[0]%2 — so panel inputs of different parity put the
+// scan/DHE boundary on different shards and the traces diverge.
 func TestPlannerAuditTeeth(t *testing.T) {
 	const rows, dim, seed = 64, 4, 5
 	leaky := Factory{
@@ -47,35 +48,45 @@ func TestPlannerAuditTeeth(t *testing.T) {
 		},
 	}
 	panel := Panel{
-		{2, 9, 17, 33}, // even first id → swap fires, DHE serves the replay
-		{1, 9, 17, 33}, // odd first id → swap skipped, scan serves the replay
+		{2, 9, 17, 33}, // even first id → shard 0 swaps, shard 1 keeps scanning
+		{1, 9, 17, 33}, // odd first id → shard 1 swaps, shard 0 keeps scanning
 	}
 	rep, err := Verify(leaky, panel)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Leaky {
-		t.Fatal("id-conditioned re-plan escaped the audit — the harness lost its teeth")
+		t.Fatal("id-conditioned shard swap escaped the audit — the harness lost its teeth")
 	}
 }
 
-// idSwapGen is the forbidden planner: re-plan decision keyed on a secret
-// id. It reuses plannerGen's real swap machinery so the divergence the
-// audit catches is exactly the moved swap boundary, nothing synthetic.
+// idSwapGen is the forbidden planner: the per-shard re-plan target keyed
+// on a secret id. It reuses plannerGen's real swap machinery so the
+// divergence the audit catches is exactly the moved shard boundary,
+// nothing synthetic.
 type idSwapGen struct {
 	inner *plannerGen
 }
 
 func (g *idSwapGen) Generate(ids []uint64) (*tensor.Matrix, error) {
-	if _, err := g.inner.sw.Generate(ids); err != nil {
-		return nil, err
-	}
-	if len(ids) > 0 && ids[0]%2 == 0 { // secret-dependent re-plan: the bug
-		if err := g.inner.pl.ForceSwap("audit", core.DHE); err != nil {
+	for _, sw := range g.inner.shards {
+		if _, err := sw.Generate(ids); err != nil {
 			return nil, err
 		}
 	}
-	return g.inner.sw.Generate(ids)
+	// Secret-dependent shard choice: the bug. The swap itself is the real
+	// planner lifecycle; only its *placement* leaks.
+	target := 0
+	if len(ids) > 0 {
+		target = int(ids[0] % 2)
+	}
+	if err := g.inner.pl.ForceSwapShard("audit", target, core.DHE); err != nil {
+		return nil, err
+	}
+	if _, err := g.inner.shards[0].Generate(ids); err != nil {
+		return nil, err
+	}
+	return g.inner.shards[1].Generate(ids)
 }
 
 func (g *idSwapGen) Rows() int                 { return g.inner.Rows() }

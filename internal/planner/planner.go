@@ -8,16 +8,32 @@
 // behind the serving backends when the model says another technique is now
 // cheaper. Production tables drift in size and skew; the planner follows.
 //
+// Plans are shard-granular (v2). Under consistent routing
+// (serving.RouteShard) each shard of a table sees its own key population
+// and batch-size mix, so one technique per table is a compromise: a shard
+// soaking large coalesced batches wants DHE while a sibling trickling
+// single-row lookups wants the scan or ORAM. The planner therefore keys
+// its EWMAs, crossover model, decisions and metrics per (table, shard):
+// replicas of the *same* shard still swap all-or-nothing (a shard split
+// across techniques would serve inconsistently), while different shards
+// plan and swap independently and concurrently. The fitted cost model can
+// be exported and persisted (profile.CostModel) so a restart warms from
+// yesterday's observed curves instead of the analytic priors.
+//
 // Security (§V-B): every input to a plan decision is public. Rows, dim
-// and candidate set are deployment configuration; batch-size aggregates
+// and candidate set are deployment configuration; the shard label names a
+// replica group (topology, fixed at deployment); batch-size aggregates
 // and latencies are observable by the adversary already and are recorded
-// by instrumentation that never sees an id (core.Instrument counts and
-// clocks batches, nothing else). Technique selection and swap *timing*
-// therefore leak nothing about individual ids — an invariant enforced two
-// ways: statically by obliviouslint (the `plan` fixture flags a
-// secret-indexed plan table) and dynamically by the leakcheck "planner"
-// roster target, which replays the adversarial panel across a forced
-// re-plan boundary and demands trace equality.
+// by instrumentation that never sees an id (core.InstrumentShard counts
+// and clocks batches, nothing else). Technique selection and swap *timing*
+// therefore leak nothing about individual ids — per shard exactly as per
+// table, because a request's shard is a function of its public routing
+// key, never of the ids inside it. The invariant is enforced two ways:
+// statically by obliviouslint (the `plan` fixture flags secret-indexed
+// plan tables, including the per-shard variant) and dynamically by the
+// leakcheck "planner" roster target, which replays the adversarial panel
+// across an *asymmetric* per-shard swap boundary (one shard on scan, its
+// sibling hot-swapped to DHE) and demands trace equality.
 //
 // The swap itself is a prepare → install → drain lifecycle (Swappable):
 // fresh representations are built off the serving path, published with one
@@ -28,11 +44,14 @@ package planner
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"secemb/internal/core"
 	"secemb/internal/obs"
+	"secemb/internal/profile"
 )
 
 // DefaultCandidates is the technique menu the planner chooses from: the
@@ -40,6 +59,13 @@ import (
 // DHE for big-table/large-batch — the three regimes of §IV.
 func DefaultCandidates() []core.Technique {
 	return []core.Technique{core.LinearScanBatched, core.CircuitORAM, core.DHE}
+}
+
+// ShardLabel renders the canonical shard label for a managed table's
+// shard: the string generators built for that shard must carry as
+// core.Options.Shard so their latencies feed the shard's own EWMA stream.
+func ShardLabel(table string, shard int) string {
+	return table + "/" + strconv.Itoa(shard)
 }
 
 // Config shapes a Planner.
@@ -52,9 +78,9 @@ type Config struct {
 	// predicted per-id cost by this fraction. Swaps cost a representation
 	// rebuild, so marginal wins are not worth flapping for.
 	Hysteresis float64
-	// MinDwell is the minimum time between swaps of one table (0 → 30s):
+	// MinDwell is the minimum time between swaps of one shard (0 → 30s):
 	// even a model that flips every window cannot thrash the backends.
-	// Forced swaps (ForceSwap) ignore it.
+	// Forced swaps (ForceSwap/ForceSwapShard) ignore it.
 	MinDwell time.Duration
 	// Alpha is the EWMA smoothing factor for sampled signals (0 → 0.3).
 	Alpha float64
@@ -62,7 +88,8 @@ type Config struct {
 	Candidates []core.Technique
 	// Reg receives the planner_* metrics and is the registry the sampler
 	// reads core_generate_* aggregates from. The managed generators must
-	// be instrumented into the same registry (core.Options.Obs) for
+	// be instrumented into the same registry (core.Options.Obs) — with
+	// core.Options.Shard set to the shard's ShardLabel — for per-shard
 	// observed signals to flow; without it the planner still works, from
 	// analytic priors alone.
 	Reg *obs.Registry
@@ -88,46 +115,69 @@ func (c Config) withDefaults() Config {
 }
 
 // Table declares one managed embedding table: its public shape, how to
-// build a fresh generator for any candidate technique, and the swap points
-// its serving replicas generate through.
+// build a fresh generator for any candidate technique, and the shard→swap
+// point assignment its serving replicas generate through.
 type Table struct {
 	// Name labels the table in metrics and decisions.
 	Name string
 	// Rows and Dim are the table's public shape.
 	Rows, Dim int
-	// Build constructs one fresh replica representation for the technique.
-	// It runs on the planner goroutine (prepare phase), so it may be slow;
-	// serving continues on the incumbent meanwhile. Build generators with
-	// the planner's registry (core.Options.Obs) so their latencies feed
-	// the next re-plan.
-	Build func(tech core.Technique) (core.Generator, error)
-	// Replicas are the swap points serving traffic flows through — one per
-	// backend replica. All replicas swap together, in sequence.
-	Replicas []*Swappable
-	// Initial is the technique the replicas start on.
+	// Build constructs one fresh replica representation of tech for the
+	// given shard index. It runs off the serving path (prepare phase), so
+	// it may be slow; serving continues on the incumbent meanwhile. Build
+	// generators with the planner's registry and the shard's label
+	// (core.Options{Obs: reg, Shard: ShardLabel(name, shard)}) so their
+	// latencies feed that shard's next re-plan.
+	Build func(shard int, tech core.Technique) (core.Generator, error)
+	// Shards is the shard→replica assignment: Shards[i] holds the swap
+	// points of shard i's replicas (serving.Group.ShardBackends exposes
+	// the matching backend assignment). Replicas of one shard swap
+	// all-or-nothing; different shards plan and swap independently.
+	Shards [][]*Swappable
+	// Initial is the technique every shard starts on.
 	Initial core.Technique
 }
 
-// managedTable is the planner's per-table state.
-type managedTable struct {
-	Table
+// shardState is the planner's per-shard plan: the unit of decision-making
+// and swapping. Its mutex serializes swaps of the shard and guards
+// current/lastSwap; different shards' swaps run concurrently.
+type shardState struct {
+	idx      int
+	label    string
+	replicas []*Swappable
+
+	mu       sync.Mutex
 	current  core.Technique
 	lastSwap time.Time
 
 	gActive    *obs.Gauge
 	gMeanBatch *obs.Gauge
+	cReplan    *obs.Counter
 }
 
-// Decision records one re-plan pass over one table.
+// managedTable is the planner's per-table state: shared shape plus one
+// shardState per shard.
+type managedTable struct {
+	Table
+	shards []*shardState
+}
+
+// Decision records one re-plan pass over one shard of one table.
 type Decision struct {
-	Table   string
+	Table string
+	// Shard is the shard index the decision applies to.
+	Shard   int
 	Current core.Technique
 	Chosen  core.Technique
 	// PerIDNs is the predicted per-id cost of every candidate at the
-	// table's current operating point.
+	// shard's current operating point.
 	PerIDNs map[core.Technique]float64
 	// MeanBatch is the smoothed aggregate batch size the prediction used.
 	MeanBatch float64
+	// Observed reports whether the incumbent's prediction came from a
+	// measured (or persisted) EWMA rather than the analytic prior — false
+	// exactly during the cold-start warmup a persisted cost model skips.
+	Observed bool
 	// Swapped reports whether the pass installed a new technique; Reason
 	// explains a kept incumbent ("within hysteresis", "dwell", …).
 	Swapped bool
@@ -139,7 +189,7 @@ type Planner struct {
 	cfg     Config
 	sampler *sampler
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards tables registry + sampler
 	tables []*managedTable
 
 	stopOnce sync.Once
@@ -170,20 +220,31 @@ func New(cfg Config) *Planner {
 
 // Manage registers a table. Not safe to call after Start.
 func (p *Planner) Manage(t Table) error {
-	if t.Name == "" || t.Build == nil || len(t.Replicas) == 0 {
-		return fmt.Errorf("planner: table needs a name, a Build func and ≥1 replica")
+	if t.Name == "" || t.Build == nil || len(t.Shards) == 0 {
+		return fmt.Errorf("planner: table needs a name, a Build func and ≥1 shard")
 	}
 	if t.Rows < 2 || t.Dim < 1 {
 		return fmt.Errorf("planner: table %q has invalid shape %dx%d", t.Name, t.Rows, t.Dim)
 	}
-	mt := &managedTable{
-		Table:      t,
-		current:    t.Initial,
-		lastSwap:   time.Now(),
-		gActive:    p.cfg.Reg.Gauge("planner_active_technique", "table", t.Name),
-		gMeanBatch: p.cfg.Reg.Gauge("planner_mean_batch_milli", "table", t.Name),
+	mt := &managedTable{Table: t}
+	for i, replicas := range t.Shards {
+		if len(replicas) == 0 {
+			return fmt.Errorf("planner: table %q shard %d has no replicas", t.Name, i)
+		}
+		shard := strconv.Itoa(i)
+		ss := &shardState{
+			idx:        i,
+			label:      ShardLabel(t.Name, i),
+			replicas:   replicas,
+			current:    t.Initial,
+			lastSwap:   time.Now(),
+			gActive:    p.cfg.Reg.Gauge("planner_active_technique", obs.LabelTable, t.Name, obs.LabelShard, shard),
+			gMeanBatch: p.cfg.Reg.Gauge("planner_mean_batch_milli", obs.LabelTable, t.Name, obs.LabelShard, shard),
+			cReplan:    p.cfg.Reg.Counter("planner_replan_total", obs.LabelTable, t.Name, obs.LabelShard, shard),
+		}
+		ss.gActive.Set(int64(t.Initial))
+		mt.shards = append(mt.shards, ss)
 	}
-	mt.gActive.Set(int64(t.Initial))
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.tables = append(p.tables, mt)
@@ -213,69 +274,109 @@ func (p *Planner) Stop() {
 	p.stopOnce.Do(func() { close(p.stop) })
 }
 
-// ReplanNow runs one full pass: sample signals, refit, decide, and swap
-// where the model says so. Safe to call concurrently with the background
-// loop; passes serialize on the planner lock.
+// ReplanNow runs one full pass: sample every shard's signals, refit,
+// decide, and swap where the model says so. Decisions for different
+// shards execute concurrently — one shard's multi-second representation
+// build never delays a sibling's swap — while replicas of a single shard
+// still swap together. Safe to call concurrently with the background
+// loop; the sampling phase serializes on the planner lock, and each
+// shard's swap serializes on its own lock.
 func (p *Planner) ReplanNow() []Decision {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.mReplan.Inc()
 
-	// One signal sample per candidate technique per pass: the aggregates
-	// are global per technique, not per table, so sample once and share.
-	sigs := map[core.Technique]Signal{}
-	for _, tech := range p.cfg.Candidates {
-		sigs[tech] = p.sampler.sample(tech)
+	// Sample under the planner lock: the sampler is single-threaded, and
+	// one coherent window per pass keeps every shard's decision reading
+	// the same snapshot.
+	p.mu.Lock()
+	tables := append([]*managedTable(nil), p.tables...)
+	sigs := map[string]map[core.Technique]Signal{}
+	for _, t := range tables {
+		for _, ss := range t.shards {
+			m := make(map[core.Technique]Signal, len(p.cfg.Candidates))
+			for _, tech := range p.cfg.Candidates {
+				m[tech] = p.sampler.sample(tech, ss.label)
+			}
+			sigs[ss.label] = m
+		}
 	}
+	p.mu.Unlock()
 
-	decisions := make([]Decision, 0, len(p.tables))
-	for _, t := range p.tables {
-		decisions = append(decisions, p.replanTable(t, sigs))
+	// Decide + swap, one goroutine per shard: different shards of one
+	// table (and of different tables) drift independently, so their
+	// prepare→install→drain lifecycles run concurrently.
+	type slot struct {
+		t  *managedTable
+		ss *shardState
 	}
+	var slots []slot
+	for _, t := range tables {
+		for _, ss := range t.shards {
+			slots = append(slots, slot{t, ss})
+		}
+	}
+	decisions := make([]Decision, len(slots))
+	var wg sync.WaitGroup
+	for i, s := range slots {
+		wg.Add(1)
+		go func(i int, s slot) {
+			defer wg.Done()
+			decisions[i] = p.replanShard(s.t, s.ss, sigs[s.ss.label])
+		}(i, s)
+	}
+	wg.Wait()
 	return decisions
 }
 
-// replanTable decides (and possibly swaps) one table. Caller holds p.mu.
-func (p *Planner) replanTable(t *managedTable, sigs map[core.Technique]Signal) Decision {
+// replanShard decides (and possibly swaps) one shard of one table.
+func (p *Planner) replanShard(t *managedTable, ss *shardState, sigs map[core.Technique]Signal) Decision {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.cReplan.Inc()
+
 	// The operating point: the smoothed batch size of whatever technique
-	// is serving now. With no traffic yet, predict at batch 1 (the most
-	// conservative point for DHE's amortization).
-	batch := sigs[t.current].EWMABatch
+	// is serving this shard now. With no traffic yet, predict at batch 1
+	// (the most conservative point for DHE's amortization).
+	cur := sigs[ss.current]
+	batch := cur.EWMABatch
 	if batch < 1 {
 		batch = 1
 	}
-	t.gMeanBatch.Set(int64(batch * 1000))
+	ss.gMeanBatch.Set(int64(batch * 1000))
 
 	d := Decision{
 		Table:     t.Name,
-		Current:   t.current,
-		Chosen:    t.current,
+		Shard:     ss.idx,
+		Current:   ss.current,
+		Chosen:    ss.current,
 		MeanBatch: batch,
+		Observed:  cur.Observed(),
 		PerIDNs:   make(map[core.Technique]float64, len(p.cfg.Candidates)),
 	}
-	best, bestCost := t.current, predictPerID(t.current, t.Rows, t.Dim, batch, sigs[t.current])
+	shard := strconv.Itoa(ss.idx)
+	best, bestCost := ss.current, predictPerID(ss.current, t.Rows, t.Dim, batch, cur)
 	for _, tech := range p.cfg.Candidates {
 		cost := predictPerID(tech, t.Rows, t.Dim, batch, sigs[tech])
 		d.PerIDNs[tech] = cost
-		p.cfg.Reg.Gauge("planner_predicted_perid_ns", "table", t.Name, "tech", tech.Key()).Set(int64(cost))
+		p.cfg.Reg.Gauge("planner_predicted_perid_ns",
+			obs.LabelTable, t.Name, obs.LabelShard, shard, obs.LabelTech, tech.Key()).Set(int64(cost))
 		if cost < bestCost {
 			best, bestCost = tech, cost
 		}
 	}
-	if best == t.current {
+	if best == ss.current {
 		d.Reason = "incumbent cheapest"
 		return d
 	}
-	incumbent := d.PerIDNs[t.current]
+	incumbent := d.PerIDNs[ss.current]
 	if incumbent > 0 && (incumbent-bestCost)/incumbent < p.cfg.Hysteresis {
-		d.Reason = fmt.Sprintf("%s within hysteresis of %s", best.Key(), t.current.Key())
+		d.Reason = fmt.Sprintf("%s within hysteresis of %s", best.Key(), ss.current.Key())
 		return d
 	}
-	if time.Since(t.lastSwap) < p.cfg.MinDwell {
+	if time.Since(ss.lastSwap) < p.cfg.MinDwell {
 		d.Reason = "dwell"
 		return d
 	}
-	if err := p.swap(t, best); err != nil {
+	if err := p.swapShard(t, ss, best); err != nil {
 		d.Reason = fmt.Sprintf("swap failed: %v", err)
 		return d
 	}
@@ -283,60 +384,160 @@ func (p *Planner) replanTable(t *managedTable, sigs map[core.Technique]Signal) D
 	return d
 }
 
-// ForceSwap installs tech on the named table immediately, bypassing the
-// model, hysteresis and dwell — the lever for tests, the leakcheck audit,
-// and operational overrides. The lifecycle is identical to an organic
-// re-plan swap: prepare fresh replicas, install atomically, drain the old.
+// ForceSwap installs tech on every shard of the named table immediately,
+// bypassing the model, hysteresis and dwell — the lever for tests, the
+// leakcheck audit, and operational overrides. The lifecycle per shard is
+// identical to an organic re-plan swap: prepare fresh replicas, install
+// atomically, drain the old.
 func (p *Planner) ForceSwap(table string, tech core.Technique) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, t := range p.tables {
-		if t.Name == table {
-			return p.swap(t, tech)
+	mt, err := p.lookup(table)
+	if err != nil {
+		return err
+	}
+	for _, ss := range mt.shards {
+		ss.mu.Lock()
+		err := p.swapShard(mt, ss, tech)
+		ss.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
-	return fmt.Errorf("planner: unknown table %q", table)
+	return nil
 }
 
-// Current reports the named table's active technique.
+// ForceSwapShard installs tech on one shard of the named table — the
+// asymmetric-swap lever: sibling shards keep serving their own plans.
+func (p *Planner) ForceSwapShard(table string, shard int, tech core.Technique) error {
+	mt, err := p.lookup(table)
+	if err != nil {
+		return err
+	}
+	if shard < 0 || shard >= len(mt.shards) {
+		return fmt.Errorf("planner: table %q has no shard %d", table, shard)
+	}
+	ss := mt.shards[shard]
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return p.swapShard(mt, ss, tech)
+}
+
+// Current reports the named table's active technique when every shard
+// agrees on one; with shards on different plans it errors — use
+// ShardTechniques for the per-shard view.
 func (p *Planner) Current(table string) (core.Technique, error) {
+	techs, err := p.ShardTechniques(table)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range techs[1:] {
+		if t != techs[0] {
+			return 0, fmt.Errorf("planner: table %q shards run mixed techniques %v", table, techs)
+		}
+	}
+	return techs[0], nil
+}
+
+// ShardTechniques reports the named table's active technique per shard.
+func (p *Planner) ShardTechniques(table string) ([]core.Technique, error) {
+	mt, err := p.lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	techs := make([]core.Technique, len(mt.shards))
+	for i, ss := range mt.shards {
+		ss.mu.Lock()
+		techs[i] = ss.current
+		ss.mu.Unlock()
+	}
+	return techs, nil
+}
+
+func (p *Planner) lookup(table string) (*managedTable, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, t := range p.tables {
 		if t.Name == table {
-			return t.current, nil
+			return t, nil
 		}
 	}
-	return 0, fmt.Errorf("planner: unknown table %q", table)
+	return nil, fmt.Errorf("planner: unknown table %q", table)
 }
 
-// swap runs the prepare → install → drain lifecycle for every replica of
-// t. Caller holds p.mu. On a build failure nothing is installed: the
-// incumbent keeps serving and the error is surfaced (and counted).
-func (p *Planner) swap(t *managedTable, tech core.Technique) error {
+// swapShard runs the prepare → install → drain lifecycle for every
+// replica of one shard. Caller holds ss.mu. On a build failure nothing is
+// installed: the incumbent keeps serving and the error is surfaced (and
+// counted).
+func (p *Planner) swapShard(t *managedTable, ss *shardState, tech core.Technique) error {
 	start := time.Now()
 	// Prepare: build every replica's fresh representation up front, off
-	// the serving path. All-or-nothing — a half-swapped replica set would
-	// split a table across techniques.
-	fresh := make([]core.Generator, len(t.Replicas))
+	// the serving path. All-or-nothing per shard — a half-swapped replica
+	// set would split one shard across techniques.
+	fresh := make([]core.Generator, len(ss.replicas))
 	for i := range fresh {
-		g, err := t.Build(tech)
+		g, err := t.Build(ss.idx, tech)
 		if err != nil {
 			p.mBuildErr.Inc()
-			return fmt.Errorf("planner: building %s replica %d for table %q: %w", tech.Key(), i, t.Name, err)
+			return fmt.Errorf("planner: building %s replica %d for table %q shard %d: %w",
+				tech.Key(), i, t.Name, ss.idx, err)
 		}
 		fresh[i] = g
 	}
 	p.mPrepareNs.ObserveDuration(time.Since(start))
 	// Install + drain, replica by replica: each Install returns only when
 	// the replica's in-flight batches on the old generator have finished.
-	for i, sw := range t.Replicas {
+	for i, sw := range ss.replicas {
 		sw.Install(fresh[i])
 	}
-	t.current = tech
-	t.lastSwap = time.Now()
-	t.gActive.Set(int64(tech))
+	ss.current = tech
+	ss.lastSwap = time.Now()
+	ss.gActive.Set(int64(tech))
 	p.mSwap.Inc()
-	p.cfg.Reg.Counter("planner_swap_tech_total", "table", t.Name, "tech", tech.Key()).Inc()
+	p.cfg.Reg.Counter("planner_swap_tech_total",
+		obs.LabelTable, t.Name, obs.LabelShard, strconv.Itoa(ss.idx), obs.LabelTech, tech.Key()).Inc()
 	return nil
+}
+
+// ExportCostModel snapshots every fitted EWMA stream — the observed
+// per-(shard, technique) latency/batch curves — stamped with this
+// machine's fingerprint, for persisting via profile.SaveCostModelFile.
+// Entries are sorted for deterministic output.
+func (p *Planner) ExportCostModel() profile.CostModel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var entries []profile.CostEntry
+	for k, st := range p.sampler.state {
+		if !st.sig.Observed() {
+			continue
+		}
+		entries = append(entries, profile.CostEntry{
+			Shard:     k.shard,
+			Tech:      k.tech.Key(),
+			EWMANs:    st.sig.EWMANs,
+			EWMABatch: st.sig.EWMABatch,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Shard != entries[j].Shard {
+			return entries[i].Shard < entries[j].Shard
+		}
+		return entries[i].Tech < entries[j].Tech
+	})
+	return profile.NewCostModel(entries)
+}
+
+// SeedCostModel pre-loads persisted EWMAs into the sampler so the first
+// re-plan decision predicts from yesterday's observed curves instead of
+// the analytic priors. Call before Start; the caller is responsible for
+// fingerprint discipline (profile.InstallCostModelFile skips mismatched
+// files). Entries naming unknown techniques are ignored.
+func (p *Planner) SeedCostModel(m profile.CostModel) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range m.Entries {
+		tech, err := core.ParseTechnique(e.Tech)
+		if err != nil {
+			continue
+		}
+		p.sampler.seed(tech, e.Shard, e.EWMANs, e.EWMABatch)
+	}
 }

@@ -2,22 +2,28 @@ package planner
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"secemb/internal/core"
 	"secemb/internal/obs"
+	"secemb/internal/profile"
 )
 
-func buildFor(rows, dim int, seed int64, reg *obs.Registry) func(core.Technique) (core.Generator, error) {
-	return func(tech core.Technique) (core.Generator, error) {
+func buildFor(rows, dim int, seed int64, reg *obs.Registry) func(int, core.Technique) (core.Generator, error) {
+	return func(_ int, tech core.Technique) (core.Generator, error) {
 		return core.New(tech, rows, dim, core.Options{Seed: seed, Threads: 1, Obs: reg})
 	}
 }
 
+// oneShard wraps a single replica as the one-shard Table.Shards shape most
+// tests use.
+func oneShard(sw *Swappable) [][]*Swappable { return [][]*Swappable{{sw}} }
+
 func TestSwappableInstallSwitchesGenerator(t *testing.T) {
 	build := buildFor(64, 8, 1, nil)
-	scan, err := build(core.LinearScanBatched)
+	scan, err := build(0, core.LinearScanBatched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +35,7 @@ func TestSwappableInstallSwitchesGenerator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dhe, err := build(core.DHE)
+	dhe, err := build(0, core.DHE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,10 +60,10 @@ func TestSwappableInstallSwitchesGenerator(t *testing.T) {
 
 func TestSwappableCarriesThreadsAcrossInstall(t *testing.T) {
 	build := buildFor(64, 8, 1, nil)
-	g1, _ := build(core.LinearScanBatched)
+	g1, _ := build(0, core.LinearScanBatched)
 	sw := NewSwappable(g1)
 	sw.SetThreads(1)
-	g2, _ := build(core.LinearScanBatched)
+	g2, _ := build(0, core.LinearScanBatched)
 	sw.Install(g2) // must re-apply SetThreads(1); no direct probe, but must not panic
 	if _, err := sw.Generate([]uint64{1}); err != nil {
 		t.Fatal(err)
@@ -91,25 +97,26 @@ func TestAnalyticModelRegimes(t *testing.T) {
 	}
 }
 
-// observe simulates one served batch in the registry aggregates the
-// sampler reads — the planner's signals are exactly these public numbers.
-func observe(reg *obs.Registry, tech core.Technique, batch int, lat time.Duration) {
-	key := tech.Key()
-	reg.Counter("core_generate_total", "tech", key).Inc()
-	reg.Counter("core_generate_ids_total", "tech", key).Add(int64(batch))
-	reg.Histogram("core_generate_ns", "tech", key).ObserveDuration(lat)
+// observe simulates one served batch on one shard's stream in the registry
+// aggregates the sampler reads — the planner's signals are exactly these
+// public numbers. An empty shard writes the unlabeled (table-wide) stream.
+func observe(reg *obs.Registry, tech core.Technique, shard string, batch int, lat time.Duration) {
+	labels := metricLabels(tech, shard)
+	reg.Counter("core_generate_total", labels...).Inc()
+	reg.Counter("core_generate_ids_total", labels...).Add(int64(batch))
+	reg.Histogram("core_generate_ns", labels...).ObserveDuration(lat)
 }
 
 func TestSamplerWindowsAndEWMA(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := newSampler(reg, 0.5)
 
-	if sig := s.sample(core.DHE); sig.Observed() {
+	if sig := s.sample(core.DHE, ""); sig.Observed() {
 		t.Fatalf("idle technique reports Observed: %+v", sig)
 	}
-	observe(reg, core.DHE, 8, 2*time.Millisecond)
-	observe(reg, core.DHE, 8, 2*time.Millisecond)
-	sig := s.sample(core.DHE)
+	observe(reg, core.DHE, "", 8, 2*time.Millisecond)
+	observe(reg, core.DHE, "", 8, 2*time.Millisecond)
+	sig := s.sample(core.DHE, "")
 	if sig.Batches != 2 || sig.IDs != 16 {
 		t.Fatalf("window deltas = %d batches/%d ids, want 2/16", sig.Batches, sig.IDs)
 	}
@@ -120,15 +127,69 @@ func TestSamplerWindowsAndEWMA(t *testing.T) {
 		t.Fatalf("first EWMA = %g, want seed 2e6", sig.EWMANs)
 	}
 	// A faster window pulls the EWMA halfway (alpha 0.5).
-	observe(reg, core.DHE, 8, 1*time.Millisecond)
-	sig = s.sample(core.DHE)
+	observe(reg, core.DHE, "", 8, 1*time.Millisecond)
+	sig = s.sample(core.DHE, "")
 	if sig.EWMANs != 1.5e6 {
 		t.Fatalf("EWMA after 1ms window = %g, want 1.5e6", sig.EWMANs)
 	}
 	// An idle window leaves the EWMA standing.
-	sig = s.sample(core.DHE)
+	sig = s.sample(core.DHE, "")
 	if sig.Batches != 0 || sig.EWMANs != 1.5e6 {
 		t.Fatalf("idle window mutated signal: %+v", sig)
+	}
+}
+
+// TestSamplerKeysStreamsPerShard pins the v2 invariant: the same technique
+// on different shards is two independent EWMA streams.
+func TestSamplerKeysStreamsPerShard(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newSampler(reg, 1)
+	s0, s1 := ShardLabel("t", 0), ShardLabel("t", 1)
+	observe(reg, core.DHE, s0, 4, 8*time.Millisecond)
+	observe(reg, core.DHE, s1, 64, 1*time.Millisecond)
+	sig0 := s.sample(core.DHE, s0)
+	sig1 := s.sample(core.DHE, s1)
+	if sig0.EWMANs != 8e6 || sig0.EWMABatch != 4 {
+		t.Fatalf("shard 0 signal = %+v, want 8e6ns @ batch 4", sig0)
+	}
+	if sig1.EWMANs != 1e6 || sig1.EWMABatch != 64 {
+		t.Fatalf("shard 1 signal = %+v, want 1e6ns @ batch 64", sig1)
+	}
+}
+
+// TestSamplerClampsOnCounterReset: a rebuilt generator on a fresh registry
+// restarts its aggregates, so the sampler's next raw delta goes negative.
+// The window must clamp to idle — a negative window would poison the EWMA
+// with negative latencies — and the following window must be clean.
+func TestSamplerClampsOnCounterReset(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newSampler(reg, 0.5)
+	shard := ShardLabel("t", 0)
+	observe(reg, core.DHE, shard, 8, 2*time.Millisecond)
+	sig := s.sample(core.DHE, shard)
+	if sig.EWMANs != 2e6 {
+		t.Fatalf("seed EWMA = %g, want 2e6", sig.EWMANs)
+	}
+	// Simulate the reset: the aggregates fall below the sampler's anchors
+	// (a fresh registry restarts them at zero and re-accumulates less than
+	// the old total).
+	labels := metricLabels(core.DHE, shard)
+	reg.Counter("core_generate_total", labels...).Add(-1)
+	reg.Counter("core_generate_ids_total", labels...).Add(-8)
+	reg.Histogram("core_generate_ns", labels...).Observe(-2 * int64(time.Millisecond))
+	sig = s.sample(core.DHE, shard)
+	if sig.Batches != 0 || sig.IDs != 0 || sig.MeanNs != 0 {
+		t.Fatalf("reset window not clamped to idle: %+v", sig)
+	}
+	if sig.EWMANs != 2e6 || sig.EWMABatch != 8 {
+		t.Fatalf("reset window mutated EWMAs: %+v", sig)
+	}
+	// The anchors re-set on the clamped read, so the next real window folds
+	// in cleanly.
+	observe(reg, core.DHE, shard, 8, 1*time.Millisecond)
+	sig = s.sample(core.DHE, shard)
+	if sig.Batches != 1 || sig.EWMANs != 1.5e6 {
+		t.Fatalf("post-reset window = %+v, want 1 batch pulling EWMA to 1.5e6", sig)
 	}
 }
 
@@ -136,7 +197,7 @@ func TestPlannerSwapsOnObservedCrossover(t *testing.T) {
 	reg := obs.NewRegistry()
 	rows, dim := 512, 16
 	build := buildFor(rows, dim, 1, reg)
-	scan, err := build(core.LinearScanBatched)
+	scan, err := build(0, core.LinearScanBatched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +205,7 @@ func TestPlannerSwapsOnObservedCrossover(t *testing.T) {
 	p := New(Config{Reg: reg, MinDwell: time.Nanosecond, Hysteresis: 0.1, Alpha: 1})
 	if err := p.Manage(Table{
 		Name: "t", Rows: rows, Dim: dim,
-		Build: build, Replicas: []*Swappable{sw},
+		Build: build, Shards: oneShard(sw),
 		Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
@@ -153,10 +214,11 @@ func TestPlannerSwapsOnObservedCrossover(t *testing.T) {
 	// Feed observed signals that invert the analytic prior for this tiny
 	// table: the scan measured catastrophically slow, DHE fast at the same
 	// batch size. The model must follow the measurements.
+	shard := ShardLabel("t", 0)
 	for i := 0; i < 4; i++ {
-		observe(reg, core.LinearScanBatched, 8, 80*time.Millisecond)
-		observe(reg, core.DHE, 8, 100*time.Microsecond)
-		observe(reg, core.CircuitORAM, 8, 50*time.Millisecond)
+		observe(reg, core.LinearScanBatched, shard, 8, 80*time.Millisecond)
+		observe(reg, core.DHE, shard, 8, 100*time.Microsecond)
+		observe(reg, core.CircuitORAM, shard, 8, 50*time.Millisecond)
 	}
 	ds := p.ReplanNow()
 	if len(ds) != 1 {
@@ -165,6 +227,9 @@ func TestPlannerSwapsOnObservedCrossover(t *testing.T) {
 	d := ds[0]
 	if !d.Swapped || d.Chosen != core.DHE {
 		t.Fatalf("decision = %+v, want swap to DHE", d)
+	}
+	if d.Shard != 0 || !d.Observed {
+		t.Fatalf("decision = %+v, want shard 0 with observed incumbent", d)
 	}
 	if got := sw.Technique(); got != core.DHE {
 		t.Fatalf("replica serves %v after swap, want DHE", got)
@@ -177,23 +242,128 @@ func TestPlannerSwapsOnObservedCrossover(t *testing.T) {
 	}
 }
 
+// TestPlannerShardsDivergeAndSwapIndependently is the tentpole contract:
+// two shards of one table, fed opposite observed signals, converge to
+// different techniques in a single re-plan pass, and the mixed state is
+// visible through ShardTechniques while Current refuses to flatten it.
+func TestPlannerShardsDivergeAndSwapIndependently(t *testing.T) {
+	reg := obs.NewRegistry()
+	rows, dim := 512, 16
+	build := buildFor(rows, dim, 1, reg)
+	sws := make([]*Swappable, 2)
+	for i := range sws {
+		g, err := build(i, core.LinearScanBatched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sws[i] = NewSwappable(g)
+	}
+	p := New(Config{Reg: reg, MinDwell: time.Nanosecond, Hysteresis: 0.1, Alpha: 1})
+	if err := p.Manage(Table{
+		Name: "t", Rows: rows, Dim: dim, Build: build,
+		Shards:  [][]*Swappable{{sws[0]}, {sws[1]}},
+		Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 0's scan measured catastrophically slow with DHE fast; shard 1's
+	// scan measured fast. One pass must swap shard 0 and keep shard 1.
+	s0, s1 := ShardLabel("t", 0), ShardLabel("t", 1)
+	for i := 0; i < 4; i++ {
+		observe(reg, core.LinearScanBatched, s0, 8, 80*time.Millisecond)
+		observe(reg, core.DHE, s0, 8, 100*time.Microsecond)
+		observe(reg, core.LinearScanBatched, s1, 8, 50*time.Microsecond)
+	}
+	ds := p.ReplanNow()
+	if len(ds) != 2 {
+		t.Fatalf("got %d decisions, want 2 (one per shard)", len(ds))
+	}
+	byShard := map[int]Decision{}
+	for _, d := range ds {
+		byShard[d.Shard] = d
+	}
+	if d := byShard[0]; !d.Swapped || d.Chosen != core.DHE {
+		t.Fatalf("shard 0 decision = %+v, want swap to DHE", d)
+	}
+	if d := byShard[1]; d.Swapped || d.Chosen != core.LinearScanBatched {
+		t.Fatalf("shard 1 decision = %+v, want held scanb", d)
+	}
+	if got := sws[0].Technique(); got != core.DHE {
+		t.Fatalf("shard 0 replica serves %v, want DHE", got)
+	}
+	if got := sws[1].Technique(); got != core.LinearScanBatched {
+		t.Fatalf("shard 1 replica serves %v, want scanb", got)
+	}
+	techs, err := p.ShardTechniques("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if techs[0] != core.DHE || techs[1] != core.LinearScanBatched {
+		t.Fatalf("ShardTechniques = %v, want [dhe scanb]", techs)
+	}
+	if _, err := p.Current("t"); err == nil {
+		t.Fatal("Current flattened a mixed per-shard plan without error")
+	}
+	// Shard-labeled metrics reflect the split.
+	a0 := reg.Gauge("planner_active_technique", obs.LabelTable, "t", obs.LabelShard, "0").Value()
+	a1 := reg.Gauge("planner_active_technique", obs.LabelTable, "t", obs.LabelShard, "1").Value()
+	if a0 != int64(core.DHE) || a1 != int64(core.LinearScanBatched) {
+		t.Fatalf("planner_active_technique{shard} = %d/%d, want dhe/scanb", a0, a1)
+	}
+}
+
+func TestForceSwapShardLeavesSiblings(t *testing.T) {
+	reg := obs.NewRegistry()
+	build := buildFor(256, 8, 1, reg)
+	sws := make([]*Swappable, 2)
+	for i := range sws {
+		g, _ := build(i, core.LinearScanBatched)
+		sws[i] = NewSwappable(g)
+	}
+	p := New(Config{Reg: reg})
+	if err := p.Manage(Table{
+		Name: "t", Rows: 256, Dim: 8, Build: build,
+		Shards:  [][]*Swappable{{sws[0]}, {sws[1]}},
+		Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForceSwapShard("t", 1, core.DHE); err != nil {
+		t.Fatal(err)
+	}
+	if got := sws[0].Technique(); got != core.LinearScanBatched {
+		t.Fatalf("untouched shard 0 serves %v, want scanb", got)
+	}
+	if got := sws[1].Technique(); got != core.DHE {
+		t.Fatalf("swapped shard 1 serves %v, want dhe", got)
+	}
+	if err := p.ForceSwapShard("t", 5, core.DHE); err == nil {
+		t.Fatal("ForceSwapShard on missing shard did not error")
+	}
+	if err := p.ForceSwapShard("nope", 0, core.DHE); err == nil {
+		t.Fatal("ForceSwapShard on unknown table did not error")
+	}
+}
+
 func TestPlannerHysteresisHoldsIncumbent(t *testing.T) {
 	reg := obs.NewRegistry()
 	rows, dim := 512, 16
 	build := buildFor(rows, dim, 1, reg)
-	scan, _ := build(core.LinearScanBatched)
+	scan, _ := build(0, core.LinearScanBatched)
 	sw := NewSwappable(scan)
 	p := New(Config{Reg: reg, MinDwell: time.Nanosecond, Hysteresis: 0.5, Alpha: 1})
 	if err := p.Manage(Table{
 		Name: "t", Rows: rows, Dim: dim, Build: build,
-		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+		Shards: oneShard(sw), Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// DHE measured only marginally faster: inside the 50% hysteresis band.
-	observe(reg, core.LinearScanBatched, 8, 1000*time.Microsecond)
-	observe(reg, core.DHE, 8, 900*time.Microsecond)
-	observe(reg, core.CircuitORAM, 8, 5000*time.Microsecond)
+	shard := ShardLabel("t", 0)
+	observe(reg, core.LinearScanBatched, shard, 8, 1000*time.Microsecond)
+	observe(reg, core.DHE, shard, 8, 900*time.Microsecond)
+	observe(reg, core.CircuitORAM, shard, 8, 5000*time.Microsecond)
 	d := p.ReplanNow()[0]
 	if d.Swapped {
 		t.Fatalf("swapped inside hysteresis band: %+v", d)
@@ -207,18 +377,19 @@ func TestPlannerDwellBlocksBackToBackSwaps(t *testing.T) {
 	reg := obs.NewRegistry()
 	rows, dim := 512, 16
 	build := buildFor(rows, dim, 1, reg)
-	scan, _ := build(core.LinearScanBatched)
+	scan, _ := build(0, core.LinearScanBatched)
 	sw := NewSwappable(scan)
 	p := New(Config{Reg: reg, MinDwell: time.Hour, Hysteresis: 0.01, Alpha: 1})
 	if err := p.Manage(Table{
 		Name: "t", Rows: rows, Dim: dim, Build: build,
-		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+		Shards: oneShard(sw), Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	observe(reg, core.LinearScanBatched, 8, 80*time.Millisecond)
-	observe(reg, core.DHE, 8, 100*time.Microsecond)
-	observe(reg, core.CircuitORAM, 8, 50*time.Millisecond)
+	shard := ShardLabel("t", 0)
+	observe(reg, core.LinearScanBatched, shard, 8, 80*time.Millisecond)
+	observe(reg, core.DHE, shard, 8, 100*time.Microsecond)
+	observe(reg, core.CircuitORAM, shard, 8, 50*time.Millisecond)
 	d := p.ReplanNow()[0]
 	if d.Swapped || d.Reason != "dwell" {
 		t.Fatalf("decision = %+v, want dwell hold (tables were registered just now)", d)
@@ -228,12 +399,12 @@ func TestPlannerDwellBlocksBackToBackSwaps(t *testing.T) {
 func TestForceSwapBypassesModel(t *testing.T) {
 	reg := obs.NewRegistry()
 	build := buildFor(256, 8, 1, reg)
-	scan, _ := build(core.LinearScanBatched)
+	scan, _ := build(0, core.LinearScanBatched)
 	sw := NewSwappable(scan)
 	p := New(Config{Reg: reg})
 	if err := p.Manage(Table{
 		Name: "t", Rows: 256, Dim: 8, Build: build,
-		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+		Shards: oneShard(sw), Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -254,15 +425,15 @@ func TestForceSwapBypassesModel(t *testing.T) {
 func TestSwapBuildFailureKeepsIncumbent(t *testing.T) {
 	reg := obs.NewRegistry()
 	goodBuild := buildFor(256, 8, 1, reg)
-	scan, _ := goodBuild(core.LinearScanBatched)
+	scan, _ := goodBuild(0, core.LinearScanBatched)
 	sw := NewSwappable(scan)
 	p := New(Config{Reg: reg})
 	if err := p.Manage(Table{
 		Name: "t", Rows: 256, Dim: 8,
-		Build: func(tech core.Technique) (core.Generator, error) {
+		Build: func(int, core.Technique) (core.Generator, error) {
 			return nil, fmt.Errorf("representation store offline")
 		},
-		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+		Shards: oneShard(sw), Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -283,12 +454,12 @@ func TestSwapBuildFailureKeepsIncumbent(t *testing.T) {
 func TestStartStopLoop(t *testing.T) {
 	reg := obs.NewRegistry()
 	build := buildFor(128, 8, 1, reg)
-	scan, _ := build(core.LinearScanBatched)
+	scan, _ := build(0, core.LinearScanBatched)
 	sw := NewSwappable(scan)
 	p := New(Config{Reg: reg, Interval: time.Millisecond})
 	if err := p.Manage(Table{
 		Name: "t", Rows: 128, Dim: 8, Build: build,
-		Replicas: []*Swappable{sw}, Initial: core.LinearScanBatched,
+		Shards: oneShard(sw), Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +478,75 @@ func TestStartStopLoop(t *testing.T) {
 	case <-p.done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("loop did not exit after Stop")
+	}
+}
+
+// TestCostModelRoundTripSkipsWarmup proves the persisted cost model does
+// what -plan-file promises: a planner that observed real signals exports
+// them, and a *fresh* planner seeded from the saved file makes its first
+// re-plan decision from those EWMAs (Decision.Observed, and the same swap
+// the observing planner would make) instead of the analytic priors.
+func TestCostModelRoundTripSkipsWarmup(t *testing.T) {
+	rows, dim := 512, 16
+	shard := ShardLabel("t", 0)
+
+	// First life: observe the prior-inverting signals and export.
+	regA := obs.NewRegistry()
+	pA := New(Config{Reg: regA, MinDwell: time.Hour, Alpha: 1})
+	buildA := buildFor(rows, dim, 1, regA)
+	scanA, _ := buildA(0, core.LinearScanBatched)
+	if err := pA.Manage(Table{
+		Name: "t", Rows: rows, Dim: dim, Build: buildA,
+		Shards: oneShard(NewSwappable(scanA)), Initial: core.LinearScanBatched,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	observe(regA, core.LinearScanBatched, shard, 8, 80*time.Millisecond)
+	observe(regA, core.DHE, shard, 8, 100*time.Microsecond)
+	pA.ReplanNow() // folds the window into the sampler EWMAs (dwell blocks the swap)
+
+	m := pA.ExportCostModel()
+	if len(m.Entries) != 2 {
+		t.Fatalf("exported %d streams, want 2 (observed scanb + dhe): %+v", len(m.Entries), m.Entries)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := profile.SaveCostModelFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh planner + registry with zero traffic. Unseeded, its
+	// first decision runs on analytic priors (Observed=false, no swap for
+	// this tiny table); seeded from the file, the first decision predicts
+	// from the persisted EWMAs and swaps immediately.
+	fresh := func(seeded bool) Decision {
+		reg := obs.NewRegistry()
+		p := New(Config{Reg: reg, MinDwell: time.Nanosecond, Hysteresis: 0.1, Alpha: 1})
+		build := buildFor(rows, dim, 1, reg)
+		scan, _ := build(0, core.LinearScanBatched)
+		if err := p.Manage(Table{
+			Name: "t", Rows: rows, Dim: dim, Build: build,
+			Shards: oneShard(NewSwappable(scan)), Initial: core.LinearScanBatched,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if seeded {
+			loaded, installed, err := profile.InstallCostModelFile(path, reg)
+			if err != nil || !installed {
+				t.Fatalf("InstallCostModelFile: installed=%v err=%v", installed, err)
+			}
+			p.SeedCostModel(loaded)
+		}
+		return p.ReplanNow()[0]
+	}
+
+	if d := fresh(false); d.Observed || d.Swapped {
+		t.Fatalf("unseeded cold start decision = %+v, want analytic-prior warmup (no observation, no swap)", d)
+	}
+	d := fresh(true)
+	if !d.Observed {
+		t.Fatalf("seeded first decision = %+v, want Observed (persisted EWMAs in effect)", d)
+	}
+	if !d.Swapped || d.Chosen != core.DHE {
+		t.Fatalf("seeded first decision = %+v, want immediate swap to DHE from persisted crossover", d)
 	}
 }

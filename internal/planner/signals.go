@@ -5,14 +5,16 @@ import (
 	"secemb/internal/obs"
 )
 
-// Signal is one technique's observed service window: aggregate counts and
-// latencies sampled from the obs registry between two planner passes.
+// Signal is one technique's observed service window on one shard:
+// aggregate counts and latencies sampled from the obs registry between two
+// planner passes.
 //
 // Every field is public in the threat model (§V-B): batch *sizes* and
 // *latencies* are observable by the adversary anyway, and none of them is
 // derived from individual ids — the instrumentation they come from
-// (core.Instrument) records counts and clocks only. The planner never sees
-// an id.
+// (core.InstrumentShard) records counts and clocks only. The planner never
+// sees an id, and the shard label is deployment topology (which replica
+// group a generator serves), not request data.
 type Signal struct {
 	// Batches and IDs are the window's Generate calls and total ids served.
 	Batches int64
@@ -34,14 +36,23 @@ type Signal struct {
 // Observed reports whether the technique has ever been measured.
 func (s Signal) Observed() bool { return s.EWMANs > 0 }
 
-// sampler turns the monotonically increasing per-technique aggregates of
-// core.Instrument (core_generate_total / core_generate_ids_total /
-// core_generate_ns) into windowed deltas and EWMAs. One sampler belongs to
-// one planner; it is not safe for concurrent use.
+// sampleKey identifies one EWMA stream: a technique on a shard. The empty
+// shard label is the table-wide aggregate stream (single-shard tables and
+// pre-v2 callers).
+type sampleKey struct {
+	tech  core.Technique
+	shard string
+}
+
+// sampler turns the monotonically increasing per-(technique, shard)
+// aggregates of core.InstrumentShard (core_generate_total /
+// core_generate_ids_total / core_generate_ns) into windowed deltas and
+// EWMAs. One sampler belongs to one planner; callers serialize access
+// (the planner samples under its own lock).
 type sampler struct {
 	reg   *obs.Registry
 	alpha float64
-	state map[core.Technique]*sampleState
+	state map[sampleKey]*sampleState
 }
 
 type sampleState struct {
@@ -50,26 +61,43 @@ type sampleState struct {
 }
 
 func newSampler(reg *obs.Registry, alpha float64) *sampler {
-	return &sampler{reg: reg, alpha: alpha, state: map[core.Technique]*sampleState{}}
+	return &sampler{reg: reg, alpha: alpha, state: map[sampleKey]*sampleState{}}
 }
 
-// sample reads the technique's aggregates, folds the delta since the last
-// call into the EWMA, and returns the up-to-date signal.
-func (s *sampler) sample(tech core.Technique) Signal {
-	st, ok := s.state[tech]
+// metricLabels renders the label set one (technique, shard) stream reads.
+func metricLabels(tech core.Technique, shard string) []string {
+	if shard == "" {
+		return []string{obs.LabelTech, tech.Key()}
+	}
+	return []string{obs.LabelTech, tech.Key(), obs.LabelShard, shard}
+}
+
+// sample reads the (technique, shard) aggregates, folds the delta since
+// the last call into the EWMA, and returns the up-to-date signal.
+func (s *sampler) sample(tech core.Technique, shard string) Signal {
+	k := sampleKey{tech: tech, shard: shard}
+	st, ok := s.state[k]
 	if !ok {
 		st = &sampleState{}
-		s.state[tech] = st
+		s.state[k] = st
 	}
-	key := tech.Key()
-	calls := s.reg.Counter("core_generate_total", "tech", key).Value()
-	ids := s.reg.Counter("core_generate_ids_total", "tech", key).Value()
-	sumNs := s.reg.Histogram("core_generate_ns", "tech", key).Sum()
+	labels := metricLabels(tech, shard)
+	calls := s.reg.Counter("core_generate_total", labels...).Value()
+	ids := s.reg.Counter("core_generate_ids_total", labels...).Value()
+	sumNs := s.reg.Histogram("core_generate_ns", labels...).Sum()
 
 	dCalls := calls - st.calls
 	dIDs := ids - st.ids
 	dSum := sumNs - st.sumNs
 	st.calls, st.ids, st.sumNs = calls, ids, sumNs
+	// Counters can move backwards across a hot-swap: a rebuilt generator on
+	// a fresh registry restarts its aggregates at zero, so the raw delta
+	// goes negative. A negative window is meaningless (and would poison the
+	// EWMA with negative latencies), so clamp it to idle — the absolute
+	// readings above already re-anchored, and the next window is clean.
+	if dCalls < 0 || dIDs < 0 || dSum < 0 {
+		dCalls, dIDs, dSum = 0, 0, 0
+	}
 
 	sig := st.sig
 	sig.Batches, sig.IDs, sig.MeanBatch, sig.MeanNs = dCalls, dIDs, 0, 0
@@ -86,4 +114,29 @@ func (s *sampler) sample(tech core.Technique) Signal {
 	}
 	st.sig = sig
 	return sig
+}
+
+// seed pre-loads one stream's EWMAs — the persisted-cost-model restore
+// path. Absolute counter anchors stay zero: the first live window folds
+// into the seeded EWMA instead of starting from the analytic prior.
+func (s *sampler) seed(tech core.Technique, shard string, ewmaNs, ewmaBatch float64) {
+	if ewmaNs <= 0 {
+		return
+	}
+	k := sampleKey{tech: tech, shard: shard}
+	st, ok := s.state[k]
+	if !ok {
+		st = &sampleState{}
+		s.state[k] = st
+	}
+	st.sig.EWMANs = ewmaNs
+	st.sig.EWMABatch = ewmaBatch
+}
+
+// signal reads a stream's current signal without sampling a new window.
+func (s *sampler) signal(tech core.Technique, shard string) Signal {
+	if st, ok := s.state[sampleKey{tech: tech, shard: shard}]; ok {
+		return st.sig
+	}
+	return Signal{}
 }

@@ -51,7 +51,7 @@ func TestSwapUnderFire(t *testing.T) {
 	var guardMu sync.Mutex
 	var liveGuards []*retireGuard
 
-	build := func(tech core.Technique) (core.Generator, error) {
+	build := func(_ int, tech core.Technique) (core.Generator, error) {
 		g, err := core.New(tech, rows, dim, core.Options{Seed: 7, Threads: 1, Obs: reg})
 		if err != nil {
 			return nil, err
@@ -65,20 +65,26 @@ func TestSwapUnderFire(t *testing.T) {
 
 	sws := make([]*planner.Swappable, replicas)
 	bes := make([]serving.Backend, replicas)
+	shards := make([][]*planner.Swappable, replicas)
 	for i := range sws {
-		g, err := build(core.LinearScanBatched)
+		g, err := build(i, core.LinearScanBatched)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sws[i] = planner.NewSwappable(g)
 		bes[i] = backends.NewEmbedding(sws[i], 8)
+		// One replica per shard, mirroring the group's default one-shard-
+		// per-backend assignment; ForceSwap drives all shards, so the storm
+		// still exercises install+drain on every replica concurrently with
+		// traffic.
+		shards[i] = []*planner.Swappable{sws[i]}
 	}
 	group := serving.NewGroup(bes, serving.GroupConfig{QueueDepth: 64})
 
 	p := planner.New(planner.Config{Reg: reg})
 	if err := p.Manage(planner.Table{
 		Name: "fire", Rows: rows, Dim: dim, Build: build,
-		Replicas: sws, Initial: core.LinearScanBatched,
+		Shards: shards, Initial: core.LinearScanBatched,
 	}); err != nil {
 		t.Fatal(err)
 	}

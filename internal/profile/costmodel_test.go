@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"secemb/internal/obs"
+)
+
+func sampleModel() CostModel {
+	return NewCostModel([]CostEntry{
+		{Shard: "embed/0", Tech: "scanb", EWMANs: 2e6, EWMABatch: 2},
+		{Shard: "embed/1", Tech: "dhe", EWMANs: 9e6, EWMABatch: 256},
+	})
+}
+
+func TestCostModelRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SaveCostModelFile(path, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadCostModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Matches() {
+		t.Fatal("fingerprint of this machine must match itself")
+	}
+	if len(m.Entries) != 2 || m.Entries[0].Shard != "embed/0" || m.Entries[1].EWMABatch != 256 {
+		t.Fatalf("round-trip lost entries: %+v", m.Entries)
+	}
+	got, installed, err := InstallCostModelFile(path, nil)
+	if err != nil || !installed {
+		t.Fatalf("install: installed=%v err=%v", installed, err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("install returned %d entries, want 2", len(got.Entries))
+	}
+}
+
+func TestCostModelFingerprintMismatchSkips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	m := sampleModel()
+	m.NumCPU = runtime.NumCPU() + 3 // recorded on "other" hardware
+	if err := SaveCostModelFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	got, installed, err := InstallCostModelFile(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed || len(got.Entries) != 0 {
+		t.Fatalf("mismatched fingerprint must not install: installed=%v entries=%+v", installed, got.Entries)
+	}
+	if n := reg.Counter("profile_install_skipped_total", "kind", "costmodel", "reason", "fingerprint").Value(); n != 1 {
+		t.Fatalf("profile_install_skipped_total{kind=costmodel} = %d, want 1", n)
+	}
+}
+
+func TestCostModelMissingFileIsNotError(t *testing.T) {
+	_, installed, err := InstallCostModelFile(filepath.Join(t.TempDir(), "absent.json"), nil)
+	if err != nil || installed {
+		t.Fatalf("missing file: installed=%v err=%v", installed, err)
+	}
+}
+
+func TestCostModelRejectsCorruptEntries(t *testing.T) {
+	cases := []string{
+		`{"gomaxprocs":1,"numcpu":1,"entries":[{"shard":"t/0","tech":"","ewma_ns":1,"ewma_batch":1}]}`,
+		`{"gomaxprocs":1,"numcpu":1,"entries":[{"shard":"t/0","tech":"dhe","ewma_ns":0,"ewma_batch":1}]}`,
+		`{"gomaxprocs":1,"numcpu":1,"entries":[{"shard":"t/0","tech":"dhe","ewma_ns":-5,"ewma_batch":1}]}`,
+		`{"gomaxprocs":1,"numcpu":1,"entries":[{"shard":"t/0","tech":"dhe","ewma_ns":1,"ewma_batch":-1}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := LoadCostModel(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted corrupt cost model %s", c)
+		}
+	}
+}

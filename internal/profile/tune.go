@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"runtime"
 
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -90,8 +92,11 @@ func LoadTuneFile(path string) (MachineTune, error) {
 
 // InstallTuneFile loads path and installs its config when the fingerprint
 // matches this machine; installed reports whether it did. A missing or
-// mismatched file is not an error — the caller should autotune instead.
-func InstallTuneFile(path string) (installed bool, err error) {
+// mismatched file is not an error — the caller should autotune instead —
+// but a fingerprint skip is never silent: it is logged and counted
+// (profile_install_skipped_total{kind="tune"} in reg) so an operator can
+// tell a stale tune file from a loaded one. reg may be nil.
+func InstallTuneFile(path string, reg *obs.Registry) (installed bool, err error) {
 	m, err := LoadTuneFile(path)
 	if os.IsNotExist(err) {
 		return false, nil
@@ -100,8 +105,18 @@ func InstallTuneFile(path string) (installed bool, err error) {
 		return false, err
 	}
 	if !m.Matches() {
+		logInstallSkip(reg, "tune", path, m.GOMAXPROCS, m.NumCPU)
 		return false, nil
 	}
 	tensor.SetTune(m.Tune)
 	return true, nil
+}
+
+// logInstallSkip records one fingerprint-mismatch skip of a persisted
+// profile artifact: a log line for operators and a labeled counter so
+// dashboards can alert on a fleet quietly re-probing every start.
+func logInstallSkip(reg *obs.Registry, kind, path string, recordedProcs, recordedCPUs int) {
+	log.Printf("profile: skipping %s file %s: machine fingerprint mismatch (recorded GOMAXPROCS=%d NumCPU=%d, running GOMAXPROCS=%d NumCPU=%d)",
+		kind, path, recordedProcs, recordedCPUs, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	reg.Counter("profile_install_skipped_total", "kind", kind, "reason", "fingerprint").Inc()
 }

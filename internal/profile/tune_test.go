@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"secemb/internal/obs"
 	"secemb/internal/tensor"
 )
 
@@ -32,7 +33,7 @@ func TestTuneRoundTrip(t *testing.T) {
 
 	// Install on the same machine applies the config.
 	tensor.SetTune(tensor.TuneConfig{})
-	ok, err := InstallTuneFile(path)
+	ok, err := InstallTuneFile(path, nil)
 	if err != nil || !ok {
 		t.Fatalf("install: ok=%v err=%v", ok, err)
 	}
@@ -54,7 +55,8 @@ func TestTuneFingerprintMismatchSkipsInstall(t *testing.T) {
 	}
 	sentinel := tensor.TuneConfig{Workers: 1, BlockRows: 99, InlineRows: 1}
 	tensor.SetTune(sentinel)
-	ok, err := InstallTuneFile(path)
+	reg := obs.NewRegistry()
+	ok, err := InstallTuneFile(path, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,10 +66,13 @@ func TestTuneFingerprintMismatchSkipsInstall(t *testing.T) {
 	if got := tensor.CurrentTune(); got.BlockRows != 99 {
 		t.Fatalf("mismatch overwrote the installed config: %+v", got)
 	}
+	if got := reg.Counter("profile_install_skipped_total", "kind", "tune", "reason", "fingerprint").Value(); got != 1 {
+		t.Fatalf("profile_install_skipped_total{kind=tune} = %d, want 1", got)
+	}
 }
 
 func TestTuneMissingFileIsNotError(t *testing.T) {
-	ok, err := InstallTuneFile(filepath.Join(t.TempDir(), "absent.json"))
+	ok, err := InstallTuneFile(filepath.Join(t.TempDir(), "absent.json"), nil)
 	if err != nil || ok {
 		t.Fatalf("missing file: ok=%v err=%v", ok, err)
 	}

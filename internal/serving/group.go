@@ -86,8 +86,9 @@ type Group struct {
 // shard is one replica group: a bounded queue drained by one coalescing
 // worker per assigned backend.
 type shard struct {
-	queue chan *task
-	depth *obs.Gauge // serving_shard_depth{shard=i}; nil-safe
+	queue    chan *task
+	depth    *obs.Gauge // serving_shard_depth{shard=i}; nil-safe
+	backends []Backend  // replicas assigned to this shard, in worker order
 }
 
 // Option configures a Group (or Pool) at construction.
@@ -180,10 +181,24 @@ func NewGroup(backends []Backend, cfg GroupConfig, opts ...Option) *Group {
 	}
 	for i, be := range backends {
 		s := g.shards[i%cfg.Shards]
+		s.backends = append(s.backends, be)
 		g.wg.Add(1)
 		go g.worker(s, be, cfg.Coalesce)
 	}
 	return g
+}
+
+// ShardBackends reports the backend replicas assigned to shard i — the
+// shard→replica map a per-shard planner needs to manage each replica group
+// as its own plan (planner.Table.Shards mirrors this assignment). The
+// returned slice is a copy; the assignment itself is fixed at construction
+// (round-robin, backend i on shard i % Shards) and stable for the group's
+// lifetime.
+func (g *Group) ShardBackends(i int) []Backend {
+	if i < 0 || i >= len(g.shards) {
+		return nil
+	}
+	return append([]Backend(nil), g.shards[i].backends...)
 }
 
 func effectiveMaxBatch(be Backend, limit int) int {

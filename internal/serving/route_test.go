@@ -1,0 +1,82 @@
+package serving
+
+import (
+	"math/rand"
+	"testing"
+
+	"secemb/internal/data"
+)
+
+// TestRouteShardSpreadsZipfKeys pins the property per-shard planning
+// relies on: consistent routing must not let the 1/rank popularity skew of
+// real CTR traffic (data.ZipfValue) pile onto one shard. The hottest key
+// alone carries ~5% of draws, so shard loads are lumpy by construction —
+// the assertion is that every shard still lands within a factor band of
+// its fair share, for each supported shard count. Deterministic: fixed rng
+// seed, fixed splitmix64 routing.
+func TestRouteShardSpreadsZipfKeys(t *testing.T) {
+	const draws = 200000
+	const space = 1 << 20
+	for _, shards := range []int{2, 4, 8} {
+		rng := rand.New(rand.NewSource(42))
+		counts := make([]int, shards)
+		for i := 0; i < draws; i++ {
+			counts[RouteShard(data.ZipfValue(rng, space), shards)]++
+		}
+		fair := float64(draws) / float64(shards)
+		for s, c := range counts {
+			if ratio := float64(c) / fair; ratio < 0.6 || ratio > 1.4 {
+				t.Errorf("%d shards: shard %d got %d of %d Zipf draws (%.2f× fair share, want within [0.6, 1.4])",
+					shards, s, c, draws, ratio)
+			}
+		}
+	}
+}
+
+// TestZipfValueFilteredPinsToShard: the rejection sampler builds a skewed
+// key population that consistently routes to one shard — the workload
+// generator shard-skew demos and the plan-sim regression lean on.
+func TestZipfValueFilteredPinsToShard(t *testing.T) {
+	const shards = 4
+	const space = 1 << 16
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < shards; s++ {
+		for i := 0; i < 500; i++ {
+			id := data.ZipfValueFiltered(rng, space, func(id uint64) bool {
+				return RouteShard(id, shards) == s
+			})
+			if got := RouteShard(id, shards); got != s {
+				t.Fatalf("filtered draw %d routes to shard %d, want %d", id, got, s)
+			}
+		}
+	}
+}
+
+// TestShardBackendsExposesAssignment pins the shard→replica map the
+// planner mirrors: round-robin, backend i on shard i % Shards, stable and
+// copied.
+func TestShardBackendsExposesAssignment(t *testing.T) {
+	bes := make([]Backend, 5)
+	for i := range bes {
+		bes[i] = &fakeBackend{maxBatch: 4}
+	}
+	g := NewGroup(bes, GroupConfig{Shards: 2})
+	defer g.Close()
+	if got := len(g.ShardBackends(0)); got != 3 {
+		t.Fatalf("shard 0 has %d backends, want 3 (backends 0,2,4)", got)
+	}
+	if got := len(g.ShardBackends(1)); got != 2 {
+		t.Fatalf("shard 1 has %d backends, want 2 (backends 1,3)", got)
+	}
+	if g.ShardBackends(0)[0] != bes[0] || g.ShardBackends(0)[1] != bes[2] || g.ShardBackends(1)[0] != bes[1] {
+		t.Fatal("ShardBackends order does not match round-robin assignment")
+	}
+	if g.ShardBackends(2) != nil || g.ShardBackends(-1) != nil {
+		t.Fatal("out-of-range shard index must return nil")
+	}
+	// Mutating the returned slice must not corrupt the group's assignment.
+	g.ShardBackends(0)[0] = nil
+	if g.ShardBackends(0)[0] != bes[0] {
+		t.Fatal("ShardBackends returned the internal slice, not a copy")
+	}
+}
